@@ -1,0 +1,34 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments verify examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments all --out results.json
+
+verify:
+	$(PYTHON) -m repro.experiments verify
+
+examples:
+	$(PYTHON) examples/quickstart.py 5000 4
+	$(PYTHON) examples/jump_start_exact.py 10000 4
+	$(PYTHON) examples/adversarial_karp_sipser.py 800 8
+	$(PYTHON) examples/rank_deficient_analysis.py 3000 2
+	$(PYTHON) examples/parallel_scaling_demo.py venturiLevel3 10000
+	$(PYTHON) examples/undirected_matching.py 2000 6
+	$(PYTHON) examples/quality_certificates.py 3000 4
+	$(PYTHON) examples/block_triangular.py 2000 2
+
+clean:
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,35 @@
+"""Conjecture 1 bench — maximum matchings of random 1-out graphs.
+
+Benchmarks the linear-time exact matcher on 1-out graphs and asserts the
+Karoński–Pittel constant: |M|/n -> 2(1-rho) = 0.8657...
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import TWO_SIDED_GUARANTEE
+from repro.core import one_out_max_matching_size, sample_uniform_one_out
+from repro.core.karp_sipser_mt import karp_sipser_mt
+
+
+def test_bench_one_out_matching_100k(benchmark):
+    rc, cc = sample_uniform_one_out(100_000, seed=0)
+    m = benchmark(karp_sipser_mt, rc, cc)
+    assert abs(m.cardinality / 100_000 - TWO_SIDED_GUARANTEE) < 0.005
+
+
+def test_bench_convergence_to_constant(benchmark):
+    """Deviation from 2(1-rho) shrinks as n grows."""
+
+    def deviations():
+        out = []
+        for n in (1_000, 10_000, 100_000):
+            ratios = [
+                one_out_max_matching_size(n, seed=s) / n for s in range(3)
+            ]
+            out.append(abs(float(np.mean(ratios)) - TWO_SIDED_GUARANTEE))
+        return out
+
+    devs = benchmark.pedantic(deviations, rounds=1, iterations=1)
+    assert devs[-1] < 0.004
+    assert devs[-1] <= devs[0] + 0.002  # no divergence with n

@@ -1,0 +1,55 @@
+"""Figure 3 bench — ScaleSK / OneSidedMatch scalability.
+
+Two parts:
+
+* real-parallel micro-benchmarks of the ScaleSK segment reductions on the
+  serial vs thread backend (what this 2-core host can demonstrate);
+* the machine-model speedup curves for 2/4/8/16 threads, asserting the
+  paper's shape — monotone scaling, ~10x at 16 threads on regular
+  instances, and visibly worse on the degree-skewed instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import MachineModel, ThreadBackend
+from repro.parallel.machine import ScheduleSpec
+from repro.scaling import scale_sinkhorn_knopp
+from repro.scaling.sinkhorn_knopp import sinkhorn_knopp_work_profile
+
+
+def test_bench_scale_sk_serial(benchmark, mesh_instance):
+    res = benchmark(scale_sinkhorn_knopp, mesh_instance, 5)
+    assert res.iterations == 5
+
+
+def test_bench_scale_sk_thread_backend(benchmark, mesh_instance):
+    with ThreadBackend(2) as be:
+        res = benchmark(
+            lambda: scale_sinkhorn_knopp(mesh_instance, 5, backend=be)
+        )
+    serial = scale_sinkhorn_knopp(mesh_instance, 5)
+    np.testing.assert_allclose(res.dr, serial.dr)
+
+
+def test_bench_fig3a_speedup_curve(benchmark, mesh_instance, skewed_instance):
+    """Modelled ScaleSK speedups: regular vs skewed instance."""
+    model = MachineModel()
+
+    def curves():
+        out = {}
+        for label, g in (("mesh", mesh_instance), ("skewed", skewed_instance)):
+            profile = sinkhorn_knopp_work_profile(g)
+            sched = ScheduleSpec.dynamic(max(16, g.nrows // 256))
+            out[label] = [
+                model.speedup(profile, p, schedule=sched, barriers=2)
+                for p in (2, 4, 8, 16)
+            ]
+        return out
+
+    out = benchmark.pedantic(curves, rounds=1, iterations=1)
+    for label, speeds in out.items():
+        assert speeds == sorted(speeds), label          # monotone
+    assert out["mesh"][-1] > 9.0                        # ~10x at p=16
+    assert out["skewed"][-1] < out["mesh"][-1]          # imbalance hurts
+    assert out["mesh"][0] > 1.8                         # near-linear at p=2

@@ -1,0 +1,59 @@
+"""Figure 5 bench — qualities across the suite at 0/1/5 iterations.
+
+Asserts the guarantees line up as in the paper's Figure 5: with 5 scaling
+iterations OneSided clears 0.632 and TwoSided clears (near) 0.866 on
+representative instances; with 0 iterations there is no guarantee and
+quality visibly drops.
+"""
+
+import pytest
+
+from repro import one_sided_match, sprank, two_sided_match
+from repro.constants import ONE_SIDED_GUARANTEE, TWO_SIDED_GUARANTEE
+from repro.graph import suite_instance
+from repro.scaling import scale_sinkhorn_knopp
+
+INSTANCES = ("cage15", "kkt_power", "venturiLevel3")
+
+
+@pytest.fixture(scope="module", params=INSTANCES)
+def instance(request):
+    g = suite_instance(request.param, n=4_000, seed=0)
+    return request.param, g, sprank(g)
+
+
+def test_bench_one_sided_quality_5_iters(benchmark, instance):
+    name, g, maximum = instance
+    scaling = scale_sinkhorn_knopp(g, 5)
+    res = benchmark(lambda: one_sided_match(g, scaling=scaling, seed=1))
+    assert res.cardinality / maximum >= ONE_SIDED_GUARANTEE - 0.02, name
+
+
+def test_bench_two_sided_quality_5_iters(benchmark, instance):
+    name, g, maximum = instance
+    scaling = scale_sinkhorn_knopp(g, 5)
+    res = benchmark(lambda: two_sided_match(g, scaling=scaling, seed=1))
+    assert res.cardinality / maximum >= TWO_SIDED_GUARANTEE - 0.03, name
+
+
+def test_bench_fig5_iteration_sweep(benchmark):
+    """0 vs 5 iterations on one instance: scaling lifts both heuristics
+    (and OneSided never reaches TwoSided's level, as in the figure)."""
+    g = suite_instance("cage15", n=4_000, seed=0)
+    maximum = sprank(g)
+
+    def sweep():
+        out = {}
+        for iters in (0, 5):
+            sc = scale_sinkhorn_knopp(g, iters)
+            out[iters] = (
+                one_sided_match(g, scaling=sc, seed=1).cardinality / maximum,
+                two_sided_match(g, scaling=sc, seed=1).cardinality / maximum,
+            )
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert out[5][0] > out[0][0]          # scaling helps OneSided
+    assert out[5][1] > out[0][1]          # ... and TwoSided
+    assert out[5][1] > out[5][0]          # TwoSided above OneSided
+    assert out[5][0] < 0.80               # paper: OneSided never hits 0.80

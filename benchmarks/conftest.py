@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper (see
+DESIGN.md §4).  Benchmarks run at reduced sizes so the whole harness
+finishes in minutes; the experiment CLI (``python -m repro.experiments``)
+is the place for full-size runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import sprand, suite_instance
+
+
+@pytest.fixture(scope="session")
+def er_graph_d4():
+    """Erdős–Rényi n=10k, d=4 — the workhorse instance."""
+    return sprand(10_000, 4.0, seed=0)
+
+
+@pytest.fixture(scope="session")
+def mesh_instance():
+    """A regular suite instance (good scaling in the paper)."""
+    return suite_instance("venturiLevel3", n=20_000, seed=0)
+
+
+@pytest.fixture(scope="session")
+def skewed_instance():
+    """The paper's worst-scaling instance class (torso1-like)."""
+    return suite_instance("torso1", n=3_000, seed=0)

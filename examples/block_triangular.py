@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Block triangular form — what maximum transversals are *for*.
+
+The matching literature the paper belongs to (Duff's MC21, Pothen–Fan)
+exists because sparse direct solvers want to permute a matrix to block
+upper triangular form and factorise only the diagonal blocks.  This
+example runs the full production pipeline:
+
+1. heuristic matching (TwoSidedMatch) as a jump start,
+2. exact maximum matching (Hopcroft–Karp warm-started),
+3. Dulmage–Mendelsohn decomposition from the matching,
+4. BTF permutations, certified block-upper-triangular,
+
+and shows the ASCII spy plot before/after on a small instance.
+
+Run:  python examples/block_triangular.py [n] [avg_degree]
+"""
+
+import sys
+
+from repro import hopcroft_karp, two_sided_match
+from repro.graph import sprand
+from repro.graph.btf import block_triangular_form
+from repro.graph.dm import dulmage_mendelsohn
+from repro.graph.viz import spy
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    d = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+
+    graph = sprand(n, d, seed=0)
+    print(f"random n={n}, d={d} pattern, {graph.nnz} edges")
+
+    # 1-2: heuristic jump start, then exact.
+    warm = two_sided_match(graph, 5, seed=1).matching
+    exact = hopcroft_karp(graph, initial=warm)
+    print(f"maximum matching: {exact.cardinality} (sprank/n = "
+          f"{exact.cardinality / n:.3f})")
+
+    # 3-4: decomposition and permutations.
+    dm = dulmage_mendelsohn(graph, matching=exact)
+    btf = block_triangular_form(graph, dm=dm)
+    print(f"DM blocks: H {dm.rows_of(dm.H_BLOCK).size}x"
+          f"{dm.cols_of(dm.H_BLOCK).size}, "
+          f"S {dm.rows_of(dm.S_BLOCK).size} (in {dm.n_scc} fine blocks), "
+          f"V {dm.rows_of(dm.V_BLOCK).size}x{dm.cols_of(dm.V_BLOCK).size}")
+    print(f"BTF: {btf.n_blocks} diagonal blocks; certified block upper "
+          f"triangular: {btf.is_block_upper_triangular(graph)}")
+
+    sizes = sorted(
+        (int(b - a) for a, b in zip(btf.row_blocks, btf.row_blocks[1:])),
+        reverse=True,
+    )
+    print(f"largest diagonal blocks: {sizes[:8]}")
+
+    # Visual: a tiny instance before/after.
+    small = sprand(24, 1.8, seed=7)
+    small_btf = block_triangular_form(small)
+    print("\ntiny 24x24 pattern, original:")
+    print(spy(small))
+    print("\nafter BTF permutation (edges gather on/above the diagonal):")
+    print(spy(small_btf.permuted_pattern(small)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Jump-starting exact matching with the heuristics.
+
+The paper's introduction motivates cheap approximate matchings as
+initialisers for exact algorithms ("such cheap algorithms are used as a
+jump-start routine by the current state of the art matching algorithms").
+This example quantifies that: Hopcroft-Karp and MC21 are run cold and
+warm-started from each heuristic, counting how much augmentation work
+remains.
+
+Run:  python examples/jump_start_exact.py [n] [avg_degree]
+"""
+
+import sys
+import time
+
+from repro import hopcroft_karp, mc21, one_sided_match, two_sided_match
+from repro.graph import sprand
+from repro.matching.heuristics.greedy import greedy_row_matching
+
+
+def timed(label: str, fn):
+    t0 = time.perf_counter()
+    result = fn()
+    dt = time.perf_counter() - t0
+    print(f"  {label:<34s} {dt * 1000:8.1f} ms   |M| = {result.cardinality}")
+    return result
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    d = float(sys.argv[2]) if len(sys.argv) > 2 else 5.0
+    graph = sprand(n, d, seed=0)
+    print(f"random n={n}, d={d} graph: {graph.nnz} edges\n")
+
+    print("initialisers:")
+    greedy = timed("greedy (classic warm start)", lambda: greedy_row_matching(graph, seed=1))
+    one = timed("OneSidedMatch (5 iters)", lambda: one_sided_match(graph, 5, seed=1).matching)
+    two = timed("TwoSidedMatch (5 iters)", lambda: two_sided_match(graph, 5, seed=1).matching)
+
+    print("\nexact solvers (cold vs warm):")
+    cold = timed("Hopcroft-Karp cold", lambda: hopcroft_karp(graph, greedy_init=False))
+    for label, init in [
+        ("Hopcroft-Karp from greedy", greedy),
+        ("Hopcroft-Karp from OneSided", one),
+        ("Hopcroft-Karp from TwoSided", two),
+    ]:
+        warm = timed(label, lambda m=init: hopcroft_karp(graph, initial=m))
+        assert warm.cardinality == cold.cardinality, "exactness lost!"
+
+    timed("MC21 cold", lambda: mc21(graph))
+    timed("MC21 from TwoSided", lambda: mc21(graph, initial=two))
+
+    deficit = cold.cardinality - two.cardinality
+    print(
+        f"\nTwoSidedMatch leaves only {deficit} of {cold.cardinality} "
+        f"augmenting paths for the exact phase "
+        f"({100 * deficit / cold.cardinality:.1f}%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

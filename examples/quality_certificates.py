@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Per-instance quality certificates (Theorem 1 made executable).
+
+Three layers of prediction for OneSidedMatch on a concrete instance:
+
+1. the *closed-form bound* of Theorem 1 evaluated on the actual scaled
+   column sums (the AM-GM step of the proof);
+2. the *exact expectation* of |M| computed from the per-column miss
+   probabilities (no sampling!);
+3. the Monte-Carlo measurement.
+
+And the control knob built from the Section 3.3 relaxation: ask for a
+target quality and get back the minimal scaling effort that certifies it.
+
+Run:  python examples/quality_certificates.py [n] [avg_degree]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import one_sided_match
+from repro.core.analysis import (
+    expected_one_sided_cardinality,
+    one_sided_lower_bound,
+)
+from repro.graph import power_law_bipartite
+from repro.scaling import scale_for_quality, scale_sinkhorn_knopp
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 5_000
+    d = float(sys.argv[2]) if len(sys.argv) > 2 else 4.0
+    # A degree-skewed instance: unscaled choices waste mass on hub
+    # columns, so the certificates visibly improve with iterations.
+    graph = power_law_bipartite(n, d, skew=1.2, seed=0)
+    print(f"power-law n={n}, ~{d} edges/vertex, skewed degrees\n")
+
+    print("iterations | Thm-1 bound | exact E[|M|] | measured (10 runs)")
+    for iters in (0, 1, 5, 10):
+        scaling = scale_sinkhorn_knopp(graph, iters)
+        bound = one_sided_lower_bound(graph, scaling) / n
+        exact = expected_one_sided_cardinality(graph, scaling) / n
+        measured = np.mean(
+            [
+                one_sided_match(graph, scaling=scaling, seed=s).cardinality
+                for s in range(10)
+            ]
+        ) / n
+        print(
+            f"{iters:10d} | {bound:11.4f} | {exact:12.4f} | {measured:.4f}"
+        )
+
+    print("\nquality-driven scaling budgets (Section 3.3 inverted):")
+    for target in (0.40, 0.55, 0.62):
+        qs = scale_for_quality(graph, target)
+        print(
+            f"  target {target:.2f} -> {qs.scaling.iterations} iterations, "
+            f"certified {qs.certified_quality:.4f} "
+            f"(min column sum {qs.min_column_sum:.3f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Structural rank analysis of a deficient matrix (paper Section 3.3).
+
+For matrices *without* a perfect matching, the Dulmage-Mendelsohn
+decomposition splits rows/columns into horizontal (H), square (S) and
+vertical (V) parts; entries in the off-diagonal "*" blocks cannot appear
+in any maximum matching.  The paper's observation: Sinkhorn-Knopp scaling
+drives exactly those entries to zero, which is why the heuristics remain
+effective on deficient inputs.  This example shows both facts numerically.
+
+Run:  python examples/rank_deficient_analysis.py [n] [avg_degree]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import one_sided_match, sprank, two_sided_match
+from repro.graph import dulmage_mendelsohn, sprand
+from repro.scaling import scale_sinkhorn_knopp
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 5_000
+    d = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+    graph = sprand(n, d, seed=0)
+
+    dm = dulmage_mendelsohn(graph)
+    print(f"random n={n}, d={d}: sprank = {dm.sprank} ({dm.sprank / n:.3f} n)")
+    for name, block in [("H", dm.H_BLOCK), ("S", dm.S_BLOCK), ("V", dm.V_BLOCK)]:
+        print(
+            f"  block {name}: {dm.rows_of(block).size} rows x "
+            f"{dm.cols_of(block).size} cols"
+        )
+    frac_star = 1.0 - dm.matchable_edges.mean()
+    print(f"  edges in '*' blocks (never matchable): {frac_star:.1%}")
+
+    # Scaling sends the "*" entries to zero.
+    for iters in (1, 5, 20, 80):
+        sc = scale_sinkhorn_knopp(graph, iters)
+        s = graph.scaled_values(sc.dr, sc.dc)
+        star = s[~dm.matchable_edges]
+        good = s[dm.matchable_edges]
+        print(
+            f"  after {iters:3d} iterations: mean scaled value on '*' edges "
+            f"{star.mean():.2e} vs {good.mean():.2e} on matchable edges"
+        )
+
+    print("\nheuristic quality relative to sprank (not n):")
+    one = one_sided_match(graph, iterations=5, seed=1)
+    two = two_sided_match(graph, iterations=5, seed=1)
+    print(f"  OneSidedMatch: {one.cardinality / dm.sprank:.3f}")
+    print(f"  TwoSidedMatch: {two.cardinality / dm.sprank:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The undirected extension (the paper's concluding outlook).
+
+Matches vertices of a general (non-bipartite) graph using the same
+recipe: symmetric doubly stochastic scaling, scaled random 1-out
+choices, and the out-one-chasing Karp-Sipser on the functional graph.
+Compared against the exact blossom-algorithm maximum from networkx.
+
+Run:  python examples/undirected_matching.py [n] [avg_degree]
+"""
+
+import sys
+
+import networkx as nx
+
+from repro.graph import sprand_symmetric
+from repro.core.undirected import (
+    one_out_match_undirected,
+    one_sided_match_undirected,
+    validate_undirected_matching,
+)
+from repro.scaling.symmetric import scale_symmetric
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 5_000
+    d = float(sys.argv[2]) if len(sys.argv) > 2 else 6.0
+    graph = sprand_symmetric(n, d, seed=0)
+    print(f"undirected Erdős–Rényi graph: n={n}, ~{d} neighbours/vertex")
+
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    rows = graph.row_of_edge()
+    for i, j in zip(rows, graph.col_ind):
+        if i < j:
+            g.add_edge(int(i), int(j))
+    maximum = len(nx.max_weight_matching(g, maxcardinality=True))
+    print(f"exact maximum matching (blossom): {maximum} pairs\n")
+
+    for iters in (0, 5):
+        scaling = scale_symmetric(graph, iters)
+        one = one_sided_match_undirected(graph, scaling=scaling, seed=1)
+        two = one_out_match_undirected(graph, scaling=scaling, seed=1)
+        validate_undirected_matching(graph, one)
+        validate_undirected_matching(graph, two)
+        print(
+            f"{iters} scaling iterations: "
+            f"one-sided {one.cardinality / maximum:.3f}, "
+            f"1-out Karp-Sipser {two.cardinality / maximum:.3f}"
+        )
+
+    print(
+        "\nThe 1-out variant tracks the bipartite 0.866 level — the "
+        "'natural extension' the paper's conclusion describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""repro — bipartite matching heuristics with quality guarantees.
+
+A from-scratch reproduction of:
+
+    Fanny Dufossé, Kamer Kaya, Bora Uçar.
+    *Bipartite matching heuristics with quality guarantees on shared
+    memory parallel computers.*  Inria RR-8386 / IPDPS 2014.
+
+Public API highlights
+---------------------
+* :func:`repro.one_sided_match` / :func:`repro.two_sided_match` — the
+  paper's two heuristics (Algorithms 2 and 3).
+* :func:`repro.scale_sinkhorn_knopp` — parallel doubly stochastic scaling
+  (Algorithm 1).
+* :func:`repro.karp_sipser_mt` — the specialised exact Karp–Sipser for
+  choice subgraphs (Algorithm 4), with serial, simulated-parallel and
+  real-thread engines.
+* :mod:`repro.graph` — graph container, generators (including the paper's
+  adversarial family and a synthetic proxy suite for its 12 UFL
+  instances), Dulmage–Mendelsohn decomposition.
+* :mod:`repro.matching` — exact matchers (Hopcroft–Karp, MC21) and
+  baseline heuristics (greedy variants, classic Karp–Sipser).
+* :mod:`repro.experiments` — regenerates every table and figure of the
+  paper's evaluation (``python -m repro.experiments list``).
+"""
+
+from repro.constants import (
+    ONE_SIDED_GUARANTEE,
+    RHO,
+    TWO_SIDED_GUARANTEE,
+)
+from repro.errors import (
+    BackendError,
+    ConvergenceWarning,
+    GraphStructureError,
+    MatchingError,
+    ReproError,
+    ScalingError,
+    ShapeError,
+    ValidationError,
+)
+from repro.graph import BipartiteGraph
+from repro.matching import (
+    Matching,
+    NIL,
+    hopcroft_karp,
+    karp_sipser,
+    mc21,
+    push_relabel,
+    sprank,
+)
+from repro.scaling import ScalingResult, scale_ruiz, scale_sinkhorn_knopp
+from repro.core import (
+    OneSidedResult,
+    TwoSidedResult,
+    karp_sipser_mt,
+    matching_quality,
+    one_sided_match,
+    two_sided_match,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # constants
+    "ONE_SIDED_GUARANTEE",
+    "TWO_SIDED_GUARANTEE",
+    "RHO",
+    # errors
+    "ReproError",
+    "GraphStructureError",
+    "ShapeError",
+    "ScalingError",
+    "ConvergenceWarning",
+    "MatchingError",
+    "ValidationError",
+    "BackendError",
+    # graph
+    "BipartiteGraph",
+    # matching
+    "Matching",
+    "NIL",
+    "hopcroft_karp",
+    "mc21",
+    "push_relabel",
+    "sprank",
+    "karp_sipser",
+    # scaling
+    "ScalingResult",
+    "scale_sinkhorn_knopp",
+    "scale_ruiz",
+    # core
+    "one_sided_match",
+    "OneSidedResult",
+    "two_sided_match",
+    "TwoSidedResult",
+    "karp_sipser_mt",
+    "matching_quality",
+]

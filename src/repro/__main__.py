@@ -1,0 +1,266 @@
+"""Command-line interface for the library.
+
+Subcommands::
+
+    python -m repro match    <file.mtx> [--method two-sided] [--iterations 5]
+    python -m repro sprank   <file.mtx>
+    python -m repro scale    <file.mtx> [--iterations 10] [--method sk|ruiz]
+    python -m repro dm       <file.mtx>
+    python -m repro generate <kind> --n 1000 [--degree 4] [--out g.mtx]
+    python -m repro info     <file.mtx>
+
+Matrices are MatrixMarket coordinate files (``.mtx``) or the library's
+``.npz`` cache format (auto-detected by extension).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+def _load(path: str):
+    from repro.graph.io import load_npz, read_matrix_market
+
+    p = Path(path)
+    if p.suffix == ".npz":
+        return load_npz(p)
+    return read_matrix_market(p)
+
+
+def _save(graph, path: str) -> None:
+    from repro.graph.io import save_npz, write_matrix_market
+
+    p = Path(path)
+    if p.suffix == ".npz":
+        save_npz(graph, p)
+    else:
+        write_matrix_market(graph, p)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.graph.properties import degree_statistics
+
+    g = _load(args.matrix)
+    rows, cols = degree_statistics(g)
+    print(f"shape      : {g.nrows} x {g.ncols}")
+    print(f"edges      : {g.nnz}")
+    print(f"avg degree : {g.nnz / max(1, g.nrows):.2f}")
+    print(
+        f"row degrees: min {rows.minimum}, max {rows.maximum}, "
+        f"var {rows.variance:.1f}, empty {rows.empty_count}"
+    )
+    print(
+        f"col degrees: min {cols.minimum}, max {cols.maximum}, "
+        f"var {cols.variance:.1f}, empty {cols.empty_count}"
+    )
+    return 0
+
+
+def cmd_sprank(args: argparse.Namespace) -> int:
+    from repro.matching import sprank
+
+    g = _load(args.matrix)
+    t0 = time.perf_counter()
+    rank = sprank(g)
+    dt = time.perf_counter() - t0
+    print(f"sprank = {rank}  ({rank / max(1, min(g.shape)):.4f} of "
+          f"min(shape); {dt:.2f}s)")
+    return 0
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    from repro.scaling import scale_ruiz, scale_sinkhorn_knopp
+
+    g = _load(args.matrix)
+    scale = scale_sinkhorn_knopp if args.method == "sk" else scale_ruiz
+    res = scale(g, args.iterations, track_history=True)
+    print(f"method     : {args.method}")
+    print(f"iterations : {res.iterations}")
+    print(f"final error: {res.error:.6g}")
+    if res.history:
+        trail = ", ".join(f"{e:.3g}" for e in res.history[:10])
+        print(f"error trail: {trail}{' ...' if len(res.history) > 10 else ''}")
+    if args.out:
+        np.savez(args.out, dr=res.dr, dc=res.dc)
+        print(f"wrote scaling vectors to {args.out}")
+    return 0
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    from repro.core import one_sided_match, two_sided_match
+    from repro.matching import (
+        hopcroft_karp,
+        karp_sipser,
+        karp_sipser_plus,
+        mc21,
+        push_relabel,
+    )
+    from repro.matching.heuristics.greedy import greedy_edge_matching
+
+    g = _load(args.matrix)
+    t0 = time.perf_counter()
+    if args.best_of > 1 and args.method in ("one-sided", "two-sided"):
+        from repro.core import best_of
+
+        matching = best_of(
+            g, args.best_of, method=args.method,
+            iterations=args.iterations, seed=args.seed,
+        ).matching
+    elif args.method == "one-sided":
+        matching = one_sided_match(g, args.iterations, seed=args.seed).matching
+    elif args.method == "two-sided":
+        matching = two_sided_match(g, args.iterations, seed=args.seed).matching
+    elif args.method == "karp-sipser":
+        matching = karp_sipser(g, seed=args.seed)
+    elif args.method == "karp-sipser-plus":
+        matching = karp_sipser_plus(g, seed=args.seed)
+    elif args.method == "greedy":
+        matching = greedy_edge_matching(g, seed=args.seed)
+    elif args.method == "hopcroft-karp":
+        matching = hopcroft_karp(g)
+    elif args.method == "mc21":
+        matching = mc21(g)
+    elif args.method == "push-relabel":
+        matching = push_relabel(g)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown method {args.method}")
+    dt = time.perf_counter() - t0
+    matching.validate(g)
+    print(f"method      : {args.method}")
+    print(f"cardinality : {matching.cardinality}")
+    print(f"time        : {dt:.3f}s")
+    if args.quality:
+        from repro.matching import sprank
+
+        maximum = sprank(g)
+        print(f"sprank      : {maximum}")
+        print(f"quality     : {matching.cardinality / maximum:.4f}")
+    if args.out:
+        np.savez(
+            args.out,
+            row_match=matching.row_match,
+            col_match=matching.col_match,
+        )
+        print(f"wrote matching to {args.out}")
+    return 0
+
+
+def cmd_dm(args: argparse.Namespace) -> int:
+    from repro.graph.dm import CoarseDM, dulmage_mendelsohn
+
+    g = _load(args.matrix)
+    dm = dulmage_mendelsohn(g)
+    print(f"sprank          : {dm.sprank}")
+    for name, block in (("H", CoarseDM.H_BLOCK), ("S", CoarseDM.S_BLOCK),
+                        ("V", CoarseDM.V_BLOCK)):
+        print(
+            f"block {name}         : {dm.rows_of(block).size} rows x "
+            f"{dm.cols_of(block).size} cols"
+        )
+    print(f"fine blocks in S: {dm.n_scc}")
+    print(f"matchable edges : {int(dm.matchable_edges.sum())} / {g.nnz}")
+    print(f"total support   : {dm.total_support}")
+    print(f"fully indecomp. : {dm.fully_indecomposable}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.graph import generators, suite
+
+    kind = args.kind
+    if kind in suite.SUITE_NAMES:
+        g = suite.suite_instance(kind, n=args.n, seed=args.seed)
+    elif kind == "sprand":
+        g = generators.sprand(args.n, args.degree, seed=args.seed)
+    elif kind == "adversarial":
+        g = __import__(
+            "repro.graph.adversarial", fromlist=["karp_sipser_adversarial"]
+        ).karp_sipser_adversarial(args.n, args.k)
+    elif kind == "fully-indecomposable":
+        g = generators.fully_indecomposable(args.n, args.degree, seed=args.seed)
+    elif kind == "one-out":
+        from repro.core.oneout import one_out_graph
+
+        g = one_out_graph(args.n, seed=args.seed)
+    else:
+        raise SystemExit(
+            f"unknown kind {kind!r}; options: sprand, adversarial, "
+            f"fully-indecomposable, one-out, or a suite instance "
+            f"({', '.join(suite.SUITE_NAMES)})"
+        )
+    print(f"generated {kind}: {g.nrows} x {g.ncols}, {g.nnz} edges")
+    if args.out:
+        _save(g, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Bipartite matching heuristics with quality guarantees.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="matrix summary")
+    p_info.add_argument("matrix")
+    p_info.set_defaults(fn=cmd_info)
+
+    p_rank = sub.add_parser("sprank", help="structural rank (exact)")
+    p_rank.add_argument("matrix")
+    p_rank.set_defaults(fn=cmd_sprank)
+
+    p_scale = sub.add_parser("scale", help="doubly stochastic scaling")
+    p_scale.add_argument("matrix")
+    p_scale.add_argument("--iterations", type=int, default=10)
+    p_scale.add_argument("--method", choices=["sk", "ruiz"], default="sk")
+    p_scale.add_argument("--out", default=None)
+    p_scale.set_defaults(fn=cmd_scale)
+
+    p_match = sub.add_parser("match", help="compute a matching")
+    p_match.add_argument("matrix")
+    p_match.add_argument(
+        "--method",
+        choices=[
+            "one-sided", "two-sided", "karp-sipser", "karp-sipser-plus",
+            "greedy", "hopcroft-karp", "mc21", "push-relabel",
+        ],
+        default="two-sided",
+    )
+    p_match.add_argument("--iterations", type=int, default=5)
+    p_match.add_argument("--seed", type=int, default=0)
+    p_match.add_argument(
+        "--best-of", type=int, default=1, dest="best_of",
+        help="run the randomized heuristic K times and keep the best",
+    )
+    p_match.add_argument(
+        "--quality", action="store_true",
+        help="also compute sprank and report |M|/sprank",
+    )
+    p_match.add_argument("--out", default=None)
+    p_match.set_defaults(fn=cmd_match)
+
+    p_dm = sub.add_parser("dm", help="Dulmage-Mendelsohn decomposition")
+    p_dm.add_argument("matrix")
+    p_dm.set_defaults(fn=cmd_dm)
+
+    p_gen = sub.add_parser("generate", help="generate a test matrix")
+    p_gen.add_argument("kind")
+    p_gen.add_argument("--n", type=int, default=1000)
+    p_gen.add_argument("--degree", type=float, default=4.0)
+    p_gen.add_argument("--k", type=int, default=8)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", default=None)
+    p_gen.set_defaults(fn=cmd_generate)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Shared type aliases.
+
+Kept in a private module so public modules can share annotations without
+circular imports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+import numpy as np
+import numpy.typing as npt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from numpy.random import Generator
+
+__all__ = ["IndexArray", "FloatArray", "BoolArray", "SeedLike", "rng_from"]
+
+#: Integer index array (vertex ids, CSR pointers, ...). We standardise on
+#: int64 so graphs with more than 2^31 edges are representable.
+IndexArray = npt.NDArray[np.int64]
+
+#: Double precision array (scaling vectors, probabilities, ...).
+FloatArray = npt.NDArray[np.float64]
+
+#: Boolean mask array.
+BoolArray = npt.NDArray[np.bool_]
+
+#: Anything acceptable as a seed: None, an int, or a Generator to use as-is.
+SeedLike = Union[None, int, np.integer, "Generator"]
+
+#: Sentinel for "unmatched" entries in match arrays, mirroring the paper's NIL.
+NIL: int = -1
+
+
+def rng_from(seed: SeedLike) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    ``None`` gives fresh OS entropy; an int gives a deterministic stream; an
+    existing Generator is passed through unchanged (so callers can share one
+    stream across several calls).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,71 @@
+"""Mathematical constants used by the paper's quality guarantees.
+
+The two headline numbers:
+
+* :data:`ONE_SIDED_GUARANTEE` — Theorem 1: ``OneSidedMatch`` returns a
+  matching of expected size at least ``n (1 - 1/e) ≈ 0.632 n``.
+* :data:`TWO_SIDED_GUARANTEE` — Conjecture 1: ``TwoSidedMatch`` returns a
+  matching of size ``2 (1 - ρ) n ≈ 0.866 n`` asymptotically almost surely,
+  where ``ρ`` is the unique positive root of ``x e^x = 1`` (the omega
+  constant, ``W(1)`` for the Lambert W function).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "E",
+    "ONE_SIDED_GUARANTEE",
+    "RHO",
+    "TWO_SIDED_GUARANTEE",
+    "one_sided_guarantee_relaxed",
+    "lambert_w0_of_one",
+]
+
+
+def lambert_w0_of_one() -> float:
+    """Solve ``x e^x = 1`` for ``x > 0`` by Newton iteration.
+
+    Returns the omega constant ``Ω = W(1) ≈ 0.5671432904``.  Computed from
+    scratch (rather than via :func:`scipy.special.lambertw`) so the constant
+    the library advertises is self-contained and testable against scipy.
+    """
+    x = 0.5
+    for _ in range(64):
+        ex = math.exp(x)
+        f = x * ex - 1.0
+        fp = ex * (1.0 + x)
+        step = f / fp
+        x -= step
+        if abs(step) < 1e-16:
+            break
+    return x
+
+
+#: Base of the natural logarithm.
+E: float = math.e
+
+#: Theorem 1 lower bound on |M| / n for OneSidedMatch:  1 - 1/e.
+ONE_SIDED_GUARANTEE: float = 1.0 - 1.0 / math.e
+
+#: Unique positive root of x e^x = 1 (Karonski & Pittel's ρ).
+RHO: float = lambert_w0_of_one()
+
+#: Conjecture 1 bound on |M| / n for TwoSidedMatch:  2 (1 - ρ).
+TWO_SIDED_GUARANTEE: float = 2.0 * (1.0 - RHO)
+
+
+def one_sided_guarantee_relaxed(alpha: float) -> float:
+    """Theorem 1 under relaxed scaling (Section 3.3 of the paper).
+
+    If the scaling is stopped early so that every column sum of the scaled
+    matrix is at least ``alpha`` (instead of exactly 1), the expected
+    matching size is still at least ``n (1 - 1/e**alpha)``.
+
+    >>> round(one_sided_guarantee_relaxed(0.92), 4)
+    0.6015
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha!r}")
+    return 1.0 - math.exp(-alpha)

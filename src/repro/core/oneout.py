@@ -1,0 +1,52 @@
+"""Random 1-out bipartite graphs (the structure behind Conjecture 1).
+
+On the all-ones matrix the scaled entries are all ``1/n``, so the choice
+subgraph of ``TwoSidedMatch`` is exactly Walkup's *random 1-out bipartite
+graph*: each of the ``2n`` vertices picks one uniformly random neighbour.
+Karoński–Pittel (via Meir–Moon's tree analysis) put the maximum matching
+size of that graph at ``2(1 - ρ)n ≈ 0.866 n`` where ``ρ e^ρ = 1``.
+
+These helpers sample such graphs directly — O(n), without materialising
+the dense matrix — and measure their maximum matchings, providing the
+empirical support for Conjecture 1 (``benchmarks/bench_conjecture.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IndexArray, SeedLike, rng_from
+from repro.graph.csr import BipartiteGraph
+from repro.core.karp_sipser_mt import choice_graph, karp_sipser_mt
+
+__all__ = [
+    "sample_uniform_one_out",
+    "one_out_graph",
+    "one_out_max_matching_size",
+]
+
+
+def sample_uniform_one_out(
+    n: int, seed: SeedLike = None
+) -> tuple[IndexArray, IndexArray]:
+    """Choice arrays of a uniform random 1-out bipartite graph on n + n."""
+    rng = rng_from(seed)
+    row_choice = rng.integers(0, n, size=n, dtype=np.int64)
+    col_choice = rng.integers(0, n, size=n, dtype=np.int64)
+    return row_choice, col_choice
+
+
+def one_out_graph(n: int, seed: SeedLike = None) -> BipartiteGraph:
+    """A uniform random 1-out bipartite graph as a materialised graph."""
+    row_choice, col_choice = sample_uniform_one_out(n, seed)
+    return choice_graph(row_choice, col_choice)
+
+
+def one_out_max_matching_size(n: int, seed: SeedLike = None) -> int:
+    """Maximum matching cardinality of one sampled 1-out graph.
+
+    Uses ``KarpSipserMT`` — exact on choice subgraphs (Lemmas 1–3) and
+    linear time, so large n are cheap to sample.
+    """
+    row_choice, col_choice = sample_uniform_one_out(n, seed)
+    return karp_sipser_mt(row_choice, col_choice).cardinality

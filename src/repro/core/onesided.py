@@ -1,0 +1,117 @@
+"""``OneSidedMatch`` — the paper's Algorithm 2.
+
+Scale, then let every row independently pick one column with probability
+proportional to the scaled entry; writes into ``cmatch`` race and the last
+write survives, which still defines a valid matching.  No synchronisation
+or conflict resolution of any kind is required — the property the paper
+leads with — and Theorem 1 guarantees an expected matching size of at
+least ``n (1 - 1/e)`` on matrices with total support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import IndexArray, SeedLike, rng_from
+from repro.graph.csr import BipartiteGraph
+from repro.matching.matching import NIL, Matching
+from repro.parallel.backends import Backend, get_backend
+from repro.scaling.result import ScalingResult
+from repro.scaling.sinkhorn_knopp import scale_sinkhorn_knopp
+from repro.core.choice import scaled_col_choices, scaled_row_choices
+
+__all__ = ["OneSidedResult", "one_sided_match", "cmatch_from_choices"]
+
+
+@dataclass(frozen=True)
+class OneSidedResult:
+    """Output of :func:`one_sided_match`."""
+
+    matching: Matching
+    scaling: ScalingResult
+    #: The column chosen by each row (NIL for empty rows) — the raw
+    #: pre-collision choices.
+    row_choice: IndexArray
+
+    @property
+    def cardinality(self) -> int:
+        return self.matching.cardinality
+
+
+def cmatch_from_choices(row_choice: IndexArray, ncols: int) -> IndexArray:
+    """Collapse racing writes ``cmatch[choice[i]] = i`` (last write wins).
+
+    numpy's fancy assignment applies updates in index order, which is one
+    legal outcome of the shared-memory race; different thread interleavings
+    yield different survivors but always a valid matching of identical
+    expected size (no column is counted twice either way).
+    """
+    row_choice = np.asarray(row_choice, dtype=np.int64)
+    cmatch = np.full(ncols, NIL, dtype=np.int64)
+    rows = np.flatnonzero(row_choice != NIL)
+    cmatch[row_choice[rows]] = rows
+    return cmatch
+
+
+def one_sided_match(
+    graph: BipartiteGraph,
+    iterations: int = 5,
+    *,
+    scaling: ScalingResult | None = None,
+    seed: SeedLike = None,
+    backend: Backend | str | None = None,
+    side: str = "row",
+) -> OneSidedResult:
+    """Run OneSidedMatch on *graph*.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph / (0,1) matrix.
+    iterations:
+        Sinkhorn–Knopp iterations when *scaling* is not supplied.  The
+        paper's evaluation uses 0 (uniform choices, no guarantee), 1, 5,
+        and 10; 5 reaches the guaranteed quality on almost every instance.
+    scaling:
+        Reuse a precomputed :class:`~repro.scaling.ScalingResult`.
+    seed:
+        Randomness for the choices.
+    backend:
+        Parallel backend for scaling and choice sampling.
+    side:
+        ``"row"`` (default, the paper's formulation: rows choose columns)
+        or ``"column"`` — useful on rectangular matrices where the smaller
+        side should do the choosing.
+
+    Returns
+    -------
+    OneSidedResult
+        The matching (valid on any input), the scaling used, and the raw
+        choices.
+    """
+    be = get_backend(backend)
+    rng = rng_from(seed)
+    if scaling is None:
+        scaling = scale_sinkhorn_knopp(graph, iterations, backend=be)
+    if side == "row":
+        row_choice = scaled_row_choices(
+            graph, scaling.dr, scaling.dc, rng, backend=be
+        )
+        cmatch = cmatch_from_choices(row_choice, graph.ncols)
+        matching = Matching.from_col_match(cmatch, graph.nrows)
+    elif side == "column":
+        col_choice = scaled_col_choices(
+            graph, scaling.dr, scaling.dc, rng, backend=be
+        )
+        # rmatch[i] is the column whose racing write survived on row i,
+        # which is exactly a row_match array.
+        rmatch = cmatch_from_choices(col_choice, graph.nrows)
+        matching = Matching.from_row_match(rmatch, graph.ncols)
+        row_choice = col_choice
+    else:
+        raise ValueError(f"side must be 'row' or 'column', got {side!r}")
+    return OneSidedResult(
+        matching=matching, scaling=scaling, row_choice=row_choice
+    )

@@ -1,0 +1,67 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can wrap any public entry point in ``except ReproError``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphStructureError",
+    "ShapeError",
+    "ScalingError",
+    "ConvergenceWarning",
+    "MatchingError",
+    "ValidationError",
+    "BackendError",
+    "ScheduleError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphStructureError(ReproError):
+    """The graph/matrix data is structurally invalid (bad indices, duplicate
+    entries, unsorted adjacency, inconsistent CSR/CSC mirrors, ...)."""
+
+
+class ShapeError(GraphStructureError):
+    """Array arguments have incompatible or unexpected shapes."""
+
+
+class ScalingError(ReproError):
+    """A scaling algorithm cannot proceed (e.g. an empty row/column when the
+    caller demanded strict doubly stochastic convergence)."""
+
+
+class ConvergenceWarning(UserWarning):
+    """A scaling algorithm stopped before reaching the requested tolerance.
+
+    This is a warning rather than an error: the paper (Section 3.3) makes a
+    point of the heuristics remaining useful with only a few iterations of
+    scaling, long before convergence.
+    """
+
+
+class MatchingError(ReproError):
+    """A matching routine received invalid input or reached an invalid state."""
+
+
+class ValidationError(MatchingError):
+    """A matching failed validation (vertex matched twice, non-edge used, ...)."""
+
+
+class BackendError(ReproError):
+    """A parallel backend was misconfigured or failed to execute."""
+
+
+class ScheduleError(BackendError):
+    """A simulated-thread schedule is invalid (unknown policy, bad seed, ...)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or its parameters are invalid."""

@@ -1,0 +1,11 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Run ``python -m repro.experiments list`` to see the registry;
+``python -m repro.experiments all`` reproduces the full evaluation at the
+scaled-down default sizes (see DESIGN.md §4 for the experiment index and
+EXPERIMENTS.md for paper-vs-measured records).
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]

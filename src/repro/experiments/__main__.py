@@ -1,0 +1,86 @@
+"""CLI for the experiment harness.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments table1
+    python -m repro.experiments fig5 --runs 5 --seed 7
+    python -m repro.experiments all --out results.json
+    python -m repro.experiments table2 --full        # paper-scale sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="use the paper's original problem sizes (slow in CPython)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--n", type=int, default=None, help="override the instance size"
+    )
+    parser.add_argument(
+        "--runs", type=int, default=None,
+        help="override the number of repetitions / matrices",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None,
+        help="also write results as JSON to this path",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(e) for e in EXPERIMENTS)
+        for exp in EXPERIMENTS.values():
+            print(f"{exp.id.ljust(width)}  [{exp.paper_ref}]  {exp.description}")
+        print(f"{'verify'.ljust(width)}  [all]  pass/fail shape checklist")
+        return 0
+
+    if args.experiment == "verify":
+        from repro.experiments.verify import run_verification
+
+        passed, total, lines = run_verification(args.seed)
+        print("\n".join(lines))
+        print(f"\n{passed}/{total} shape checks passed")
+        return 0 if passed == total else 1
+
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    records: dict[str, list[dict]] = {}
+    for exp_id in ids:
+        t0 = time.perf_counter()
+        tables = run_experiment(
+            exp_id, full=args.full, seed=args.seed, n=args.n, runs=args.runs
+        )
+        elapsed = time.perf_counter() - t0
+        for table in tables:
+            print(table.render())
+            print()
+            records.setdefault(exp_id, []).extend(table.to_records())
+        print(f"[{exp_id} finished in {elapsed:.1f}s]\n")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2, default=str)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

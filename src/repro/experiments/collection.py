@@ -1,0 +1,88 @@
+"""Section 4.1.1 — quality guarantees over a matrix collection.
+
+Paper setup: all 743 square fully indecomposable UFL matrices with
+≥ 1000 nonempty rows and ≤ 2·10⁷ nonzeros; with 10 scaling iterations the
+guarantees (0.632 / 0.866) were surpassed on all but 37 matrices, and 10
+*more* iterations fixed those too.
+
+Reproduction: a sampled population of random fully indecomposable
+matrices (union of a cycle and random permutations — total support by
+construction) spanning the collection's size/density spread.  The same
+two-stage protocol is applied: check at ``base_iterations``, retry the
+failures with double the iterations.
+"""
+
+from __future__ import annotations
+
+from repro._typing import SeedLike, rng_from
+from repro.constants import ONE_SIDED_GUARANTEE, TWO_SIDED_GUARANTEE
+from repro.core.onesided import one_sided_match
+from repro.core.twosided import two_sided_match
+from repro.experiments.common import Table
+from repro.graph.generators import fully_indecomposable
+from repro.scaling.sinkhorn_knopp import scale_sinkhorn_knopp
+
+__all__ = ["run_collection"]
+
+
+def run_collection(
+    n_matrices: int = 40,
+    base_iterations: int = 10,
+    seed: SeedLike = 0,
+    min_n: int = 1000,
+    max_n: int = 4000,
+) -> Table:
+    """Check both guarantees across a sampled collection.
+
+    Every matrix is fully indecomposable, so sprank = n and the quality
+    denominator is n.
+    """
+    rng = rng_from(seed)
+    table = Table(
+        f"Collection: {n_matrices} fully indecomposable matrices, "
+        f"{base_iterations} scaling iterations",
+        ["stage", "matrices", "one_sided_ok", "two_sided_ok", "min_one", "min_two"],
+    )
+
+    population = []
+    for _ in range(n_matrices):
+        n = int(rng.integers(min_n, max_n + 1))
+        deg = float(rng.integers(2, 9))
+        population.append(fully_indecomposable(n, deg, seed=rng))
+
+    def stage(graphs, iterations, label):
+        one_ok = two_ok = 0
+        min_one = min_two = 1.0
+        failures = []
+        for g in graphs:
+            scaling = scale_sinkhorn_knopp(g, iterations)
+            q1 = (
+                one_sided_match(g, scaling=scaling, seed=rng)
+                .matching.cardinality
+                / g.nrows
+            )
+            q2 = (
+                two_sided_match(g, scaling=scaling, seed=rng)
+                .matching.cardinality
+                / g.nrows
+            )
+            ok1 = q1 >= ONE_SIDED_GUARANTEE
+            ok2 = q2 >= TWO_SIDED_GUARANTEE
+            one_ok += ok1
+            two_ok += ok2
+            min_one = min(min_one, q1)
+            min_two = min(min_two, q2)
+            if not (ok1 and ok2):
+                failures.append(g)
+        table.add_row([label, len(graphs), one_ok, two_ok, min_one, min_two])
+        return failures
+
+    failures = stage(population, base_iterations, f"iters={base_iterations}")
+    if failures:
+        stage(failures, base_iterations * 2, f"retry iters={base_iterations * 2}")
+    else:
+        table.note("no failures at the base iteration count")
+    table.note(
+        "paper: 706/743 pass at 10 iterations; all pass with 10 more"
+    )
+    return table

@@ -1,0 +1,82 @@
+"""Shared infrastructure for the experiment harness: tables and timing."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["Table", "timeit", "fmt"]
+
+
+def fmt(value: Any, precision: int = 3) -> str:
+    """Human format: floats to *precision*, ints grouped, rest via str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 10 ** -precision):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A plain-text table with the paper's row/column layout.
+
+    >>> t = Table("demo", ["k", "quality"])
+    >>> t.add_row([2, 0.987])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    precision: int = 3
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        row = list(values)
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        cells = [[fmt(v, self.precision) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(c)), *(len(r[i]) for r in cells)) if cells else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        sep = "  "
+        header = sep.join(str(c).rjust(w) for c, w in zip(self.columns, widths))
+        rule = "-" * len(header)
+        lines = [f"== {self.title} ==", header, rule]
+        for row in cells:
+            lines.append(sep.join(v.rjust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries (for JSON output / programmatic use)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def timeit(fn: Callable[[], Any], repeats: int = 1) -> tuple[float, Any]:
+    """Best-of-*repeats* wall time of ``fn()`` and its (last) result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result

@@ -1,0 +1,61 @@
+"""Convergence-rate experiment — Knight's σ₂² law (Section 3.3 citation).
+
+For several instance families, fit the observed linear convergence rate
+of Sinkhorn–Knopp from the error history and compare with the predicted
+asymptotic rate σ₂² of the scaled matrix.  Expected shape: close
+agreement on "generic" irregular families; regular families converge in
+one sweep (observed rate unavailable — far better than the asymptotic
+bound); instances without total support sit near rate 1 (slow), which is
+why the paper's Table 1 needs 10 iterations on the adversarial family
+while 5 suffice elsewhere.
+"""
+
+from __future__ import annotations
+
+from repro._typing import SeedLike
+from repro.experiments.common import Table
+from repro.graph.adversarial import karp_sipser_adversarial
+from repro.graph.generators import (
+    fully_indecomposable,
+    power_law_bipartite,
+    sprand,
+)
+from repro.scaling.convergence_rate import convergence_study
+
+__all__ = ["run_convergence"]
+
+
+def run_convergence(
+    n: int = 500,
+    iterations: int = 80,
+    seed: SeedLike = 0,
+) -> Table:
+    """Observed vs predicted Sinkhorn–Knopp rates across families."""
+    families = [
+        ("fully-indecomposable d=4", fully_indecomposable(n, 4.0, seed=seed)),
+        ("fully-indecomposable d=8", fully_indecomposable(n, 8.0, seed=seed)),
+        ("power-law skew=1", power_law_bipartite(n, 4.0, skew=1.0, seed=seed)),
+        ("sprand d=3 (deficient)", sprand(n, 3.0, seed=seed)),
+        ("adversarial k=2", karp_sipser_adversarial(min(n, 400), 2)),
+        ("adversarial k=16", karp_sipser_adversarial(min(n, 400), 16)),
+    ]
+    table = Table(
+        f"Sinkhorn-Knopp convergence rates (n~{n}, {iterations} sweeps): "
+        "observed vs Knight's sigma_2^2",
+        ["family", "observed rate", "predicted rate", "final error"],
+    )
+    for name, graph in families:
+        st = convergence_study(graph, iterations=iterations)
+        table.add_row([name, st.observed, st.predicted, st.final_error])
+    table.note(
+        "observed ~ predicted on irregular total-support families; "
+        "'nan' observed = converged to round-off within a few sweeps "
+        "(regular structure); rates near 1 = the slow cases that need "
+        "the paper's 10-iteration budget"
+    )
+    table.note(
+        "Knight's law requires support: on the deficient sprand family "
+        "the scaled matrix is not substochastic and sigma_2^2 may exceed "
+        "1 (the error plateaus instead of converging)"
+    )
+    return table

@@ -1,0 +1,77 @@
+"""Figures 5a/5b — matching qualities across the suite at 0/1/5 iterations.
+
+Paper setup: both heuristics on the 12 instances with 0 (uniform), 1 and
+5 scaling iterations; horizontal reference lines at the guarantees 0.632
+(OneSided, Theorem 1) and 0.866 (TwoSided, Conjecture 1).
+
+Paper's reading: 5 iterations achieve the guarantees almost everywhere
+(nlpkkt240 needed 15 for TwoSided); TwoSided exceeds 0.86 even with one
+iteration; OneSided never reaches 0.80 even with 10.
+"""
+
+from __future__ import annotations
+
+from repro._typing import SeedLike, rng_from
+from repro.constants import ONE_SIDED_GUARANTEE, TWO_SIDED_GUARANTEE
+from repro.core.onesided import one_sided_match
+from repro.core.twosided import two_sided_match
+from repro.experiments.common import Table
+from repro.graph.suite import SUITE_NAMES, suite_instance
+from repro.matching.exact.sprank import sprank
+from repro.scaling.sinkhorn_knopp import scale_sinkhorn_knopp
+
+__all__ = ["run_fig5"]
+
+DEFAULT_ITERS = (0, 1, 5)
+
+
+def run_fig5(
+    names: tuple[str, ...] = SUITE_NAMES,
+    iteration_counts: tuple[int, ...] = DEFAULT_ITERS,
+    n_override: int | None = None,
+    runs: int = 3,
+    seed: SeedLike = 0,
+) -> tuple[Table, Table]:
+    """Regenerate Figures 5a (OneSidedMatch) and 5b (TwoSidedMatch).
+
+    Qualities are minima over *runs* executions, against the instance's
+    sprank.
+    """
+    cols = ["name"] + [f"iter={it}" for it in iteration_counts]
+    t_one = Table(
+        f"Figure 5a: OneSidedMatch quality (guarantee {ONE_SIDED_GUARANTEE:.3f})",
+        cols,
+    )
+    t_two = Table(
+        f"Figure 5b: TwoSidedMatch quality (conjecture {TWO_SIDED_GUARANTEE:.3f})",
+        cols,
+    )
+    for name in names:
+        rng = rng_from(seed)
+        graph = suite_instance(name, n=n_override, seed=seed)
+        maximum = sprank(graph)
+        one_row: list[object] = [name]
+        two_row: list[object] = [name]
+        for it in iteration_counts:
+            scaling = scale_sinkhorn_knopp(graph, it)
+            one_row.append(
+                min(
+                    one_sided_match(graph, scaling=scaling, seed=rng)
+                    .matching.cardinality
+                    / maximum
+                    for _ in range(runs)
+                )
+            )
+            two_row.append(
+                min(
+                    two_sided_match(graph, scaling=scaling, seed=rng)
+                    .matching.cardinality
+                    / maximum
+                    for _ in range(runs)
+                )
+            )
+        t_one.add_row(one_row)
+        t_two.add_row(two_row)
+    t_one.note("paper: 5 iterations clear 0.632 on all 12; never reaches 0.80")
+    t_two.note("paper: >= 0.86 even at 1 iteration on all 12")
+    return t_one, t_two

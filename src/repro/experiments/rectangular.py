@@ -1,0 +1,64 @@
+"""Section 4.1.3 (rectangular case) — sprank-deficient rectangular matrices.
+
+Paper setup: ``100000 × 120000`` `sprand` matrices, ``d·m`` nonzeros for
+``d ∈ {2,3,4,5}``, 5 scaling iterations; minimum qualities observed were
+**0.753** (OneSidedMatch) and **0.930** (TwoSidedMatch).
+
+Scaling, choices and Karp–Sipser all operate unchanged on rectangular
+shapes — the point of this experiment is that none of the square /
+total-support assumptions of the theory are needed in practice.
+"""
+
+from __future__ import annotations
+
+from repro._typing import SeedLike, rng_from
+from repro.core.onesided import one_sided_match
+from repro.core.twosided import two_sided_match
+from repro.experiments.common import Table
+from repro.graph.generators import sprand_rect
+from repro.matching.exact.sprank import sprank
+from repro.scaling.sinkhorn_knopp import scale_sinkhorn_knopp
+
+__all__ = ["run_rectangular"]
+
+
+def run_rectangular(
+    nrows: int = 20_000,
+    ncols: int = 24_000,
+    ds: tuple[int, ...] = (2, 3, 4, 5),
+    iterations: int = 5,
+    runs: int = 5,
+    seed: SeedLike = 0,
+) -> Table:
+    """Regenerate the rectangular experiment (default scaled down 5x)."""
+    rng = rng_from(seed)
+    table = Table(
+        f"Rectangular sprand {nrows}x{ncols}, {iterations} scaling "
+        f"iterations, min of {runs} runs",
+        ["d", "sprank", "OneSidedMatch", "TwoSidedMatch"],
+    )
+    min_one = min_two = 1.0
+    for d in ds:
+        graph = sprand_rect(nrows, ncols, float(d), seed=rng)
+        maximum = sprank(graph)
+        scaling = scale_sinkhorn_knopp(graph, iterations)
+        one_q = min(
+            one_sided_match(graph, scaling=scaling, seed=rng)
+            .matching.cardinality
+            / maximum
+            for _ in range(runs)
+        )
+        two_q = min(
+            two_sided_match(graph, scaling=scaling, seed=rng)
+            .matching.cardinality
+            / maximum
+            for _ in range(runs)
+        )
+        min_one = min(min_one, one_q)
+        min_two = min(min_two, two_q)
+        table.add_row([d, maximum, one_q, two_q])
+    table.note(
+        f"overall minima: one-sided {min_one:.3f}, two-sided {min_two:.3f} "
+        "(paper: 0.753 and 0.930)"
+    )
+    return table

@@ -1,0 +1,231 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Each entry maps an experiment id to a runner ``fn(full: bool, seed: int,
+n: int | None, runs: int | None) -> list[Table]``.  ``full=True`` uses the
+paper's original sizes (hours of CPython time on large entries — the
+default sizes reproduce the shapes in minutes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.common import Table
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+Runner = Callable[[bool, int, "int | None", "int | None"], list[Table]]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment."""
+
+    id: str
+    paper_ref: str
+    description: str
+    runner: Runner
+
+
+def _table1(full: bool, seed: int, n: int | None, runs: int | None) -> list[Table]:
+    from repro.experiments.table1 import run_table1
+
+    return [
+        run_table1(
+            n=n or 3200,
+            runs=runs or (10 if full else 5),
+            seed=seed,
+        )
+    ]
+
+
+def _table2(full: bool, seed: int, n: int | None, runs: int | None) -> list[Table]:
+    from repro.experiments.table2 import run_table2
+
+    return [
+        run_table2(
+            n=n or (100_000 if full else 20_000),
+            runs=runs or (10 if full else 3),
+            seed=seed,
+        )
+    ]
+
+
+def _table3(full: bool, seed: int, n: int | None, runs: int | None) -> list[Table]:
+    from repro.experiments.table3 import run_table3
+
+    return [run_table3(n_override=n, seed=seed)]
+
+
+def _fig3(full: bool, seed: int, n: int | None, runs: int | None) -> list[Table]:
+    from repro.experiments.fig3 import run_fig3
+
+    return list(run_fig3(n_override=n, seed=seed))
+
+
+def _fig4(full: bool, seed: int, n: int | None, runs: int | None) -> list[Table]:
+    from repro.experiments.fig4 import run_fig4
+
+    return list(run_fig4(n_override=n, seed=seed))
+
+
+def _fig5(full: bool, seed: int, n: int | None, runs: int | None) -> list[Table]:
+    from repro.experiments.fig5 import run_fig5
+
+    return list(run_fig5(n_override=n, runs=runs or 3, seed=seed))
+
+
+def _collection(
+    full: bool, seed: int, n: int | None, runs: int | None
+) -> list[Table]:
+    from repro.experiments.collection import run_collection
+
+    return [
+        run_collection(
+            n_matrices=runs or (200 if full else 40),
+            seed=seed,
+            max_n=n or 4000,
+        )
+    ]
+
+
+def _rectangular(
+    full: bool, seed: int, n: int | None, runs: int | None
+) -> list[Table]:
+    from repro.experiments.rectangular import run_rectangular
+
+    nrows = n or (100_000 if full else 20_000)
+    return [
+        run_rectangular(
+            nrows=nrows,
+            ncols=int(nrows * 1.2),
+            runs=runs or (10 if full else 5),
+            seed=seed,
+        )
+    ]
+
+
+def _convergence(
+    full: bool, seed: int, n: int | None, runs: int | None
+) -> list[Table]:
+    from repro.experiments.convergence import run_convergence
+
+    return [
+        run_convergence(
+            n=n or (2_000 if full else 500),
+            iterations=runs or 80,
+            seed=seed,
+        )
+    ]
+
+
+def _undirected(
+    full: bool, seed: int, n: int | None, runs: int | None
+) -> list[Table]:
+    from repro.experiments.undirected import run_undirected
+
+    return [
+        run_undirected(
+            n=n or (10_000 if full else 2_000),
+            runs=runs or 3,
+            seed=seed,
+        )
+    ]
+
+
+def _conjecture(
+    full: bool, seed: int, n: int | None, runs: int | None
+) -> list[Table]:
+    from repro.experiments.conjecture import run_conjecture
+
+    sizes = (1_000, 10_000, 100_000, 1_000_000) if full else (1_000, 10_000, 100_000)
+    if n:
+        sizes = (n,)
+    return [run_conjecture(sizes=sizes, trials=runs or 5, seed=seed)]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.id: e
+    for e in [
+        Experiment(
+            "table1", "Table 1 / §4.1.2",
+            "Karp-Sipser vs TwoSidedMatch on the adversarial family",
+            _table1,
+        ),
+        Experiment(
+            "table2", "Table 2 / §4.1.3",
+            "qualities on sprank-deficient Erdos-Renyi matrices",
+            _table2,
+        ),
+        Experiment(
+            "table3", "Table 3 / §4.2",
+            "suite properties, scaling errors, sequential times",
+            _table3,
+        ),
+        Experiment(
+            "fig3", "Figures 3a,3b / §4.2",
+            "modelled speedups: ScaleSK and OneSidedMatch",
+            _fig3,
+        ),
+        Experiment(
+            "fig4", "Figures 4a,4b / §4.2",
+            "modelled speedups: KarpSipserMT and TwoSidedMatch",
+            _fig4,
+        ),
+        Experiment(
+            "fig5", "Figures 5a,5b / §4.2",
+            "qualities across the suite at 0/1/5 scaling iterations",
+            _fig5,
+        ),
+        Experiment(
+            "collection", "§4.1.1",
+            "guarantee check over a fully indecomposable collection",
+            _collection,
+        ),
+        Experiment(
+            "rectangular", "§4.1.3",
+            "rectangular sprank-deficient matrices",
+            _rectangular,
+        ),
+        Experiment(
+            "conjecture", "Conjecture 1 / §3.2",
+            "maximum matchings of random 1-out graphs -> 0.866n",
+            _conjecture,
+        ),
+        Experiment(
+            "undirected", "§5 (extension)",
+            "the heuristics on undirected graphs vs exact blossom",
+            _undirected,
+        ),
+        Experiment(
+            "convergence", "§3.3 (cited theory)",
+            "SK convergence rate: observed vs Knight's sigma_2^2",
+            _convergence,
+        ),
+    ]
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up a registered experiment by id (raises ExperimentError)."""
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(
+    exp_id: str,
+    *,
+    full: bool = False,
+    seed: int = 0,
+    n: int | None = None,
+    runs: int | None = None,
+) -> list[Table]:
+    """Run one experiment and return its tables."""
+    return get_experiment(exp_id).runner(full, seed, n, runs)

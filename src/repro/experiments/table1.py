@@ -1,0 +1,77 @@
+"""Table 1 — Karp–Sipser vs TwoSidedMatch on the adversarial family.
+
+Paper setup: the Figure-2 matrices with ``n = 3200`` and
+``k ∈ {2, 4, 8, 16, 32}``; quality is the *minimum* of 10 executions
+(worst-case behaviour is the subject); TwoSidedMatch is run after 0, 1, 5
+and 10 Sinkhorn–Knopp iterations and the scaling error is reported per
+iteration count.  Paper's headline: KS degrades from 0.78 to 0.67 as k
+grows, while TwoSidedMatch with 10 iterations stays ≥ 0.98.
+"""
+
+from __future__ import annotations
+
+from repro._typing import SeedLike, rng_from
+from repro.core.twosided import two_sided_match
+from repro.experiments.common import Table
+from repro.graph.adversarial import karp_sipser_adversarial
+from repro.matching.heuristics.karp_sipser import karp_sipser
+from repro.scaling.sinkhorn_knopp import scale_sinkhorn_knopp
+
+__all__ = ["run_table1"]
+
+DEFAULT_KS = (2, 4, 8, 16, 32)
+DEFAULT_ITERS = (0, 1, 5, 10)
+
+
+def run_table1(
+    n: int = 3200,
+    ks: tuple[int, ...] = DEFAULT_KS,
+    iteration_counts: tuple[int, ...] = DEFAULT_ITERS,
+    runs: int = 10,
+    seed: SeedLike = 0,
+) -> Table:
+    """Regenerate Table 1.  Returns a :class:`Table` with one row per *k*.
+
+    Quality denominators are ``n`` — the family has a perfect matching by
+    construction (the two planted diagonals).
+    """
+    import numpy as np
+
+    rng = rng_from(seed)
+    columns = ["k", "KarpSipser"]
+    for it in iteration_counts:
+        columns += [f"err({it})", f"qual({it})"]
+    table = Table(
+        f"Table 1: adversarial family, n={n}, min of {runs} runs", columns
+    )
+    max_ks_var = 0.0
+    max_two_var = 0.0
+    for k in ks:
+        graph = karp_sipser_adversarial(n, k)
+        ks_samples = [
+            karp_sipser(graph, seed=rng).cardinality / n for _ in range(runs)
+        ]
+        max_ks_var = max(max_ks_var, float(np.var(ks_samples)))
+        row: list[object] = [k, min(ks_samples)]
+        for it in iteration_counts:
+            scaling = scale_sinkhorn_knopp(graph, it)
+            samples = [
+                two_sided_match(
+                    graph, scaling=scaling, seed=rng
+                ).matching.cardinality
+                / n
+                for _ in range(runs)
+            ]
+            if it == max(iteration_counts):
+                max_two_var = max(max_two_var, float(np.var(samples)))
+            row += [scaling.error, min(samples)]
+        table.add_row(row)
+    table.note(
+        "paper (n=3200): KS 0.782..0.670 as k grows; TwoSided qual(10) >= 0.98"
+    )
+    table.note(
+        f"max variance across runs: KS {max_ks_var:.6f}, TwoSided "
+        f"{max_two_var:.6f} (paper: 0.0041 and 0.0001 — the scaled "
+        "heuristic is far more stable)"
+    )
+    return table

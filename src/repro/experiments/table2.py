@@ -1,0 +1,61 @@
+"""Table 2 — qualities on sprank-deficient Erdős–Rényi matrices.
+
+Paper setup: square ``n = 100000`` matrices from Matlab's ``sprand`` with
+``d·n`` nonzeros for ``d ∈ {2,3,4,5}``; both heuristics at 0/1/5/10
+scaling iterations; quality = cardinality / sprank, minimum of 10 runs.
+
+Paper's headline: high deficiency (small d) is the *easy* case; for d=5
+five iterations already yield OneSided ≈ 0.70 and TwoSided ≈ 0.87.
+"""
+
+from __future__ import annotations
+
+from repro._typing import SeedLike, rng_from
+from repro.core.onesided import one_sided_match
+from repro.core.twosided import two_sided_match
+from repro.experiments.common import Table
+from repro.graph.generators import sprand
+from repro.matching.exact.sprank import sprank
+from repro.scaling.sinkhorn_knopp import scale_sinkhorn_knopp
+
+__all__ = ["run_table2"]
+
+DEFAULT_DS = (2, 3, 4, 5)
+DEFAULT_ITERS = (0, 1, 5, 10)
+
+
+def run_table2(
+    n: int = 20_000,
+    ds: tuple[int, ...] = DEFAULT_DS,
+    iteration_counts: tuple[int, ...] = DEFAULT_ITERS,
+    runs: int = 5,
+    seed: SeedLike = 0,
+) -> Table:
+    """Regenerate Table 2 (default size scaled down 5x from the paper)."""
+    rng = rng_from(seed)
+    table = Table(
+        f"Table 2: sprand square n={n}, min of {runs} runs",
+        ["d", "iter", "sprank", "OneSidedMatch", "TwoSidedMatch"],
+    )
+    for d in ds:
+        graph = sprand(n, float(d), seed=rng)
+        maximum = sprank(graph)
+        for it in iteration_counts:
+            scaling = scale_sinkhorn_knopp(graph, it)
+            one_q = min(
+                one_sided_match(graph, scaling=scaling, seed=rng)
+                .matching.cardinality
+                / maximum
+                for _ in range(runs)
+            )
+            two_q = min(
+                two_sided_match(graph, scaling=scaling, seed=rng)
+                .matching.cardinality
+                / maximum
+                for _ in range(runs)
+            )
+            table.add_row([d, it, maximum, one_q, two_q])
+    table.note(
+        "paper (n=100000): d=2 iter=10 -> 0.879/0.954; d=5 iter=10 -> 0.716/0.882"
+    )
+    return table

@@ -1,0 +1,243 @@
+"""Shape-verification harness: the paper's claims as a pass/fail checklist.
+
+``python -m repro.experiments verify`` runs reduced-size versions of the
+studies and evaluates the *shape* claims the paper's evaluation makes —
+who wins, which direction the trends go, where the floors sit.  Each
+check is named after the claim it encodes, so a failing reproduction
+points straight at the disagreeing claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro._typing import SeedLike
+
+__all__ = ["ShapeCheck", "run_verification", "CHECKS"]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    name: str
+    paper_ref: str
+    fn: Callable[[int], bool]
+
+
+def _check_theorem1_floor(seed: int) -> bool:
+    """Fig 5a / Thm 1: OneSided >= 0.632 with 5 iterations (full sprank)."""
+    from repro.constants import ONE_SIDED_GUARANTEE
+    from repro.core import one_sided_match
+    from repro.graph import fully_indecomposable
+
+    g = fully_indecomposable(2000, 4.0, seed=seed)
+    q = one_sided_match(g, 5, seed=seed).cardinality / g.nrows
+    return q >= ONE_SIDED_GUARANTEE - 0.02
+
+
+def _check_conjecture_constant(seed: int) -> bool:
+    """Conjecture 1: 1-out ratio within 0.005 of 2(1-rho)."""
+    from repro.constants import TWO_SIDED_GUARANTEE
+    from repro.core import one_out_max_matching_size
+
+    n = 50_000
+    ratio = one_out_max_matching_size(n, seed=seed) / n
+    return abs(ratio - TWO_SIDED_GUARANTEE) < 0.005
+
+
+def _check_two_sided_beats_one_sided(seed: int) -> bool:
+    """Every table: TwoSided quality >= OneSided quality."""
+    from repro.core import one_sided_match, two_sided_match
+    from repro.graph import sprand
+    from repro.scaling import scale_sinkhorn_knopp
+
+    g = sprand(5000, 4.0, seed=seed)
+    sc = scale_sinkhorn_knopp(g, 5)
+    one = one_sided_match(g, scaling=sc, seed=seed).cardinality
+    two = two_sided_match(g, scaling=sc, seed=seed).cardinality
+    return two >= one
+
+
+def _check_table1_crossover(seed: int) -> bool:
+    """Table 1: unscaled TwoSided < KS < TwoSided(10 iters) at k=32."""
+    from repro.core import two_sided_match
+    from repro.graph import karp_sipser_adversarial
+    from repro.matching import karp_sipser
+    from repro.scaling import scale_sinkhorn_knopp
+
+    n = 800
+    g = karp_sipser_adversarial(n, 32)
+    ks = min(karp_sipser(g, seed=s).cardinality / n for s in range(3))
+    s0 = scale_sinkhorn_knopp(g, 0)
+    raw = min(
+        two_sided_match(g, scaling=s0, seed=s).cardinality / n
+        for s in range(3)
+    )
+    s10 = scale_sinkhorn_knopp(g, 10)
+    scaled = min(
+        two_sided_match(g, scaling=s10, seed=s).cardinality / n
+        for s in range(3)
+    )
+    return raw < ks < scaled
+
+
+def _check_table2_deficiency_trend(seed: int) -> bool:
+    """Table 2: smaller d (more deficient) gives higher quality."""
+    from repro.core import two_sided_match
+    from repro.graph import sprand
+    from repro.matching import sprank
+    from repro.scaling import scale_sinkhorn_knopp
+
+    qualities = {}
+    for d in (2, 5):
+        g = sprand(5000, float(d), seed=seed)
+        maximum = sprank(g)
+        sc = scale_sinkhorn_knopp(g, 10)
+        qualities[d] = (
+            two_sided_match(g, scaling=sc, seed=seed).cardinality / maximum
+        )
+    return qualities[2] > qualities[5]
+
+
+def _check_iterations_help(seed: int) -> bool:
+    """Tables 1-2 / Fig 5: scaling iterations improve quality."""
+    from repro.core import one_sided_match
+    from repro.graph import sprand
+    from repro.matching import sprank
+    from repro.scaling import scale_sinkhorn_knopp
+
+    g = sprand(5000, 3.0, seed=seed)
+    maximum = sprank(g)
+    q0 = (
+        one_sided_match(g, scaling=scale_sinkhorn_knopp(g, 0), seed=seed)
+        .cardinality / maximum
+    )
+    q10 = (
+        one_sided_match(g, scaling=scale_sinkhorn_knopp(g, 10), seed=seed)
+        .cardinality / maximum
+    )
+    return q10 > q0
+
+
+def _check_ks_mt_exactness(seed: int) -> bool:
+    """Lemmas 1-3: KarpSipserMT is maximum on choice subgraphs."""
+    from repro.core import choice_graph, karp_sipser_mt
+    from repro.core.oneout import sample_uniform_one_out
+    from repro.matching import hopcroft_karp
+
+    rng = np.random.default_rng(seed)
+    for _ in range(5):
+        n = int(rng.integers(50, 500))
+        rc, cc = sample_uniform_one_out(n, rng)
+        g = choice_graph(rc, cc)
+        if karp_sipser_mt(rc, cc).cardinality != hopcroft_karp(g).cardinality:
+            return False
+    return True
+
+
+def _check_schedule_independence(seed: int) -> bool:
+    """Alg. 4 safety: cardinality identical across simulated schedules."""
+    from repro.core import karp_sipser_mt, karp_sipser_mt_simulated
+    from repro.core.oneout import sample_uniform_one_out
+
+    rc, cc = sample_uniform_one_out(300, seed)
+    reference = karp_sipser_mt(rc, cc).cardinality
+    for policy in ("round_robin", "random", "adversarial"):
+        m = karp_sipser_mt_simulated(rc, cc, 4, policy=policy, seed=seed)
+        if m.cardinality != reference:
+            return False
+    return True
+
+
+def _check_speedup_shape(seed: int) -> bool:
+    """Figs 3-4: monotone speedups, ~10x at p=16, skew scales worse."""
+    from repro.graph import suite_instance
+    from repro.parallel import MachineModel
+    from repro.parallel.machine import ScheduleSpec
+    from repro.scaling.sinkhorn_knopp import sinkhorn_knopp_work_profile
+
+    model = MachineModel()
+    speeds = {}
+    for name in ("venturiLevel3", "torso1"):
+        g = suite_instance(name, n=10_000, seed=seed)
+        prof = sinkhorn_knopp_work_profile(g)
+        sched = ScheduleSpec.dynamic(max(16, g.nrows // 256))
+        curve = [
+            model.speedup(prof, p, schedule=sched, barriers=2)
+            for p in (2, 4, 8, 16)
+        ]
+        if curve != sorted(curve):
+            return False
+        speeds[name] = curve[-1]
+    return speeds["venturiLevel3"] > 9.0 and (
+        speeds["torso1"] < speeds["venturiLevel3"]
+    )
+
+
+def _check_scaling_error_drops(seed: int) -> bool:
+    """Tables 1/3: the scaling error falls with iterations (support)."""
+    from repro.graph import fully_indecomposable
+    from repro.scaling import scale_sinkhorn_knopp
+
+    g = fully_indecomposable(2000, 4.0, seed=seed)
+    errs = [scale_sinkhorn_knopp(g, it).error for it in (1, 5, 10)]
+    return errs[0] >= errs[1] >= errs[2]
+
+
+def _check_rectangular_floors(seed: int) -> bool:
+    """§4.1.3: rectangular minima near 0.753 / 0.930 (5 iterations)."""
+    from repro.core import one_sided_match, two_sided_match
+    from repro.graph import sprand_rect
+    from repro.matching import sprank
+    from repro.scaling import scale_sinkhorn_knopp
+
+    g = sprand_rect(5000, 6000, 4.0, seed=seed)
+    maximum = sprank(g)
+    sc = scale_sinkhorn_knopp(g, 5)
+    one = one_sided_match(g, scaling=sc, seed=seed).cardinality / maximum
+    two = two_sided_match(g, scaling=sc, seed=seed).cardinality / maximum
+    return one > 0.70 and two > 0.88
+
+
+CHECKS: tuple[ShapeCheck, ...] = (
+    ShapeCheck("theorem1-floor", "Thm 1 / Fig 5a", _check_theorem1_floor),
+    ShapeCheck("conjecture1-constant", "Conj. 1", _check_conjecture_constant),
+    ShapeCheck(
+        "two-sided-dominates", "Tables 1-3", _check_two_sided_beats_one_sided
+    ),
+    ShapeCheck("table1-crossover", "Table 1", _check_table1_crossover),
+    ShapeCheck(
+        "table2-deficiency-trend", "Table 2", _check_table2_deficiency_trend
+    ),
+    ShapeCheck("iterations-help", "Tables 1-2 / Fig 5", _check_iterations_help),
+    ShapeCheck("ksmt-exactness", "Lemmas 1-3", _check_ks_mt_exactness),
+    ShapeCheck(
+        "schedule-independence", "Alg. 4 / Lemma 4",
+        _check_schedule_independence,
+    ),
+    ShapeCheck("speedup-shape", "Figs 3-4", _check_speedup_shape),
+    ShapeCheck(
+        "scaling-error-drops", "Tables 1/3", _check_scaling_error_drops
+    ),
+    ShapeCheck("rectangular-floors", "§4.1.3", _check_rectangular_floors),
+)
+
+
+def run_verification(seed: SeedLike = 0) -> tuple[int, int, list[str]]:
+    """Run every shape check; returns (passed, total, lines)."""
+    seed = int(seed or 0)
+    lines: list[str] = []
+    passed = 0
+    for check in CHECKS:
+        t0 = time.perf_counter()
+        ok = bool(check.fn(seed))
+        dt = time.perf_counter() - t0
+        passed += ok
+        lines.append(
+            f"[{'PASS' if ok else 'FAIL'}] {check.name:<24s} "
+            f"({check.paper_ref}; {dt:.1f}s)"
+        )
+    return passed, len(CHECKS), lines

@@ -1,0 +1,78 @@
+"""Bipartite graph substrate: storage, construction, generators, analysis.
+
+The paper treats a bipartite graph ``G = (V_R ∪ V_C, E)`` and its ``n × n``
+(0,1) adjacency matrix ``A`` interchangeably; so does this package.  The
+canonical container is :class:`repro.graph.BipartiteGraph`, a dual CSR/CSC
+view of the pattern of ``A``.
+"""
+
+from repro.graph.csr import BipartiteGraph
+from repro.graph.build import (
+    from_dense,
+    from_edges,
+    from_scipy,
+    from_adjacency_lists,
+    empty,
+    identity,
+)
+from repro.graph.generators import (
+    sprand,
+    sprand_rect,
+    sprand_symmetric,
+    full_ones,
+    random_k_out,
+    random_permutation_graph,
+    union_of_permutations,
+    fully_indecomposable,
+    grid_graph,
+    power_law_bipartite,
+    banded,
+)
+from repro.graph.adversarial import karp_sipser_adversarial
+from repro.graph.properties import (
+    degree_statistics,
+    has_total_support_certificate,
+    is_perfect_matchable,
+)
+from repro.graph.components import connected_components, component_cycle_counts
+from repro.graph.dm import dulmage_mendelsohn, CoarseDM
+from repro.graph.btf import block_triangular_form, BlockTriangularForm
+from repro.graph.viz import spy, choice_diagram
+from repro.graph.suite import suite_instance, SUITE_NAMES, SuiteSpec, suite_spec
+
+__all__ = [
+    "BipartiteGraph",
+    "from_dense",
+    "from_edges",
+    "from_scipy",
+    "from_adjacency_lists",
+    "empty",
+    "identity",
+    "sprand",
+    "sprand_rect",
+    "sprand_symmetric",
+    "full_ones",
+    "random_k_out",
+    "random_permutation_graph",
+    "union_of_permutations",
+    "fully_indecomposable",
+    "grid_graph",
+    "power_law_bipartite",
+    "banded",
+    "karp_sipser_adversarial",
+    "degree_statistics",
+    "has_total_support_certificate",
+    "is_perfect_matchable",
+    "connected_components",
+    "component_cycle_counts",
+    "dulmage_mendelsohn",
+    "CoarseDM",
+    "block_triangular_form",
+    "BlockTriangularForm",
+    "spy",
+    "choice_diagram",
+    "suite_instance",
+    "suite_spec",
+    "SUITE_NAMES",
+    "SuiteSpec",
+]

@@ -1,0 +1,97 @@
+"""Adversarial instance families.
+
+:func:`karp_sipser_adversarial` is the matrix class of the paper's Figure 2
+and Table 1 — designed so the classic Karp–Sipser heuristic makes bad random
+choices while ``TwoSidedMatch``'s scaling steers the probability mass onto
+the edges of the (unique-by-construction) perfect matching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.graph.build import from_edges
+from repro.graph.csr import BipartiteGraph
+
+__all__ = ["karp_sipser_adversarial", "hidden_perfect_matching"]
+
+
+def karp_sipser_adversarial(n: int, k: int) -> BipartiteGraph:
+    """The bad-for-Karp–Sipser family of the paper's Figure 2.
+
+    Layout (``h = n/2``; ``R1``/``C1`` are the first ``h`` rows/columns,
+    ``R2``/``C2`` the last ``h``):
+
+    * block ``R1 × C1`` is completely full;
+    * the last ``k`` rows of ``R1`` are full across *all* columns, and the
+      last ``k`` columns of ``C1`` are full across *all* rows;
+    * blocks ``R1 × C2`` and ``R2 × C1`` each carry a nonzero diagonal
+      (``(i, h+i)`` and ``(h+i, i)``), which together form a perfect
+      matching;
+    * block ``R2 × C2`` is empty.
+
+    For ``k <= 1`` Karp–Sipser solves the instance in Phase 1; for ``k > 1``
+    there is no degree-one vertex, Phase 2 starts immediately, and a uniform
+    random edge choice almost surely burns a useful ``R1`` row on a useless
+    ``C1`` column (Table 1 shows quality dropping toward ~0.67 at k=32).
+
+    Parameters
+    ----------
+    n:
+        Total rows (= columns).  Must be even and ``>= 2k``.
+    k:
+        Number of full rows/columns spanning both halves (``k << n``).
+    """
+    if n % 2 != 0:
+        raise ShapeError(f"n must be even, got {n}")
+    h = n // 2
+    if not 0 <= k <= h:
+        raise ShapeError(f"k must be in [0, {h}], got {k}")
+
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+
+    ar_h = np.arange(h, dtype=np.int64)
+
+    # R1 x C1 full block.
+    rows_parts.append(np.repeat(ar_h, h))
+    cols_parts.append(np.tile(ar_h, h))
+
+    if k > 0:
+        last_k = np.arange(h - k, h, dtype=np.int64)
+        all_n = np.arange(n, dtype=np.int64)
+        # Last k rows of R1 full across all columns.
+        rows_parts.append(np.repeat(last_k, n))
+        cols_parts.append(np.tile(all_n, k))
+        # Last k columns of C1 full across all rows.
+        rows_parts.append(np.tile(all_n, k))
+        cols_parts.append(np.repeat(last_k, n))
+
+    # Diagonal of R1 x C2 and of R2 x C1 (the hidden perfect matching).
+    rows_parts.append(ar_h)
+    cols_parts.append(ar_h + h)
+    rows_parts.append(ar_h + h)
+    cols_parts.append(ar_h)
+
+    return from_edges(
+        n,
+        n,
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+    )
+
+
+def hidden_perfect_matching(n: int) -> np.ndarray:
+    """The planted perfect matching of :func:`karp_sipser_adversarial`.
+
+    Returns ``match_row_to_col`` of length ``n``: row ``i`` in ``R1`` pairs
+    with column ``h+i``; row ``h+i`` in ``R2`` pairs with column ``i``.
+    """
+    if n % 2 != 0:
+        raise ShapeError(f"n must be even, got {n}")
+    h = n // 2
+    out = np.empty(n, dtype=np.int64)
+    out[:h] = np.arange(h, n, dtype=np.int64)
+    out[h:] = np.arange(0, h, dtype=np.int64)
+    return out

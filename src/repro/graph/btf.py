@@ -1,0 +1,180 @@
+"""Block triangular form (BTF) — the canonical application of DM.
+
+The paper's Section 3.3 references Pothen–Fan ("Computing the block
+triangular form of a sparse matrix") and Duff's maximum-transversal work:
+the point of maximum matchings in sparse direct solvers is to permute
+``A`` so it becomes block *upper* triangular
+
+::
+
+        | H  *  * |
+    P A Q = | O  S  * |      with S further split into its fine
+        | O  O  V |      (strongly connected) blocks on the diagonal,
+
+after which a linear solve factorises only the diagonal blocks.  This
+module turns a :class:`~repro.graph.dm.CoarseDM` into the permutations
+and block boundaries:
+
+* rows are ordered H, then S's fine blocks in topological order, then V;
+* columns are ordered correspondingly (matched columns align with their
+  rows, so the S part has a zero-free diagonal);
+* the result certifies itself: every edge of the permuted pattern lies on
+  or above the block diagonal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import IndexArray
+from repro.graph.csr import BipartiteGraph
+from repro.graph.dm import CoarseDM, dulmage_mendelsohn
+from repro.matching.matching import NIL
+
+__all__ = ["BlockTriangularForm", "block_triangular_form"]
+
+
+@dataclass(frozen=True)
+class BlockTriangularForm:
+    """Result of :func:`block_triangular_form`.
+
+    ``row_perm``/``col_perm`` map *new* positions to *old* indices (i.e.
+    ``permuted[i, j] = A[row_perm[i], col_perm[j]]``).  ``row_blocks`` /
+    ``col_blocks`` hold the block boundary offsets (length ``n_blocks+1``)
+    covering, in order: one block for H (if nonempty), one per fine block
+    of S, and one for V (if nonempty).
+    """
+
+    row_perm: IndexArray
+    col_perm: IndexArray
+    row_blocks: IndexArray
+    col_blocks: IndexArray
+    #: Index into the block list where the square part starts/ends.
+    square_block_range: tuple[int, int]
+    dm: CoarseDM
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.row_blocks.shape[0] - 1)
+
+    def permuted_pattern(self, graph: BipartiteGraph) -> BipartiteGraph:
+        """Apply the permutations to *graph*."""
+        from repro.graph.build import from_edges
+
+        inv_row = np.empty_like(self.row_perm)
+        inv_row[self.row_perm] = np.arange(self.row_perm.shape[0])
+        inv_col = np.empty_like(self.col_perm)
+        inv_col[self.col_perm] = np.arange(self.col_perm.shape[0])
+        return from_edges(
+            graph.nrows,
+            graph.ncols,
+            inv_row[graph.row_of_edge()],
+            inv_col[graph.col_ind],
+        )
+
+    def is_block_upper_triangular(self, graph: BipartiteGraph) -> bool:
+        """Certify: no permuted edge falls strictly below its diagonal
+        block (measured against the block boundaries)."""
+        permuted = self.permuted_pattern(graph)
+        rows = permuted.row_of_edge()
+        cols = permuted.col_ind
+        row_block_of = (
+            np.searchsorted(self.row_blocks, rows, side="right") - 1
+        )
+        col_block_of = (
+            np.searchsorted(self.col_blocks, cols, side="right") - 1
+        )
+        return bool(np.all(row_block_of <= col_block_of))
+
+
+def _topological_order_of_sccs(dm: CoarseDM, graph: BipartiteGraph) -> IndexArray:
+    """Fine blocks of S in topological order for *upper* triangular form.
+
+    Tarjan (used inside the DM computation) assigns SCC ids in reverse
+    topological order of the contracted digraph, where an arc ``j -> j2``
+    means row(j) has an entry in column j2 — i.e. block(j) must come
+    *after* block(j2) for upper triangularity... verified constructively:
+    we order blocks by decreasing Tarjan id and certify the result, which
+    the tests confirm on randomized inputs.
+    """
+    return np.arange(dm.n_scc - 1, -1, -1, dtype=np.int64)
+
+
+def block_triangular_form(
+    graph: BipartiteGraph, dm: CoarseDM | None = None
+) -> BlockTriangularForm:
+    """Compute permutations putting *graph*'s pattern into BTF.
+
+    Parameters
+    ----------
+    graph:
+        Any bipartite pattern (square or rectangular).
+    dm:
+        Reuse a precomputed decomposition; computed otherwise.
+    """
+    if dm is None:
+        dm = dulmage_mendelsohn(graph)
+
+    row_order: list[np.ndarray] = []
+    col_order: list[np.ndarray] = []
+    row_bounds = [0]
+    col_bounds = [0]
+
+    # --- H block (rows fully matched; extra columns at the end of it) --
+    h_rows = dm.rows_of(CoarseDM.H_BLOCK)
+    h_cols_all = dm.cols_of(CoarseDM.H_BLOCK)
+    if h_rows.size or h_cols_all.size:
+        # Matched H columns first, aligned with their rows; unmatched after.
+        matched_cols = dm.matching.row_match[h_rows]
+        row_order.append(h_rows)
+        unmatched = np.setdiff1d(h_cols_all, matched_cols, assume_unique=False)
+        col_order.append(np.concatenate([matched_cols, unmatched]))
+        row_bounds.append(row_bounds[-1] + h_rows.size)
+        col_bounds.append(col_bounds[-1] + h_cols_all.size)
+    square_start = len(row_bounds) - 1
+
+    # --- S fine blocks in topological order -----------------------------
+    order = _topological_order_of_sccs(dm, graph)
+    for scc in order:
+        cols = np.flatnonzero(dm.col_scc == scc)
+        rows = dm.matching.col_match[cols]
+        if cols.size == 0:
+            continue
+        row_order.append(rows)
+        col_order.append(cols)
+        row_bounds.append(row_bounds[-1] + rows.size)
+        col_bounds.append(col_bounds[-1] + cols.size)
+    square_end = len(row_bounds) - 1
+
+    # --- V block (columns fully matched; extra rows at the bottom) ------
+    v_rows_all = dm.rows_of(CoarseDM.V_BLOCK)
+    v_cols = dm.cols_of(CoarseDM.V_BLOCK)
+    if v_rows_all.size or v_cols.size:
+        matched_rows = dm.matching.col_match[v_cols]
+        unmatched = np.setdiff1d(v_rows_all, matched_rows, assume_unique=False)
+        row_order.append(np.concatenate([matched_rows, unmatched]))
+        col_order.append(v_cols)
+        row_bounds.append(row_bounds[-1] + v_rows_all.size)
+        col_bounds.append(col_bounds[-1] + v_cols.size)
+
+    row_perm = (
+        np.concatenate(row_order)
+        if row_order
+        else np.empty(0, dtype=np.int64)
+    ).astype(np.int64)
+    col_perm = (
+        np.concatenate(col_order)
+        if col_order
+        else np.empty(0, dtype=np.int64)
+    ).astype(np.int64)
+
+    return BlockTriangularForm(
+        row_perm=row_perm,
+        col_perm=col_perm,
+        row_blocks=np.asarray(row_bounds, dtype=np.int64),
+        col_blocks=np.asarray(col_bounds, dtype=np.int64),
+        square_block_range=(square_start, square_end),
+        dm=dm,
+    )

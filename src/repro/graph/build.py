@@ -1,0 +1,132 @@
+"""Constructors for :class:`~repro.graph.BipartiteGraph`.
+
+These accept the loose formats users actually have (edge lists, dense
+arrays, scipy sparse matrices, adjacency lists) and produce a canonical,
+deduplicated, sorted CSR pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._typing import IndexArray
+from repro.errors import GraphStructureError, ShapeError
+from repro.graph.csr import BipartiteGraph
+
+__all__ = [
+    "from_edges",
+    "from_dense",
+    "from_scipy",
+    "from_adjacency_lists",
+    "empty",
+    "identity",
+]
+
+
+def from_edges(
+    nrows: int,
+    ncols: int,
+    rows: object,
+    cols: object,
+    *,
+    dedup: bool = True,
+) -> BipartiteGraph:
+    """Build a graph from parallel arrays of edge endpoints.
+
+    Parameters
+    ----------
+    rows, cols:
+        Equal-length integer sequences; edge ``k`` is ``(rows[k], cols[k])``.
+    dedup:
+        Remove duplicate edges (default).  With ``dedup=False`` a duplicate
+        raises :class:`GraphStructureError` instead of being silently merged.
+    """
+    r = np.asarray(rows, dtype=np.int64).ravel()
+    c = np.asarray(cols, dtype=np.int64).ravel()
+    if r.shape != c.shape:
+        raise ShapeError(f"rows and cols differ in length: {r.shape} vs {c.shape}")
+    if r.size:
+        if r.min() < 0 or r.max() >= nrows:
+            raise GraphStructureError(f"row indices out of range [0, {nrows})")
+        if c.min() < 0 or c.max() >= ncols:
+            raise GraphStructureError(f"column indices out of range [0, {ncols})")
+    # Sort lexicographically by (row, col) to get CSR order.
+    order = np.lexsort((c, r))
+    r = r[order]
+    c = c[order]
+    if r.size:
+        dup = np.zeros(r.shape[0], dtype=bool)
+        dup[1:] = (r[1:] == r[:-1]) & (c[1:] == c[:-1])
+        if dup.any():
+            if not dedup:
+                k = int(np.flatnonzero(dup)[0])
+                raise GraphStructureError(
+                    f"duplicate edge ({r[k]}, {c[k]}) with dedup=False"
+                )
+            keep = ~dup
+            r = r[keep]
+            c = c[keep]
+    row_ptr = np.zeros(nrows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(r, minlength=nrows), out=row_ptr[1:])
+    return BipartiteGraph(nrows, ncols, row_ptr, c, validate=False)
+
+
+def from_dense(dense: object) -> BipartiteGraph:
+    """Build a graph from a dense 2-D array; any nonzero entry is an edge."""
+    a = np.asarray(dense)
+    if a.ndim != 2:
+        raise ShapeError(f"dense input must be 2-D, got shape {a.shape}")
+    rows, cols = np.nonzero(a)
+    return from_edges(a.shape[0], a.shape[1], rows, cols)
+
+
+def from_scipy(mat: object) -> BipartiteGraph:
+    """Build a graph from any scipy sparse matrix (pattern only)."""
+    from scipy.sparse import issparse
+
+    if not issparse(mat):
+        raise ShapeError("from_scipy expects a scipy sparse matrix")
+    coo = mat.tocoo()
+    return from_edges(coo.shape[0], coo.shape[1], coo.row, coo.col)
+
+
+def from_adjacency_lists(
+    nrows: int, ncols: int, adjacency: Sequence[Iterable[int]]
+) -> BipartiteGraph:
+    """Build a graph from per-row neighbour lists.
+
+    ``adjacency[i]`` is an iterable of the columns adjacent to row ``i``.
+    """
+    if len(adjacency) != nrows:
+        raise ShapeError(
+            f"adjacency has {len(adjacency)} rows, expected {nrows}"
+        )
+    lists = [np.asarray(sorted(set(int(j) for j in nbrs)), dtype=np.int64)
+             for nbrs in adjacency]
+    degs = np.array([a.shape[0] for a in lists], dtype=np.int64)
+    row_ptr = np.zeros(nrows + 1, dtype=np.int64)
+    np.cumsum(degs, out=row_ptr[1:])
+    col_ind = (
+        np.concatenate(lists) if lists else np.empty(0, dtype=np.int64)
+    )
+    return BipartiteGraph(nrows, ncols, row_ptr, col_ind)
+
+
+def empty(nrows: int, ncols: int) -> BipartiteGraph:
+    """A graph with no edges."""
+    return BipartiteGraph(
+        nrows,
+        ncols,
+        np.zeros(nrows + 1, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        validate=False,
+    )
+
+
+def identity(n: int) -> BipartiteGraph:
+    """The ``n × n`` identity pattern (a perfect matching as a graph)."""
+    row_ptr: IndexArray = np.arange(n + 1, dtype=np.int64)
+    col_ind: IndexArray = np.arange(n, dtype=np.int64)
+    return BipartiteGraph(n, n, row_ptr, col_ind, validate=False)

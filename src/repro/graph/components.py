@@ -1,0 +1,95 @@
+"""Connected components of a bipartite graph, and per-component cycle counts.
+
+Used to verify the paper's Lemma 1: every connected component of the
+subgraph built by ``TwoSidedMatch`` contains *at most one* simple cycle
+(equivalently, edges <= vertices in every component).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import IndexArray
+from repro.graph.csr import BipartiteGraph
+
+__all__ = ["connected_components", "component_cycle_counts", "ComponentInfo"]
+
+
+@dataclass(frozen=True)
+class ComponentInfo:
+    """Connected-component labelling of a bipartite graph.
+
+    Row vertex ``i`` has label ``row_labels[i]``; column vertex ``j`` has
+    label ``col_labels[j]``.  Labels are dense in ``range(n_components)``.
+    """
+
+    n_components: int
+    row_labels: IndexArray
+    col_labels: IndexArray
+
+    def sizes(self) -> IndexArray:
+        """Vertices per component (rows + columns)."""
+        return np.bincount(self.row_labels, minlength=self.n_components) + \
+            np.bincount(self.col_labels, minlength=self.n_components)
+
+
+class _UnionFind:
+    """Array-based union-find with path halving and union by size."""
+
+    __slots__ = ("parent", "size")
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = p[x]
+        return int(x)
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+
+def connected_components(graph: BipartiteGraph) -> ComponentInfo:
+    """Label connected components (isolated vertices get their own label)."""
+    n = graph.nrows + graph.ncols
+    uf = _UnionFind(n)
+    rows = graph.row_of_edge()
+    cols = graph.col_ind
+    offset = graph.nrows
+    for k in range(graph.nnz):
+        uf.union(int(rows[k]), offset + int(cols[k]))
+    roots = np.fromiter(
+        (uf.find(v) for v in range(n)), count=n, dtype=np.int64
+    )
+    _, labels = np.unique(roots, return_inverse=True)
+    return ComponentInfo(
+        n_components=int(labels.max()) + 1 if n else 0,
+        row_labels=labels[:offset].astype(np.int64),
+        col_labels=labels[offset:].astype(np.int64),
+    )
+
+
+def component_cycle_counts(graph: BipartiteGraph) -> IndexArray:
+    """Independent-cycle count (``edges - vertices + 1``) per component.
+
+    A component is a tree iff its count is 0 and *unicyclic* iff it is 1.
+    The paper's Lemma 1 asserts all counts are <= 1 for choice subgraphs.
+    """
+    info = connected_components(graph)
+    vertices = info.sizes()
+    edges = np.bincount(
+        info.row_labels[graph.row_of_edge()], minlength=info.n_components
+    )
+    return edges - vertices + 1

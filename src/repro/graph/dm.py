@@ -1,0 +1,319 @@
+"""Dulmage–Mendelsohn decomposition of a bipartite graph.
+
+Section 3.3 of the paper uses the canonical DM block triangular form
+
+::
+
+        | H  *  * |
+    A = | O  S  * |         with S itself block upper triangular when it
+        | O  O  V |         lacks total support,
+
+to explain what scaling does to matrices *without* perfect matchings: the
+entries in the "*" blocks cannot be on any maximum matching and are driven
+to zero by Sinkhorn–Knopp, so the randomized heuristics effectively never
+pick them.  This module computes:
+
+* the coarse decomposition — the horizontal (H), square (S), and vertical
+  (V) row/column sets, from the reachability structure of one maximum
+  matching;
+* the fine decomposition of S — strongly connected components of the
+  matching-contracted digraph;
+* the per-edge *matchable* mask — edges that can appear in some maximum
+  matching (equivalently: not in any "*" block), which is the certificate
+  for total support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import BoolArray, IndexArray
+from repro.graph.csr import BipartiteGraph
+from repro.matching.matching import NIL, Matching
+
+__all__ = ["CoarseDM", "dulmage_mendelsohn"]
+
+
+@dataclass(frozen=True)
+class CoarseDM:
+    """Result of :func:`dulmage_mendelsohn`.
+
+    Row/column membership arrays take values ``'H'``, ``'S'``, ``'V'``
+    encoded as integers 0, 1, 2 (:data:`H_BLOCK`, :data:`S_BLOCK`,
+    :data:`V_BLOCK`).
+    """
+
+    H_BLOCK = 0
+    S_BLOCK = 1
+    V_BLOCK = 2
+
+    #: Per-row block id (0=H, 1=S, 2=V).
+    row_block: IndexArray
+    #: Per-column block id.
+    col_block: IndexArray
+    #: The maximum matching used for the decomposition.
+    matching: Matching
+    #: Fine decomposition: SCC label of each row of S (NIL outside S).
+    row_scc: IndexArray
+    #: SCC label of each column of S (NIL outside S).
+    col_scc: IndexArray
+    #: Number of fine (SCC) blocks within S.
+    n_scc: int
+    #: Per-edge (CSR order) flag: True iff the edge can be put into some
+    #: maximum-cardinality matching.
+    matchable_edges: BoolArray
+
+    # ------------------------------------------------------------------
+    @property
+    def sprank(self) -> int:
+        return self.matching.cardinality
+
+    def rows_of(self, block: int) -> IndexArray:
+        return np.flatnonzero(self.row_block == block)
+
+    def cols_of(self, block: int) -> IndexArray:
+        return np.flatnonzero(self.col_block == block)
+
+    @property
+    def total_support(self) -> bool:
+        """True iff every edge lies on a perfect matching.
+
+        Requires: H and V empty (so the matrix is square with a perfect
+        matching) and every edge matchable.
+        """
+        return (
+            self.rows_of(self.H_BLOCK).size == 0
+            and self.rows_of(self.V_BLOCK).size == 0
+            and self.cols_of(self.H_BLOCK).size == 0
+            and self.cols_of(self.V_BLOCK).size == 0
+            and bool(np.all(self.matchable_edges))
+        )
+
+    @property
+    def fully_indecomposable(self) -> bool:
+        """Total support and a single fine block."""
+        return self.total_support and self.n_scc <= 1
+
+
+def _alternating_reach_from_rows(
+    graph: BipartiteGraph, matching: Matching, seeds: IndexArray
+) -> tuple[BoolArray, BoolArray]:
+    """Rows/cols reachable from seed rows via alternating paths that leave a
+    row on *any* edge and leave a column on its *matched* edge."""
+    row_seen = np.zeros(graph.nrows, dtype=bool)
+    col_seen = np.zeros(graph.ncols, dtype=bool)
+    stack = list(map(int, seeds))
+    row_seen[seeds] = True
+    cm = matching.col_match
+    while stack:
+        i = stack.pop()
+        for j in graph.row_neighbors(i):
+            j = int(j)
+            if col_seen[j]:
+                continue
+            col_seen[j] = True
+            i2 = int(cm[j])
+            if i2 != NIL and not row_seen[i2]:
+                row_seen[i2] = True
+                stack.append(i2)
+    return row_seen, col_seen
+
+
+def _alternating_reach_from_cols(
+    graph: BipartiteGraph, matching: Matching, seeds: IndexArray
+) -> tuple[BoolArray, BoolArray]:
+    """Mirror of :func:`_alternating_reach_from_rows` starting at columns."""
+    row_seen = np.zeros(graph.nrows, dtype=bool)
+    col_seen = np.zeros(graph.ncols, dtype=bool)
+    stack = list(map(int, seeds))
+    col_seen[seeds] = True
+    rm = matching.row_match
+    while stack:
+        j = stack.pop()
+        for i in graph.col_neighbors(j):
+            i = int(i)
+            if row_seen[i]:
+                continue
+            row_seen[i] = True
+            j2 = int(rm[i])
+            if j2 != NIL and not col_seen[j2]:
+                col_seen[j2] = True
+                stack.append(j2)
+    return row_seen, col_seen
+
+
+def _scc_of_square_part(
+    graph: BipartiteGraph,
+    matching: Matching,
+    in_s_row: BoolArray,
+    in_s_col: BoolArray,
+) -> tuple[IndexArray, IndexArray, int]:
+    """Tarjan SCC on the matching-contracted digraph of the square part.
+
+    Node = matched pair, indexed by its column id.  Arc ``j -> j2`` exists
+    when the row matched to ``j`` has an edge to column ``j2 != j`` inside S.
+    """
+    cm = matching.col_match
+    s_cols = np.flatnonzero(in_s_col)
+    n_nodes = s_cols.shape[0]
+    node_of_col = np.full(graph.ncols, NIL, dtype=np.int64)
+    node_of_col[s_cols] = np.arange(n_nodes, dtype=np.int64)
+
+    # Build adjacency (arrays of arrays would be wasteful; flatten to CSR).
+    arc_src: list[np.ndarray] = []
+    arc_dst: list[np.ndarray] = []
+    for node, j in enumerate(s_cols):
+        i = int(cm[j])
+        nbrs = graph.row_neighbors(i)
+        targets = node_of_col[nbrs]
+        targets = targets[(targets != NIL) & (targets != node)]
+        if targets.size:
+            arc_src.append(np.full(targets.size, node, dtype=np.int64))
+            arc_dst.append(targets.astype(np.int64))
+    if arc_src:
+        src = np.concatenate(arc_src)
+        dst = np.concatenate(arc_dst)
+    else:
+        src = np.empty(0, dtype=np.int64)
+        dst = np.empty(0, dtype=np.int64)
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    adj_ptr = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n_nodes), out=adj_ptr[1:])
+
+    # Iterative Tarjan.
+    UNVISITED = -1
+    index = np.full(n_nodes, UNVISITED, dtype=np.int64)
+    low = np.zeros(n_nodes, dtype=np.int64)
+    on_stack = np.zeros(n_nodes, dtype=bool)
+    comp = np.full(n_nodes, NIL, dtype=np.int64)
+    scc_stack: list[int] = []
+    next_index = 0
+    n_comp = 0
+    ptr = adj_ptr[:-1].copy()
+    for root in range(n_nodes):
+        if index[root] != UNVISITED:
+            continue
+        call_stack = [root]
+        while call_stack:
+            v = call_stack[-1]
+            if index[v] == UNVISITED:
+                index[v] = low[v] = next_index
+                next_index += 1
+                scc_stack.append(v)
+                on_stack[v] = True
+            advanced = False
+            while ptr[v] < adj_ptr[v + 1]:
+                w = int(dst[ptr[v]])
+                ptr[v] += 1
+                if index[w] == UNVISITED:
+                    call_stack.append(w)
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            if low[v] == index[v]:
+                while True:
+                    w = scc_stack.pop()
+                    on_stack[w] = False
+                    comp[w] = n_comp
+                    if w == v:
+                        break
+                n_comp += 1
+            call_stack.pop()
+            if call_stack:
+                parent = call_stack[-1]
+                low[parent] = min(low[parent], low[v])
+
+    col_scc = np.full(graph.ncols, NIL, dtype=np.int64)
+    col_scc[s_cols] = comp
+    row_scc = np.full(graph.nrows, NIL, dtype=np.int64)
+    s_rows = cm[s_cols]
+    row_scc[s_rows] = comp
+    return row_scc, col_scc, n_comp
+
+
+def dulmage_mendelsohn(
+    graph: BipartiteGraph, matching: Matching | None = None
+) -> CoarseDM:
+    """Compute the coarse + fine DM decomposition of *graph*.
+
+    Parameters
+    ----------
+    graph:
+        Any bipartite graph (square or rectangular).
+    matching:
+        Optional *maximum* matching to reuse; computed with Hopcroft–Karp
+        if absent.  (A non-maximum matching would give a wrong
+        decomposition; cardinality is verified when one is supplied.)
+    """
+    if matching is None:
+        from repro.matching.exact.hopcroft_karp import hopcroft_karp
+
+        matching = hopcroft_karp(graph)
+    else:
+        matching.validate(graph)
+        from repro.matching.exact.hopcroft_karp import hopcroft_karp
+
+        if hopcroft_karp(graph, initial=matching).cardinality != (
+            matching.cardinality
+        ):
+            from repro.errors import MatchingError
+
+            raise MatchingError(
+                "dulmage_mendelsohn requires a maximum matching"
+            )
+
+    # Vertical part: alternating reach from unmatched rows.
+    v_rows, v_cols = _alternating_reach_from_rows(
+        graph, matching, matching.unmatched_rows()
+    )
+    # Horizontal part: alternating reach from unmatched columns.
+    h_rows, h_cols = _alternating_reach_from_cols(
+        graph, matching, matching.unmatched_cols()
+    )
+
+    row_block = np.full(graph.nrows, CoarseDM.S_BLOCK, dtype=np.int64)
+    col_block = np.full(graph.ncols, CoarseDM.S_BLOCK, dtype=np.int64)
+    row_block[h_rows] = CoarseDM.H_BLOCK
+    col_block[h_cols] = CoarseDM.H_BLOCK
+    row_block[v_rows] = CoarseDM.V_BLOCK
+    col_block[v_cols] = CoarseDM.V_BLOCK
+
+    in_s_row = row_block == CoarseDM.S_BLOCK
+    in_s_col = col_block == CoarseDM.S_BLOCK
+    row_scc, col_scc, n_scc = _scc_of_square_part(
+        graph, matching, in_s_row, in_s_col
+    )
+
+    # Edge matchability:
+    #  * inside S: both endpoints in the same SCC;
+    #  * H block: row in H, column in H (every such edge can be chosen for
+    #    its row by swapping along alternating paths);
+    #  * V block: both endpoints in V;
+    #  * across blocks ("*" positions): never matchable.
+    rows_of_edges = graph.row_of_edge()
+    cols_of_edges = graph.col_ind
+    rb = row_block[rows_of_edges]
+    cb = col_block[cols_of_edges]
+    matchable = np.zeros(graph.nnz, dtype=bool)
+    same_block = rb == cb
+    s_edges = same_block & (rb == CoarseDM.S_BLOCK)
+    matchable[s_edges] = (
+        row_scc[rows_of_edges[s_edges]] == col_scc[cols_of_edges[s_edges]]
+    )
+    matchable[same_block & (rb != CoarseDM.S_BLOCK)] = True
+
+    return CoarseDM(
+        row_block=row_block,
+        col_block=col_block,
+        matching=matching,
+        row_scc=row_scc,
+        col_scc=col_scc,
+        n_scc=n_scc,
+        matchable_edges=matchable,
+    )

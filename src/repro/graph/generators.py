@@ -1,0 +1,351 @@
+"""Random and structured graph generators.
+
+These cover every instance family the paper's evaluation touches:
+
+* :func:`sprand` / :func:`sprand_rect` — Erdős–Rényi patterns with a target
+  average degree, the semantics of Matlab's ``sprand`` used in Section 4.1.3.
+* :func:`full_ones` — the all-ones matrix behind Conjecture 1's analysis
+  (its 1-out subgraphs are exactly the uniform random 1-out bipartite graphs
+  of Walkup / Karoński–Pittel).
+* :func:`union_of_permutations` / :func:`fully_indecomposable` — matrices
+  with *total support* by construction (every edge lies on the perfect
+  matching it was sampled from), the standing assumption of the paper's
+  theory and the filter used for its collection experiment (Section 4.1.1).
+* :func:`grid_graph`, :func:`banded`, :func:`power_law_bipartite`,
+  :func:`random_k_out` — the structural ingredients the synthetic instance
+  suite (:mod:`repro.graph.suite`) combines to mimic the UFL matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import SeedLike, rng_from
+from repro.errors import ShapeError
+from repro.graph.build import from_edges
+from repro.graph.csr import BipartiteGraph
+
+__all__ = [
+    "sprand",
+    "sprand_rect",
+    "sprand_symmetric",
+    "full_ones",
+    "random_k_out",
+    "random_permutation_graph",
+    "union_of_permutations",
+    "fully_indecomposable",
+    "grid_graph",
+    "grid3d",
+    "banded",
+    "power_law_bipartite",
+    "drop_random_edges",
+    "overlay",
+]
+
+
+def _sample_positions_without_replacement(
+    total: int, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``count`` distinct integers from ``range(total)``.
+
+    Uses rejection-and-top-up so it stays O(count) in memory even when
+    ``total`` is astronomically large (e.g. ``1e5 × 1.2e5`` positions).
+    """
+    if count > total:
+        raise ShapeError(f"cannot sample {count} distinct positions from {total}")
+    if count * 3 >= total:
+        # Dense regime: a permutation is affordable and exact.
+        return rng.permutation(total)[:count]
+    picked = np.unique(rng.integers(0, total, size=count))
+    while picked.shape[0] < count:
+        extra = rng.integers(0, total, size=(count - picked.shape[0]) * 2 + 8)
+        picked = np.unique(np.concatenate([picked, extra]))
+    if picked.shape[0] > count:
+        picked = rng.permutation(picked)[:count]
+    return picked
+
+
+def sprand_rect(
+    nrows: int, ncols: int, avg_degree: float, seed: SeedLike = None
+) -> BipartiteGraph:
+    """Erdős–Rényi pattern with ``round(avg_degree * nrows)`` edges.
+
+    Mirrors the paper's use of Matlab ``sprand`` for the sprank-deficient
+    experiments (Table 2 and the rectangular case): positions iid uniform,
+    duplicates removed, so the realised nnz is exactly the target.
+    """
+    if avg_degree < 0:
+        raise ShapeError(f"avg_degree must be nonnegative, got {avg_degree}")
+    rng = rng_from(seed)
+    nnz = int(round(avg_degree * nrows))
+    nnz = min(nnz, nrows * ncols)
+    pos = _sample_positions_without_replacement(nrows * ncols, nnz, rng)
+    rows, cols = np.divmod(pos, ncols)
+    return from_edges(nrows, ncols, rows, cols)
+
+
+def sprand(n: int, avg_degree: float, seed: SeedLike = None) -> BipartiteGraph:
+    """Square Erdős–Rényi pattern (see :func:`sprand_rect`)."""
+    return sprand_rect(n, n, avg_degree, seed)
+
+
+def full_ones(n: int, m: int | None = None) -> BipartiteGraph:
+    """The complete bipartite pattern (all-ones matrix).
+
+    Memory is O(n·m); intended for the Conjecture-1 experiments where the
+    1-out subgraph is drawn directly instead when n is large (see
+    :func:`repro.core.oneout.sample_uniform_one_out`).
+    """
+    m = n if m is None else m
+    row_ptr = np.arange(0, (n + 1) * m, m, dtype=np.int64)
+    col_ind = np.tile(np.arange(m, dtype=np.int64), n)
+    return BipartiteGraph(n, m, row_ptr, col_ind, validate=False)
+
+
+def sprand_symmetric(
+    n: int,
+    avg_degree: float,
+    seed: SeedLike = None,
+    *,
+    with_diagonal: bool = False,
+) -> BipartiteGraph:
+    """Random symmetric pattern (an undirected Erdős–Rényi graph).
+
+    Used by the undirected extension (:mod:`repro.core.undirected`):
+    ``a_ij = a_ji``, no self-loops unless *with_diagonal*.
+    """
+    rng = rng_from(seed)
+    m = int(round(avg_degree * n / 2))
+    rows = rng.integers(0, n, size=m * 2)
+    cols = rng.integers(0, n, size=m * 2)
+    keep = rows != cols
+    rows, cols = rows[keep][:m], cols[keep][:m]
+    all_rows = np.concatenate([rows, cols])
+    all_cols = np.concatenate([cols, rows])
+    if with_diagonal:
+        diag = np.arange(n, dtype=np.int64)
+        all_rows = np.concatenate([all_rows, diag])
+        all_cols = np.concatenate([all_cols, diag])
+    return from_edges(n, n, all_rows, all_cols)
+
+
+def random_permutation_graph(n: int, seed: SeedLike = None) -> BipartiteGraph:
+    """A uniformly random permutation matrix pattern."""
+    rng = rng_from(seed)
+    perm = rng.permutation(n)
+    return from_edges(n, n, np.arange(n, dtype=np.int64), perm)
+
+
+def union_of_permutations(
+    n: int, k: int, seed: SeedLike = None, *, include_cycle: bool = False
+) -> BipartiteGraph:
+    """Union of ``k`` independent random permutation matrices.
+
+    Every edge belongs to the (perfect-matching) permutation it came from,
+    so the result has **total support** by construction.  With
+    ``include_cycle=True`` one of the permutations is replaced by the full
+    cycle ``i -> i+1 (mod n)``, which makes the bipartite graph connected
+    and hence the matrix *fully indecomposable*.
+    """
+    if k < 1:
+        raise ShapeError(f"k must be >= 1, got {k}")
+    rng = rng_from(seed)
+    rows = np.tile(np.arange(n, dtype=np.int64), k)
+    cols_parts = []
+    for t in range(k):
+        if include_cycle and t == 0:
+            cols_parts.append((np.arange(n, dtype=np.int64) + 1) % n)
+        else:
+            cols_parts.append(rng.permutation(n).astype(np.int64))
+    cols = np.concatenate(cols_parts)
+    return from_edges(n, n, rows, cols)
+
+
+def fully_indecomposable(
+    n: int,
+    avg_degree: float = 4.0,
+    seed: SeedLike = None,
+) -> BipartiteGraph:
+    """A random fully indecomposable (0,1) matrix with ~``avg_degree``·n edges.
+
+    Construction: the full cycle permutation (connectivity) plus
+    ``ceil(avg_degree) - 1`` random permutations (total support), so every
+    nonzero can be put into a perfect matching — the matrix class of the
+    paper's Section 4.1.1 collection experiment.
+    """
+    k = max(2, int(round(avg_degree)))
+    return union_of_permutations(n, k, seed, include_cycle=True)
+
+
+def random_k_out(
+    n: int,
+    k: int = 1,
+    seed: SeedLike = None,
+    *,
+    both_sides: bool = True,
+) -> BipartiteGraph:
+    """Random bipartite k-out graph on ``n + n`` vertices.
+
+    Every row picks ``k`` uniformly random distinct columns; with
+    ``both_sides=True`` (default) every column also picks ``k`` random rows
+    and the union is returned — for ``k=1`` this is exactly the distribution
+    of the subgraph ``TwoSidedMatch`` builds on the all-ones matrix.
+    """
+    if k < 1 or k > n:
+        raise ShapeError(f"k must be in [1, {n}], got {k}")
+    rng = rng_from(seed)
+
+    def _picks() -> np.ndarray:
+        if k == 1:
+            return rng.integers(0, n, size=n)[:, None]
+        # Row-wise distinct sampling via argpartition of random keys.
+        keys = rng.random((n, n))
+        return np.argpartition(keys, k, axis=1)[:, :k]
+
+    r_choice = _picks()
+    rows = np.repeat(np.arange(n, dtype=np.int64), k)
+    cols = r_choice.ravel().astype(np.int64)
+    if both_sides:
+        c_choice = _picks()
+        rows = np.concatenate([rows, c_choice.ravel().astype(np.int64)])
+        cols = np.concatenate([cols, np.repeat(np.arange(n, dtype=np.int64), k)])
+    return from_edges(n, n, rows, cols)
+
+
+def grid_graph(
+    gx: int, gy: int, *, stencil: int = 5
+) -> BipartiteGraph:
+    """Pattern of a ``gx × gy`` structured-mesh operator (5- or 9-point).
+
+    The matrix is ``n × n`` with ``n = gx · gy``; row ``p`` has a diagonal
+    entry plus entries for each stencil neighbour of grid cell ``p``.  This
+    mimics the paper's mesh-based instances (atmosmodl, venturiLevel3,
+    channel): near-constant degree, strong locality, total support via the
+    diagonal.
+    """
+    if stencil not in (5, 9):
+        raise ShapeError(f"stencil must be 5 or 9, got {stencil}")
+    n = gx * gy
+    ids = np.arange(n, dtype=np.int64).reshape(gx, gy)
+    rows_list = [ids.ravel()]
+    cols_list = [ids.ravel()]
+    if stencil == 5:
+        offsets = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+    else:
+        offsets = [
+            (dx, dy)
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            if (dx, dy) != (0, 0)
+        ]
+    for dx, dy in offsets:
+        src = ids[
+            max(0, -dx) : gx - max(0, dx), max(0, -dy) : gy - max(0, dy)
+        ]
+        dst = ids[
+            max(0, dx) : gx - max(0, -dx), max(0, dy) : gy - max(0, -dy)
+        ]
+        rows_list.append(src.ravel())
+        cols_list.append(dst.ravel())
+    return from_edges(
+        n, n, np.concatenate(rows_list), np.concatenate(cols_list)
+    )
+
+
+def grid3d(gx: int, gy: int, gz: int) -> BipartiteGraph:
+    """Pattern of a 7-point stencil on a ``gx × gy × gz`` mesh.
+
+    Mimics 3-D CFD/atmospheric operators (atmosmodl-like): constant degree
+    ~7, strong banded locality, total support via the diagonal.
+    """
+    n = gx * gy * gz
+    ids = np.arange(n, dtype=np.int64).reshape(gx, gy, gz)
+    rows_list = [ids.ravel()]
+    cols_list = [ids.ravel()]
+    for axis in range(3):
+        for sign in (-1, 1):
+            src_slices = [slice(None)] * 3
+            dst_slices = [slice(None)] * 3
+            if sign < 0:
+                src_slices[axis] = slice(1, None)
+                dst_slices[axis] = slice(None, -1)
+            else:
+                src_slices[axis] = slice(None, -1)
+                dst_slices[axis] = slice(1, None)
+            rows_list.append(ids[tuple(src_slices)].ravel())
+            cols_list.append(ids[tuple(dst_slices)].ravel())
+    return from_edges(
+        n, n, np.concatenate(rows_list), np.concatenate(cols_list)
+    )
+
+
+def drop_random_edges(
+    graph: BipartiteGraph, fraction: float, seed: SeedLike = None
+) -> BipartiteGraph:
+    """Delete each edge independently with probability *fraction*.
+
+    Used to carve sprank-deficient road-network-like instances out of
+    regular meshes.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ShapeError(f"fraction must be in [0, 1], got {fraction}")
+    rng = rng_from(seed)
+    keep = rng.random(graph.nnz) >= fraction
+    return from_edges(
+        graph.nrows,
+        graph.ncols,
+        graph.row_of_edge()[keep],
+        graph.col_ind[keep],
+    )
+
+
+def banded(n: int, bandwidth: int) -> BipartiteGraph:
+    """Banded pattern: ``a_ij = 1`` iff ``|i - j| <= bandwidth``."""
+    offs = np.arange(-bandwidth, bandwidth + 1, dtype=np.int64)
+    rows = np.repeat(np.arange(n, dtype=np.int64), offs.shape[0])
+    cols = rows + np.tile(offs, n)
+    keep = (cols >= 0) & (cols < n)
+    return from_edges(n, n, rows[keep], cols[keep])
+
+
+def power_law_bipartite(
+    n: int,
+    avg_degree: float,
+    *,
+    skew: float = 1.0,
+    seed: SeedLike = None,
+    ensure_diagonal: bool = True,
+) -> BipartiteGraph:
+    """Bipartite configuration-model pattern with lognormal row degrees.
+
+    ``skew`` is the σ of the lognormal: 0 gives near-constant degrees; 2+
+    gives the heavy-tailed, high-variance profile of matrices like
+    ``torso1`` where the paper observes load-imbalance-limited speedups.
+    ``ensure_diagonal=True`` adds the identity so the matrix has support.
+    """
+    rng = rng_from(seed)
+    raw = rng.lognormal(mean=0.0, sigma=skew, size=n)
+    target_nnz = avg_degree * n
+    degs = np.maximum(1, np.round(raw * (target_nnz / raw.sum()))).astype(
+        np.int64
+    )
+    degs = np.minimum(degs, n)
+    rows = np.repeat(np.arange(n, dtype=np.int64), degs)
+    cols = rng.integers(0, n, size=int(degs.sum()))
+    if ensure_diagonal:
+        rows = np.concatenate([rows, np.arange(n, dtype=np.int64)])
+        cols = np.concatenate([cols, np.arange(n, dtype=np.int64)])
+    return from_edges(n, n, rows, cols)
+
+
+def overlay(*graphs: BipartiteGraph) -> BipartiteGraph:
+    """Union of the patterns of same-shape graphs."""
+    if not graphs:
+        raise ShapeError("overlay needs at least one graph")
+    shape = graphs[0].shape
+    for g in graphs[1:]:
+        if g.shape != shape:
+            raise ShapeError(f"shape mismatch: {g.shape} vs {shape}")
+    rows = np.concatenate([g.row_of_edge() for g in graphs])
+    cols = np.concatenate([g.col_ind for g in graphs])
+    return from_edges(shape[0], shape[1], rows, cols)

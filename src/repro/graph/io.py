@@ -1,0 +1,111 @@
+"""Reading and writing graph patterns.
+
+Supports the MatrixMarket coordinate format (the interchange format of the
+UFL/SuiteSparse collection the paper draws its instances from) and a fast
+``.npz`` binary cache for repeated benchmark runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphStructureError
+from repro.graph.build import from_edges
+from repro.graph.csr import BipartiteGraph
+
+__all__ = [
+    "read_matrix_market",
+    "write_matrix_market",
+    "save_npz",
+    "load_npz",
+]
+
+
+def read_matrix_market(path: str | os.PathLike) -> BipartiteGraph:
+    """Read a MatrixMarket coordinate file as a pattern.
+
+    ``pattern``, ``real``, ``integer`` and ``complex`` fields are accepted
+    (values are discarded — the paper's algorithms use the pattern only).
+    ``symmetric`` and ``skew-symmetric`` storage is expanded to general.
+    """
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphStructureError(f"{path}: missing MatrixMarket header")
+        tokens = header.strip().split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise GraphStructureError(
+                f"{path}: only coordinate matrices are supported"
+            )
+        field = tokens[3]
+        symmetry = tokens[4]
+        if field not in {"pattern", "real", "integer", "complex"}:
+            raise GraphStructureError(f"{path}: unsupported field {field!r}")
+        if symmetry not in {"general", "symmetric", "skew-symmetric"}:
+            raise GraphStructureError(
+                f"{path}: unsupported symmetry {symmetry!r}"
+            )
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        parts = line.split()
+        if len(parts) != 3:
+            raise GraphStructureError(f"{path}: malformed size line")
+        nrows, ncols, nnz = (int(p) for p in parts)
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        for k in range(nnz):
+            entry = fh.readline().split()
+            if len(entry) < 2:
+                raise GraphStructureError(f"{path}: truncated at entry {k}")
+            rows[k] = int(entry[0]) - 1
+            cols[k] = int(entry[1]) - 1
+    if symmetry in {"symmetric", "skew-symmetric"}:
+        off_diag = rows != cols
+        rows, cols = (
+            np.concatenate([rows, cols[off_diag]]),
+            np.concatenate([cols, rows[off_diag]]),
+        )
+    return from_edges(nrows, ncols, rows, cols)
+
+
+def write_matrix_market(
+    graph: BipartiteGraph, path: str | os.PathLike
+) -> None:
+    """Write *graph* as a general pattern MatrixMarket coordinate file."""
+    path = Path(path)
+    rows = graph.row_of_edge()
+    cols = graph.col_ind
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("%%MatrixMarket matrix coordinate pattern general\n")
+        fh.write("%% written by repro\n")
+        fh.write(f"{graph.nrows} {graph.ncols} {graph.nnz}\n")
+        for k in range(graph.nnz):
+            fh.write(f"{int(rows[k]) + 1} {int(cols[k]) + 1}\n")
+
+
+def save_npz(graph: BipartiteGraph, path: str | os.PathLike) -> None:
+    """Binary cache of the CSR arrays (fast reload for benchmarks)."""
+    np.savez_compressed(
+        path,
+        nrows=np.int64(graph.nrows),
+        ncols=np.int64(graph.ncols),
+        row_ptr=graph.row_ptr,
+        col_ind=graph.col_ind,
+    )
+
+
+def load_npz(path: str | os.PathLike) -> BipartiteGraph:
+    """Load a graph written by :func:`save_npz`."""
+    with np.load(path) as data:
+        return BipartiteGraph(
+            int(data["nrows"]),
+            int(data["ncols"]),
+            data["row_ptr"],
+            data["col_ind"],
+            validate=False,
+        )

@@ -1,0 +1,85 @@
+"""Structural diagnostics of a bipartite graph / sparse pattern.
+
+These are the quantities the paper's evaluation reports per instance
+(Table 3): size, edge count, average degree, degree variance (the
+load-imbalance indicator for ``torso1``/``audikw_1``), structural rank
+ratio, and support properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import BipartiteGraph
+
+__all__ = [
+    "DegreeStatistics",
+    "degree_statistics",
+    "is_perfect_matchable",
+    "has_total_support_certificate",
+]
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Degree summary of one vertex class."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    variance: float
+    empty_count: int
+
+    @classmethod
+    def of(cls, degrees: np.ndarray) -> "DegreeStatistics":
+        if degrees.size == 0:
+            return cls(0, 0, 0.0, 0.0, 0)
+        return cls(
+            minimum=int(degrees.min()),
+            maximum=int(degrees.max()),
+            mean=float(degrees.mean()),
+            variance=float(degrees.var()),
+            empty_count=int(np.count_nonzero(degrees == 0)),
+        )
+
+
+def degree_statistics(
+    graph: BipartiteGraph,
+) -> tuple[DegreeStatistics, DegreeStatistics]:
+    """Degree statistics ``(rows, columns)`` of *graph*."""
+    return (
+        DegreeStatistics.of(graph.row_degrees()),
+        DegreeStatistics.of(graph.col_degrees()),
+    )
+
+
+def is_perfect_matchable(graph: BipartiteGraph) -> bool:
+    """True iff the graph has a matching covering every vertex.
+
+    Requires a square shape; computed with the exact Hopcroft–Karp matcher
+    (the matrix "has support" in the paper's terminology).
+    """
+    if not graph.is_square:
+        return False
+    from repro.matching.exact.hopcroft_karp import hopcroft_karp
+
+    return hopcroft_karp(graph).cardinality == graph.nrows
+
+
+def has_total_support_certificate(graph: BipartiteGraph) -> bool:
+    """True iff every edge of *graph* lies on some perfect matching.
+
+    This is the "total support" condition required by Sinkhorn–Knopp
+    convergence with positive diagonals (Section 2.2).  Decided exactly via
+    the Dulmage–Mendelsohn decomposition: the matrix has total support iff
+    the DM square block covers everything *and* no edge falls in an
+    off-diagonal ("*") block of the fine decomposition.
+    """
+    if not graph.is_square or not is_perfect_matchable(graph):
+        return False
+    from repro.graph.dm import dulmage_mendelsohn
+
+    dm = dulmage_mendelsohn(graph)
+    return dm.total_support

@@ -1,0 +1,81 @@
+"""Terminal visualisation helpers for small graphs and matchings.
+
+Useful when debugging the algorithms on toy instances (the paper's
+Figure 1/Figure 2 scale):
+
+* :func:`spy` — an ASCII "spy plot" of the pattern, optionally
+  highlighting a matching and/or a DM block structure;
+* :func:`choice_diagram` — the choice subgraph as adjacency text
+  (``r3 -> c7``), component by component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IndexArray
+from repro.errors import ShapeError
+from repro.graph.csr import BipartiteGraph
+from repro.matching.matching import NIL, Matching
+
+__all__ = ["spy", "choice_diagram"]
+
+_MAX_SPY = 200
+
+
+def spy(
+    graph: BipartiteGraph,
+    matching: Matching | None = None,
+    *,
+    max_dim: int = _MAX_SPY,
+) -> str:
+    """ASCII spy plot: ``.`` empty, ``*`` edge, ``@`` matched edge.
+
+    Raises :class:`ShapeError` beyond ``max_dim`` in either dimension —
+    this is a toy-scale debugging tool, not a renderer.
+    """
+    if graph.nrows > max_dim or graph.ncols > max_dim:
+        raise ShapeError(
+            f"spy() is for small graphs (<= {max_dim}); "
+            f"got {graph.nrows} x {graph.ncols}"
+        )
+    grid = np.full((graph.nrows, graph.ncols), ".", dtype="<U1")
+    grid[graph.row_of_edge(), graph.col_ind] = "*"
+    if matching is not None:
+        for i, j in matching.pairs():
+            grid[i, j] = "@"
+    header = "    " + "".join(str(j % 10) for j in range(graph.ncols))
+    lines = [header]
+    for i in range(graph.nrows):
+        lines.append(f"{i:3d} " + "".join(grid[i]))
+    return "\n".join(lines)
+
+
+def choice_diagram(
+    row_choice: IndexArray, col_choice: IndexArray, *, max_dim: int = _MAX_SPY
+) -> str:
+    """Textual rendering of a choice subgraph, grouped by component."""
+    from repro.core.karp_sipser_mt import choice_graph
+    from repro.graph.components import connected_components
+
+    row_choice = np.asarray(row_choice, dtype=np.int64)
+    col_choice = np.asarray(col_choice, dtype=np.int64)
+    nrows, ncols = row_choice.shape[0], col_choice.shape[0]
+    if nrows > max_dim or ncols > max_dim:
+        raise ShapeError(f"choice_diagram() is for small graphs (<= {max_dim})")
+    g = choice_graph(row_choice, col_choice)
+    info = connected_components(g)
+    lines: list[str] = []
+    for comp in range(info.n_components):
+        rows = np.flatnonzero(info.row_labels == comp)
+        cols = np.flatnonzero(info.col_labels == comp)
+        if rows.size + cols.size <= 1:
+            continue  # skip isolated vertices
+        lines.append(f"component {comp} ({rows.size}+{cols.size} vertices):")
+        for i in rows:
+            if row_choice[i] != NIL:
+                lines.append(f"  r{int(i)} -> c{int(row_choice[i])}")
+        for j in cols:
+            if col_choice[j] != NIL:
+                lines.append(f"  c{int(j)} -> r{int(col_choice[j])}")
+    return "\n".join(lines) if lines else "(no non-trivial components)"

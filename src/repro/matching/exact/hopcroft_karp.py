@@ -1,0 +1,154 @@
+"""Hopcroft–Karp maximum-cardinality bipartite matching.
+
+This is the exact ``O(sqrt(n) * tau)`` algorithm the paper cites [17] as the
+best known worst case; the library uses it to compute the structural rank
+(the denominator of every quality figure) and as the correctness oracle for
+the heuristics.
+
+The implementation is fully iterative (no recursion), works directly on the
+CSR arrays, and optionally warm-starts from a caller-provided matching —
+which is precisely how the paper motivates cheap heuristics: as jump-starts
+for exact algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatchingError
+from repro.graph.csr import BipartiteGraph
+from repro.matching.matching import NIL, Matching
+
+__all__ = ["hopcroft_karp"]
+
+_INF = np.iinfo(np.int64).max
+
+
+def _greedy_seed(
+    graph: BipartiteGraph, row_match: np.ndarray, col_match: np.ndarray
+) -> None:
+    """In-place first-fit greedy matching (classic HK warm start)."""
+    col_ind = graph.col_ind
+    row_ptr = graph.row_ptr
+    for i in range(graph.nrows):
+        if row_match[i] != NIL:
+            continue
+        for k in range(row_ptr[i], row_ptr[i + 1]):
+            j = col_ind[k]
+            if col_match[j] == NIL:
+                row_match[i] = j
+                col_match[j] = i
+                break
+
+
+def hopcroft_karp(
+    graph: BipartiteGraph,
+    initial: Matching | None = None,
+    *,
+    greedy_init: bool = True,
+) -> Matching:
+    """Compute a maximum-cardinality matching of *graph*.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph.
+    initial:
+        Optional valid matching to start from (e.g. the output of
+        ``OneSidedMatch``/``TwoSidedMatch``).  The result is still a true
+        maximum matching; a good start just reduces the number of phases.
+    greedy_init:
+        When no *initial* is given, seed with a first-fit greedy matching.
+
+    Returns
+    -------
+    Matching
+        A maximum-cardinality matching.
+    """
+    nrows, ncols = graph.nrows, graph.ncols
+    if initial is not None:
+        initial.validate(graph)
+        row_match = initial.row_match.copy()
+        col_match = initial.col_match.copy()
+    else:
+        row_match = np.full(nrows, NIL, dtype=np.int64)
+        col_match = np.full(ncols, NIL, dtype=np.int64)
+        if greedy_init:
+            _greedy_seed(graph, row_match, col_match)
+
+    row_ptr = graph.row_ptr
+    col_ind = graph.col_ind
+    dist = np.empty(nrows, dtype=np.int64)
+    ptr = np.empty(nrows, dtype=np.int64)
+    queue = np.empty(nrows, dtype=np.int64)
+
+    def bfs() -> bool:
+        """Layer rows by alternating-path distance from free rows."""
+        head = tail = 0
+        dist.fill(_INF)
+        for i in range(nrows):
+            if row_match[i] == NIL:
+                dist[i] = 0
+                queue[tail] = i
+                tail += 1
+        found_free_col = False
+        while head < tail:
+            i = int(queue[head])
+            head += 1
+            for k in range(row_ptr[i], row_ptr[i + 1]):
+                j = col_ind[k]
+                i2 = col_match[j]
+                if i2 == NIL:
+                    found_free_col = True
+                elif dist[i2] == _INF:
+                    dist[i2] = dist[i] + 1
+                    queue[tail] = i2
+                    tail += 1
+        return found_free_col
+
+    # Explicit stacks for the iterative layered DFS.
+    stack = np.empty(nrows + 1, dtype=np.int64)
+    chosen = np.empty(nrows + 1, dtype=np.int64)
+
+    def try_augment(root: int) -> bool:
+        """Find one augmenting path from free row *root* within layers."""
+        top = 0
+        stack[0] = root
+        while top >= 0:
+            i = int(stack[top])
+            advanced = False
+            while ptr[i] < row_ptr[i + 1]:
+                j = int(col_ind[ptr[i]])
+                ptr[i] += 1
+                i2 = int(col_match[j])
+                if i2 == NIL:
+                    # Augment along the stacked path.
+                    chosen[top] = j
+                    for t in range(top, -1, -1):
+                        it = int(stack[t])
+                        jt = int(chosen[t])
+                        row_match[it] = jt
+                        col_match[jt] = it
+                    return True
+                if dist[i2] == dist[i] + 1:
+                    chosen[top] = j
+                    top += 1
+                    stack[top] = i2
+                    advanced = True
+                    break
+            if not advanced:
+                dist[i] = _INF  # dead end: prune for this phase
+                top -= 1
+        return False
+
+    guard = 0
+    while bfs():
+        guard += 1
+        if guard > nrows + 2:  # pragma: no cover - safety net
+            raise MatchingError("Hopcroft-Karp exceeded its phase bound")
+        ptr[:] = row_ptr[:-1]
+        for i in range(nrows):
+            if row_match[i] == NIL and dist[i] == 0:
+                try_augment(i)
+
+    return Matching(row_match, col_match)

@@ -1,0 +1,95 @@
+"""Push-relabel maximum bipartite matching.
+
+The paper's companion work (Kaya, Langguth, Manne, Uçar — "Push-relabel
+based algorithms for the maximum transversal problem", reference [21])
+builds exact matchers from the push-relabel framework; the GPU studies it
+cites ([9, 10]) use the same core.  This is the sequential "double push"
+variant:
+
+* every column carries a *price* (label) ``psi``, initially 0;
+* an unmatched row pushes to its cheapest neighbour column: it takes the
+  column (displacing that column's previous mate, which becomes active),
+  and the column is *relabelled* to ``second_cheapest + 2`` so the same
+  row will not immediately steal it back;
+* a row whose cheapest neighbour has a price beyond the cap can never
+  reach a free column and is abandoned.
+
+Labels are monotone and bounded, giving an ``O(n·tau)`` worst case; on
+typical inputs the displaced-row chains are short.  Exactness is verified
+against Hopcroft–Karp in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import BipartiteGraph
+from repro.matching.matching import NIL, Matching
+
+__all__ = ["push_relabel"]
+
+
+def push_relabel(
+    graph: BipartiteGraph, initial: Matching | None = None
+) -> Matching:
+    """Maximum-cardinality matching via double-push / relabel.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph.
+    initial:
+        Optional valid matching to warm-start from (e.g. a heuristic
+        result); displaced-row chains then start only from the rows the
+        heuristic left unmatched.
+    """
+    nrows, ncols = graph.nrows, graph.ncols
+    row_ptr = graph.row_ptr
+    col_ind = graph.col_ind
+
+    if initial is not None:
+        initial.validate(graph)
+        row_match = initial.row_match.copy()
+        col_match = initial.col_match.copy()
+    else:
+        row_match = np.full(nrows, NIL, dtype=np.int64)
+        col_match = np.full(ncols, NIL, dtype=np.int64)
+
+    psi = np.zeros(ncols, dtype=np.int64)
+    # A column's label increases by >= 1 per relabel and a label beyond
+    # 2*ncols certifies no augmenting path through it remains.
+    cap = 2 * ncols + 1
+
+    for start in range(nrows):
+        if row_match[start] != NIL:
+            continue
+        v = start
+        while v != NIL:
+            lo, hi = int(row_ptr[v]), int(row_ptr[v + 1])
+            if lo == hi:
+                break  # isolated row
+            # Cheapest and second-cheapest neighbour columns.
+            best = -1
+            best_psi = cap
+            second_psi = cap
+            for k in range(lo, hi):
+                c = int(col_ind[k])
+                p = int(psi[c])
+                if p < best_psi:
+                    second_psi = best_psi
+                    best_psi = p
+                    best = c
+                elif p < second_psi:
+                    second_psi = p
+            if best_psi >= cap:
+                break  # no free column reachable: abandon this row
+            # Double push: take the column, displace its mate.
+            displaced = int(col_match[best])
+            col_match[best] = v
+            row_match[v] = best
+            psi[best] = second_psi + 2
+            if displaced != NIL:
+                row_match[displaced] = NIL
+            v = displaced
+
+    return Matching(row_match, col_match)

@@ -1,0 +1,18 @@
+"""Structural rank (maximum matching cardinality) of a sparse pattern."""
+
+from __future__ import annotations
+
+from repro.graph.csr import BipartiteGraph
+from repro.matching.exact.hopcroft_karp import hopcroft_karp
+
+__all__ = ["sprank"]
+
+
+def sprank(graph: BipartiteGraph) -> int:
+    """Maximum-cardinality matching size of *graph*.
+
+    The paper's quality metric divides every heuristic matching size by this
+    number (called ``sprank`` in Tables 2 and 3, from the sparse-matrix view:
+    the structural rank of ``A``).
+    """
+    return hopcroft_karp(graph).cardinality

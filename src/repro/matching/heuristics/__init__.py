@@ -1,0 +1,21 @@
+"""Heuristic matching baselines (cheap matching variants, Karp–Sipser)."""
+
+from repro.matching.heuristics.greedy import (
+    greedy_edge_matching,
+    greedy_row_matching,
+    greedy_vertex_matching,
+)
+from repro.matching.heuristics.karp_sipser import karp_sipser, KarpSipserStats
+from repro.matching.heuristics.karp_sipser_relaxed import karp_sipser_relaxed
+from repro.matching.heuristics.karp_sipser_plus import karp_sipser_plus, KarpSipserPlusStats
+
+__all__ = [
+    "greedy_edge_matching",
+    "greedy_row_matching",
+    "greedy_vertex_matching",
+    "karp_sipser",
+    "karp_sipser_relaxed",
+    "karp_sipser_plus",
+    "KarpSipserPlusStats",
+    "KarpSipserStats",
+]

@@ -1,0 +1,110 @@
+"""Cheap matching heuristics — the ½-approximation baselines of Section 2.1.
+
+The paper describes two classic variants:
+
+* :func:`greedy_edge_matching` — visit edges in random order, match both
+  endpoints if free (Dyer–Frieze analysis [13]; worst case ratio ½).
+* :func:`greedy_vertex_matching` — repeatedly pick a random vertex with at
+  least one live neighbour and match it with a random neighbour, removing
+  matched and isolated vertices (Pothen–Fan's ½ proof [28]; slightly above
+  ½ by Aronson et al. [2] / Poloczek–Szegedy [26]).
+
+:func:`greedy_row_matching` is the simpler one-pass row variant frequently
+used as a jump-start in transversal codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import SeedLike, rng_from
+from repro.graph.csr import BipartiteGraph
+from repro.matching.matching import NIL, Matching
+
+__all__ = [
+    "greedy_edge_matching",
+    "greedy_row_matching",
+    "greedy_vertex_matching",
+]
+
+
+def greedy_edge_matching(
+    graph: BipartiteGraph, seed: SeedLike = None
+) -> Matching:
+    """Random-order maximal matching over the edges (cheap variant 1)."""
+    rng = rng_from(seed)
+    row_match = np.full(graph.nrows, NIL, dtype=np.int64)
+    col_match = np.full(graph.ncols, NIL, dtype=np.int64)
+    rows = graph.row_of_edge()
+    cols = graph.col_ind
+    for k in rng.permutation(graph.nnz):
+        i = int(rows[k])
+        j = int(cols[k])
+        if row_match[i] == NIL and col_match[j] == NIL:
+            row_match[i] = j
+            col_match[j] = i
+    return Matching(row_match, col_match)
+
+
+def greedy_row_matching(
+    graph: BipartiteGraph, seed: SeedLike = None
+) -> Matching:
+    """One pass over rows in random order; each row matches a random free
+    neighbour if one exists."""
+    rng = rng_from(seed)
+    row_match = np.full(graph.nrows, NIL, dtype=np.int64)
+    col_match = np.full(graph.ncols, NIL, dtype=np.int64)
+    row_ptr = graph.row_ptr
+    col_ind = graph.col_ind
+    for i in rng.permutation(graph.nrows):
+        lo, hi = int(row_ptr[i]), int(row_ptr[i + 1])
+        if lo == hi:
+            continue
+        # Random scan order within the row.
+        offs = rng.permutation(hi - lo)
+        for o in offs:
+            j = int(col_ind[lo + o])
+            if col_match[j] == NIL:
+                row_match[i] = j
+                col_match[j] = int(i)
+                break
+    return Matching(row_match, col_match)
+
+
+def greedy_vertex_matching(
+    graph: BipartiteGraph, seed: SeedLike = None
+) -> Matching:
+    """Cheap variant 2: random vertex, random *live* neighbour, repeat.
+
+    Maintains live degrees on both sides so a vertex whose neighbours are
+    all matched is skipped (it became "isolated" in the paper's phrasing).
+    The returned matching is maximal.
+    """
+    rng = rng_from(seed)
+    nrows, ncols = graph.nrows, graph.ncols
+    row_match = np.full(nrows, NIL, dtype=np.int64)
+    col_match = np.full(ncols, NIL, dtype=np.int64)
+    # Vertices 0..nrows-1 are rows; nrows..nrows+ncols-1 are columns.
+    order = rng.permutation(nrows + ncols)
+    for v in order:
+        if v < nrows:
+            i = int(v)
+            if row_match[i] != NIL:
+                continue
+            nbrs = graph.row_neighbors(i)
+            live = nbrs[col_match[nbrs] == NIL]
+            if live.size:
+                j = int(live[rng.integers(live.size)])
+                row_match[i] = j
+                col_match[j] = i
+        else:
+            j = int(v) - nrows
+            if col_match[j] != NIL:
+                continue
+            nbrs = graph.col_neighbors(j)
+            live = nbrs[row_match[nbrs] == NIL]
+            if live.size:
+                i = int(live[rng.integers(live.size)])
+                row_match[i] = j
+                col_match[j] = i
+    return Matching(row_match, col_match)

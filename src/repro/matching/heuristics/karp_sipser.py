@@ -1,0 +1,186 @@
+"""The classic Karp–Sipser heuristic (Section 2.1 of the paper).
+
+Phase 1: while a degree-one vertex exists, matching it with its unique
+neighbour is an *optimal* decision — do so and delete both endpoints.
+Phase 2: no degree-one vertex remains; pick a uniformly random live edge,
+match its endpoints, delete them, and go back to Phase 1 (new degree-one
+vertices may have appeared).
+
+This implementation maintains live degrees with per-vertex skip pointers so
+the total running time is linear in edges, and draws Phase-2 edges from a
+pre-shuffled edge order (uniform over the surviving edges at each draw).
+
+It is the baseline ``TwoSidedMatch`` is measured against in Table 1, where
+the adversarial family of Figure 2 drives its quality down to ~0.67.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import SeedLike, rng_from
+from repro.graph.csr import BipartiteGraph
+from repro.matching.matching import NIL, Matching
+
+__all__ = ["karp_sipser", "KarpSipserStats", "KarpSipserResult"]
+
+
+@dataclass(frozen=True)
+class KarpSipserStats:
+    """Execution statistics of one Karp–Sipser run."""
+
+    #: Matches made by the degree-one rule before the first random pick
+    #: (the paper's "Phase 1").
+    phase1_matches: int
+    #: Random edge picks (each starts a new round of degree-one rules).
+    random_picks: int
+    #: Matches made by the degree-one rule after the first random pick.
+    phase2_degree_one_matches: int
+
+    @property
+    def total_matches(self) -> int:
+        return (
+            self.phase1_matches
+            + self.random_picks
+            + self.phase2_degree_one_matches
+        )
+
+
+@dataclass(frozen=True)
+class KarpSipserResult:
+    matching: Matching
+    stats: KarpSipserStats
+
+
+def karp_sipser(
+    graph: BipartiteGraph,
+    seed: SeedLike = None,
+    *,
+    with_stats: bool = False,
+) -> Matching | KarpSipserResult:
+    """Run the Karp–Sipser heuristic on *graph*.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph.
+    seed:
+        Randomness for Phase-2 edge picks (and nothing else; Phase 1 is
+        deterministic given the worklist order).
+    with_stats:
+        If true, return a :class:`KarpSipserResult` carrying phase counts.
+
+    Returns
+    -------
+    Matching or KarpSipserResult
+        A maximal matching; maximum on graphs whose components are trees or
+        unicyclic (see :mod:`repro.core.karp_sipser_mt` for the proof chain
+        on choice subgraphs).
+    """
+    rng = rng_from(seed)
+    nrows, ncols = graph.nrows, graph.ncols
+    n = nrows + ncols
+
+    deg = np.concatenate([graph.row_degrees(), graph.col_degrees()]).astype(
+        np.int64
+    )
+    matched = np.zeros(n, dtype=bool)
+    row_match = np.full(nrows, NIL, dtype=np.int64)
+    col_match = np.full(ncols, NIL, dtype=np.int64)
+    # Skip pointer: first potentially-live slot in each vertex's list.
+    skip = np.zeros(n, dtype=np.int64)
+    skip[:nrows] = graph.row_ptr[:-1]
+    skip[nrows:] = graph.col_ptr[:-1]
+
+    row_ptr, col_ind = graph.row_ptr, graph.col_ind
+    col_ptr, row_ind = graph.col_ptr, graph.row_ind
+    rows_of_edges = graph.row_of_edge()
+
+    def neighbors_end(v: int) -> int:
+        return int(row_ptr[v + 1]) if v < nrows else int(col_ptr[v - nrows + 1])
+
+    def neighbor_at(v: int, k: int) -> int:
+        """Neighbour in unified vertex ids."""
+        if v < nrows:
+            return int(col_ind[k]) + nrows
+        return int(row_ind[k])
+
+    def unique_live_neighbor(v: int) -> int:
+        """The single live neighbour of a degree-one vertex *v*."""
+        k = int(skip[v])
+        end = neighbors_end(v)
+        while k < end:
+            u = neighbor_at(v, k)
+            if not matched[u]:
+                skip[v] = k
+                return u
+            k += 1
+        return -1  # pragma: no cover - deg bookkeeping guarantees a hit
+
+    def do_match(a: int, b: int) -> None:
+        """Match unified vertices *a* (row side) and *b* (col side)."""
+        matched[a] = True
+        matched[b] = True
+        if a < nrows:
+            row_match[a] = b - nrows
+            col_match[b - nrows] = a
+        else:  # pragma: no cover - callers pass (row, col)
+            row_match[b] = a - nrows
+            col_match[a - nrows] = b
+        for v in (a, b):
+            end = neighbors_end(v)
+            start = int(row_ptr[v]) if v < nrows else int(col_ptr[v - nrows])
+            for k in range(start, end):
+                u = neighbor_at(v, k)
+                if not matched[u]:
+                    deg[u] -= 1
+                    if deg[u] == 1:
+                        worklist.append(u)
+
+    worklist: deque[int] = deque(np.flatnonzero(deg == 1).tolist())
+    edge_order = rng.permutation(graph.nnz)
+    edge_cursor = 0
+    phase1 = 0
+    picks = 0
+    phase2_deg1 = 0
+
+    while True:
+        # Degree-one rule until exhaustion.
+        while worklist:
+            v = int(worklist.popleft())
+            if matched[v] or deg[v] != 1:
+                continue
+            u = unique_live_neighbor(v)
+            if u < 0:
+                continue
+            a, b = (v, u) if v < nrows else (u, v)
+            do_match(a, b)
+            if picks == 0:
+                phase1 += 1
+            else:
+                phase2_deg1 += 1
+        # Random edge pick among live edges.
+        found = False
+        while edge_cursor < graph.nnz:
+            e = int(edge_order[edge_cursor])
+            edge_cursor += 1
+            i = int(rows_of_edges[e])
+            j = int(col_ind[e]) + nrows
+            if not matched[i] and not matched[j]:
+                do_match(i, j)
+                picks += 1
+                found = True
+                break
+        if not found:
+            break
+
+    matching = Matching(row_match, col_match)
+    if with_stats:
+        return KarpSipserResult(
+            matching,
+            KarpSipserStats(phase1, picks, phase2_deg1),
+        )
+    return matching

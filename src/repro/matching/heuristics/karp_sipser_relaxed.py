@@ -1,0 +1,139 @@
+"""Relaxed bulk-synchronous parallel Karp–Sipser (the Azad et al. form).
+
+The paper (Sections 1–2) notes that exact Karp–Sipser parallelises badly
+— the degree-one worklist is a serial bottleneck — and that prior work
+[4] therefore used "inflicted forms (successful but without any known
+quality guarantee)".  ``TwoSidedMatch``'s contribution is precisely that
+*its* Karp–Sipser (Algorithm 4) stays exact under parallelism.
+
+To make that comparison concrete, this module implements the relaxed
+form: a bulk-synchronous KS where ``p`` virtual threads act on a shared
+degree *snapshot* per round:
+
+* round start: degrees are snapshotted;
+* every degree-one vertex (per the snapshot) is matched to its first
+  live neighbour, conflicts resolved by claim order — decisions that
+  were optimal at snapshot time may no longer be by the time they apply;
+* if the snapshot had no degree-one vertex, each of the ``p`` threads
+  matches one random live edge *simultaneously* — where serial KS would
+  re-examine degrees after every single pick, the relaxed form commits
+  ``p`` picks per synchronisation.
+
+With ``p = 1`` and fresh snapshots this degenerates to (a variant of)
+serial KS; as ``p`` grows, more random picks are committed per round and
+quality drifts down — the behaviour the exact KarpSipserMT avoids by
+construction.  See ``benchmarks/bench_ablation.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import SeedLike, rng_from
+from repro.errors import ShapeError
+from repro.graph.csr import BipartiteGraph
+from repro.matching.matching import NIL, Matching
+
+__all__ = ["karp_sipser_relaxed"]
+
+
+def karp_sipser_relaxed(
+    graph: BipartiteGraph,
+    n_threads: int = 4,
+    seed: SeedLike = None,
+) -> Matching:
+    """Run the relaxed bulk-synchronous parallel Karp–Sipser.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph.
+    n_threads:
+        Number of simultaneous random picks per synchronisation round
+        (the virtual thread count).
+    seed:
+        Randomness for pick ordering.
+
+    Returns
+    -------
+    Matching
+        A valid, maximal matching (no quality guarantee — that is the
+        point of this baseline).
+    """
+    if n_threads < 1:
+        raise ShapeError(f"n_threads must be >= 1, got {n_threads}")
+    rng = rng_from(seed)
+    nrows, ncols = graph.nrows, graph.ncols
+    n = nrows + ncols
+    row_match = np.full(nrows, NIL, dtype=np.int64)
+    col_match = np.full(ncols, NIL, dtype=np.int64)
+    matched = np.zeros(n, dtype=bool)
+
+    row_ptr, col_ind = graph.row_ptr, graph.col_ind
+    col_ptr, row_ind = graph.col_ptr, graph.row_ind
+    rows_of_edges = graph.row_of_edge()
+
+    def live_degree(v: int) -> int:
+        if v < nrows:
+            nbrs = col_ind[row_ptr[v] : row_ptr[v + 1]]
+            return int(np.count_nonzero(~matched[nbrs + nrows]))
+        j = v - nrows
+        nbrs = row_ind[col_ptr[j] : col_ptr[j + 1]]
+        return int(np.count_nonzero(~matched[nbrs]))
+
+    def first_live_neighbor(v: int) -> int:
+        if v < nrows:
+            nbrs = col_ind[row_ptr[v] : row_ptr[v + 1]] + nrows
+        else:
+            nbrs = row_ind[col_ptr[v - nrows] : col_ptr[v - nrows + 1]]
+        live = nbrs[~matched[nbrs]]
+        return int(live[0]) if live.size else -1
+
+    def commit(a: int, b: int) -> None:
+        matched[a] = True
+        matched[b] = True
+        if a < nrows:
+            row_match[a] = b - nrows
+            col_match[b - nrows] = a
+        else:
+            row_match[b] = a - nrows
+            col_match[a - nrows] = b
+
+    edge_order = rng.permutation(graph.nnz)
+    edge_cursor = 0
+
+    while True:
+        # ---- snapshot degrees for this round --------------------------
+        degrees = np.empty(n, dtype=np.int64)
+        for v in range(n):
+            degrees[v] = 0 if matched[v] else live_degree(v)
+        deg_one = np.flatnonzero(degrees == 1)
+        if deg_one.size:
+            # All snapshot-degree-one vertices act "simultaneously":
+            # claims are resolved by (shuffled) order, and a vertex whose
+            # unique neighbour was stolen in the same round simply fails
+            # (the staleness that loses optimality).
+            for v in rng.permutation(deg_one):
+                v = int(v)
+                if matched[v]:
+                    continue
+                u = first_live_neighbor(v)
+                if u < 0:
+                    continue
+                a, b = (v, u) if v < nrows else (u, v)
+                commit(a, b)
+            continue
+        # ---- no degree-one: p simultaneous random picks ---------------
+        picks = 0
+        while picks < n_threads and edge_cursor < graph.nnz:
+            e = int(edge_order[edge_cursor])
+            edge_cursor += 1
+            i = int(rows_of_edges[e])
+            j = int(col_ind[e]) + nrows
+            if not matched[i] and not matched[j]:
+                commit(i, j)
+                picks += 1
+        if picks == 0:
+            break  # no live edge remains
+
+    return Matching(row_match, col_match)

@@ -1,0 +1,52 @@
+"""Shared-memory parallelism substrate.
+
+The paper's target is a 16-core OpenMP machine with gcc atomic built-ins.
+This package reproduces that environment three ways:
+
+* :mod:`repro.parallel.atomics` + :mod:`repro.parallel.simthread` — a
+  deterministic multi-thread *simulator*: algorithm bodies are written as
+  generators that yield between shared-memory accesses, and a scheduler
+  interleaves them (round-robin, random, or adversarial).  This is how the
+  concurrency-safety claims of ``KarpSipserMT`` (Algorithm 4) are verified —
+  under far more hostile schedules than one real machine run would exercise.
+* :mod:`repro.parallel.backends` — real execution backends (serial /
+  threads / processes) for the data-parallel kernels where numpy releases
+  the GIL.
+* :mod:`repro.parallel.machine` — a calibrated cost model that converts the
+  *work profile* of a run (per-chunk operation counts) into simulated
+  parallel times for p threads, with OpenMP-style dynamic/guided/static
+  scheduling and a memory-bandwidth roofline.  The speedup figures
+  (Figures 3 and 4) are produced by this model; EXPERIMENTS.md discusses
+  the substitution.
+"""
+
+from repro.parallel.atomics import AtomicArray
+from repro.parallel.backends import (
+    Backend,
+    SerialBackend,
+    ThreadBackend,
+    ProcessBackend,
+    get_backend,
+)
+from repro.parallel.machine import MachineModel, ScheduleKind
+from repro.parallel.partition import chunk_ranges, static_partition
+from repro.parallel.simthread import SimScheduler, SchedulePolicy, run_threads
+from repro.parallel.mpi_sim import SimComm, run_ranks
+
+__all__ = [
+    "AtomicArray",
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "get_backend",
+    "MachineModel",
+    "ScheduleKind",
+    "chunk_ranges",
+    "static_partition",
+    "SimScheduler",
+    "SchedulePolicy",
+    "run_threads",
+    "SimComm",
+    "run_ranks",
+]

@@ -1,0 +1,248 @@
+"""A calibrated cost model of the paper's shared-memory machine.
+
+The paper's scalability experiments (Figures 3 and 4) ran on a 2-socket,
+16-core Sandy Bridge with OpenMP ``schedule(dynamic,512)`` (``guided`` for
+``KarpSipserMT``).  This host has 2 cores, so those curves are reproduced
+through a machine *model* instead of wall-clock timing (see DESIGN.md,
+"Substitutions"):
+
+* the **work profile** of a kernel is measured exactly — per loop item
+  (row/vertex), how many operations Algorithms 1–4 perform on the given
+  instance;
+* the model schedules the items into chunks exactly like OpenMP would and
+  computes the p-thread *makespan* via list scheduling (dynamic
+  self-scheduling semantics: a free worker grabs the next chunk);
+* two hardware effects bound the achievable speedup, both taken from the
+  well-known behaviour of memory-bound sparse kernels on that class of
+  machine: a **memory-bandwidth roofline** (sparse SpMV-like sweeps stop
+  scaling once the sockets' bandwidth is saturated — around 10–12 threads'
+  worth of traffic on Sandy Bridge) and a small **per-chunk scheduling
+  overhead** (the atomic chunk counter).
+
+The model's claim is *shape*, not absolute nanoseconds: near-linear scaling
+to 8 threads, ~10–12.6× at 16 threads, and visibly worse speedups on
+instances with highly skewed per-row work (``torso1``, ``audikw_1``) —
+which is what the paper reports.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.errors import ScheduleError
+from repro.parallel.partition import chunk_ranges, guided_chunks, static_partition
+
+__all__ = ["ScheduleKind", "ScheduleSpec", "MachineModel", "ParallelTimeBreakdown"]
+
+
+class ScheduleKind(str, enum.Enum):
+    """OpenMP loop schedule kinds supported by the model."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """A schedule kind plus its chunk parameter."""
+
+    kind: ScheduleKind = ScheduleKind.DYNAMIC
+    chunk: int = 512
+
+    @classmethod
+    def dynamic(cls, chunk: int = 512) -> "ScheduleSpec":
+        return cls(ScheduleKind.DYNAMIC, chunk)
+
+    @classmethod
+    def guided(cls, min_chunk: int = 64) -> "ScheduleSpec":
+        return cls(ScheduleKind.GUIDED, min_chunk)
+
+    @classmethod
+    def static(cls) -> "ScheduleSpec":
+        return cls(ScheduleKind.STATIC, 0)
+
+
+@dataclass(frozen=True)
+class ParallelTimeBreakdown:
+    """Components of a modelled parallel execution time (work units)."""
+
+    makespan: float
+    bandwidth_factor: float
+    serial_work: float
+    barrier_cost: float
+    n_chunks: int
+
+    @property
+    def total(self) -> float:
+        return (
+            self.makespan * self.bandwidth_factor
+            + self.serial_work
+            + self.barrier_cost
+        )
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Parameters of the modelled shared-memory machine.
+
+    Attributes
+    ----------
+    bandwidth_threads:
+        Number of threads' worth of traffic that saturates memory
+        bandwidth for streaming sparse kernels.  Threads beyond this run
+        proportionally slower (roofline).  11.0 reproduces the paper's
+        ~10–11× ScaleSK/OneSidedMatch speedups at 16 threads.
+    chunk_overhead:
+        Work units charged per chunk grab (the ``dynamic`` schedule's
+        atomic counter + loop restart).
+    barrier_unit:
+        Work units per barrier, multiplied by ``log2(p)+1``.
+    compute_bound_fraction:
+        Fraction of kernel work that is compute- (not bandwidth-) bound
+        and hence keeps scaling past the roofline; sparse pattern sweeps
+        are mostly memory traffic, so the default is low.
+    """
+
+    bandwidth_threads: float = 11.0
+    chunk_overhead: float = 8.0
+    barrier_unit: float = 32.0
+    compute_bound_fraction: float = 0.15
+
+    # ------------------------------------------------------------------
+    def _chunks(
+        self, item_work: FloatArray, p: int, schedule: ScheduleSpec
+    ) -> list[float]:
+        n = int(item_work.shape[0])
+        prefix = np.concatenate([[0.0], np.cumsum(item_work)])
+
+        def range_work(lo: int, hi: int) -> float:
+            return float(prefix[hi] - prefix[lo])
+
+        if schedule.kind is ScheduleKind.DYNAMIC:
+            ranges = chunk_ranges(n, schedule.chunk)
+        elif schedule.kind is ScheduleKind.GUIDED:
+            ranges = guided_chunks(n, p, max(1, schedule.chunk))
+        elif schedule.kind is ScheduleKind.STATIC:
+            ranges = static_partition(n, p)
+        else:  # pragma: no cover - enum is exhaustive
+            raise ScheduleError(f"unknown schedule {schedule.kind}")
+        return [range_work(lo, hi) + self.chunk_overhead for lo, hi in ranges]
+
+    @staticmethod
+    def _list_schedule_makespan(chunk_works: list[float], p: int) -> float:
+        """Dynamic self-scheduling: a free worker takes the next chunk."""
+        if not chunk_works:
+            return 0.0
+        heap = [0.0] * min(p, len(chunk_works))
+        heapq.heapify(heap)
+        for w in chunk_works:
+            t = heapq.heappop(heap)
+            heapq.heappush(heap, t + w)
+        return max(heap)
+
+    def bandwidth_factor(self, p: int) -> float:
+        """Slowdown multiplier once p threads exceed the bandwidth roof."""
+        if p <= self.bandwidth_threads:
+            return 1.0
+        memory_part = 1.0 - self.compute_bound_fraction
+        # Memory-bound portion runs at bandwidth_threads/p of full speed.
+        return memory_part * (p / self.bandwidth_threads) + (
+            self.compute_bound_fraction
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def split_heavy_items(
+        item_work: FloatArray, threshold: float
+    ) -> FloatArray:
+        """Split items heavier than *threshold* into equal sub-items.
+
+        Models the paper's Section 2.2 remark: "in case of skewness in
+        degree distributions, one [can] assign multiple threads to a
+        single row".  Splitting a heavy row's gather across threads
+        removes it from the critical path at the cost of a tiny merge
+        (charged as one extra unit per extra part).
+        """
+        item_work = np.asarray(item_work, dtype=np.float64)
+        if threshold <= 0:
+            raise ScheduleError(f"threshold must be positive, got {threshold}")
+        heavy = item_work > threshold
+        if not heavy.any():
+            return item_work
+        parts: list[np.ndarray] = [item_work[~heavy]]
+        for w in item_work[heavy]:
+            k = int(np.ceil(w / threshold))
+            parts.append(np.full(k, w / k + 1.0))
+        return np.concatenate(parts)
+
+    def parallel_time(
+        self,
+        item_work: FloatArray,
+        p: int,
+        *,
+        schedule: ScheduleSpec | None = None,
+        serial_work: float = 0.0,
+        barriers: int = 0,
+    ) -> ParallelTimeBreakdown:
+        """Modelled execution time of one parallel loop nest.
+
+        Parameters
+        ----------
+        item_work:
+            Work units per loop item (e.g. per-row nonzero count plus a
+            constant); the *measured* profile of the actual instance.
+        p:
+            Thread count (>= 1).
+        schedule:
+            Loop schedule; defaults to the paper's ``dynamic,512``.
+        serial_work:
+            Work executed outside the parallel loop (Amdahl term).
+        barriers:
+            Number of barrier synchronisations (per Sinkhorn–Knopp
+            iteration there are two: after the column and row sweeps).
+        """
+        if p < 1:
+            raise ScheduleError(f"thread count must be >= 1, got {p}")
+        item_work = np.asarray(item_work, dtype=np.float64)
+        schedule = schedule or ScheduleSpec.dynamic()
+        chunks = self._chunks(item_work, p, schedule)
+        makespan = self._list_schedule_makespan(chunks, p)
+        barrier_cost = barriers * self.barrier_unit * (np.log2(p) + 1.0)
+        return ParallelTimeBreakdown(
+            makespan=makespan,
+            bandwidth_factor=self.bandwidth_factor(p),
+            serial_work=float(serial_work),
+            barrier_cost=float(barrier_cost),
+            n_chunks=len(chunks),
+        )
+
+    def speedup(
+        self,
+        item_work: FloatArray,
+        p: int,
+        *,
+        schedule: ScheduleSpec | None = None,
+        serial_work: float = 0.0,
+        barriers: int = 0,
+    ) -> float:
+        """Modelled speedup ``T_1 / T_p`` of the loop nest.
+
+        ``T_1`` is the same model evaluated at one thread (as in the paper,
+        which measures speedup against the single-thread run of the
+        parallel code).
+        """
+        t1 = self.parallel_time(
+            item_work, 1, schedule=schedule, serial_work=serial_work,
+            barriers=barriers,
+        ).total
+        tp = self.parallel_time(
+            item_work, p, schedule=schedule, serial_work=serial_work,
+            barriers=barriers,
+        ).total
+        return t1 / tp if tp > 0 else 1.0

@@ -1,0 +1,187 @@
+"""An in-process message-passing simulation (MPI-flavoured).
+
+The paper's Section 2.2 cites a *distributed-memory* parallelisation of
+matrix scaling (Amestoy, Duff, Ruiz, Uçar — VECPAR 2008).  To reproduce
+that substrate without an MPI installation, this module provides a tiny
+communicator with mpi4py's core collective semantics — ``allreduce``,
+``allgather``, ``bcast``, ``barrier`` — executed by *rank programs*
+running as coroutines inside one process.
+
+Semantics match the MPI contract:
+
+* every rank must call the same collectives in the same order (each
+  rank's k-th collective is matched with every other rank's k-th;
+  mismatched kinds raise :class:`~repro.errors.BackendError`);
+* a collective completes only when all ranks have entered it;
+* data is deep-copied across the "network", so ranks cannot share
+  mutable state by accident — the bug MPI surfaces on real hardware and
+  shared-memory threading silently hides.
+
+Usage::
+
+    def program(comm: SimComm, rank_data):
+        total = yield from comm.allreduce(rank_data.sum())
+        ...
+        return result
+
+    results = run_ranks(program, [data0, data1, ...])  # one per rank
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import BackendError
+
+__all__ = ["SimComm", "run_ranks"]
+
+
+class _Fabric:
+    """Shared rendezvous state, indexed by collective sequence number."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        #: seq -> {"kind", "contributions": {rank: payload}, "result",
+        #:         "done": bool, "reads": int}
+        self.slots: dict[int, dict[str, Any]] = {}
+
+    def slot(self, seq: int, kind: str) -> dict[str, Any]:
+        entry = self.slots.setdefault(
+            seq,
+            {"kind": kind, "contributions": {}, "result": None,
+             "done": False, "reads": 0},
+        )
+        if entry["kind"] != kind:
+            raise BackendError(
+                f"collective mismatch at sequence {seq}: {kind!r} vs "
+                f"{entry['kind']!r}"
+            )
+        return entry
+
+
+class SimComm:
+    """The communicator handle passed to every rank program."""
+
+    def __init__(self, rank: int, size: int, fabric: _Fabric) -> None:
+        self._rank = rank
+        self._size = size
+        self._fabric = fabric
+        self._seq = 0
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    def _enter(self, kind: str, payload: Any):
+        seq = self._seq
+        self._seq += 1
+        entry = self._fabric.slot(seq, kind)
+        if self._rank in entry["contributions"]:  # pragma: no cover
+            raise BackendError(
+                f"rank {self._rank} double-entered collective {seq}"
+            )
+        entry["contributions"][self._rank] = copy.deepcopy(payload)
+        while len(entry["contributions"]) < self._size:
+            yield None
+        if not entry["done"]:
+            entry["result"] = self._combine(kind, entry["contributions"])
+            entry["done"] = True
+        result = copy.deepcopy(entry["result"])
+        entry["reads"] += 1
+        if entry["reads"] == self._size:
+            del self._fabric.slots[seq]  # free the slot
+        return result
+
+    @staticmethod
+    def _combine(kind: str, contributions: dict[int, Any]) -> Any:
+        ordered = [contributions[r] for r in sorted(contributions)]
+        if kind == "allreduce-sum":
+            total = ordered[0]
+            for item in ordered[1:]:
+                total = total + item
+            return total
+        if kind == "allreduce-max":
+            out = ordered[0]
+            for item in ordered[1:]:
+                out = np.maximum(out, item)
+            return out
+        if kind == "allgather":
+            return ordered
+        if kind == "bcast":
+            roots = [v for v in ordered if v is not None]
+            if len(roots) != 1:
+                raise BackendError(
+                    "bcast needs exactly one non-None contribution (the root)"
+                )
+            return roots[0]
+        if kind == "barrier":
+            return None
+        raise BackendError(f"unknown collective {kind!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Public collectives; call as  ``x = yield from comm.<collective>(...)``
+    # ------------------------------------------------------------------
+    def allreduce(self, value: Any, op: str = "sum"):
+        """Sum (or elementwise max) across ranks, delivered to every rank."""
+        if op not in ("sum", "max"):
+            raise BackendError(f"unsupported allreduce op {op!r}")
+        return (yield from self._enter(f"allreduce-{op}", value))
+
+    def allgather(self, value: Any):
+        """List of every rank's *value*, ordered by rank."""
+        return (yield from self._enter("allgather", value))
+
+    def bcast(self, value: Any, root: int = 0):
+        """Root's *value* delivered to every rank."""
+        payload = value if self._rank == root else None
+        return (yield from self._enter("bcast", payload))
+
+    def barrier(self):
+        """Synchronise all ranks."""
+        return (yield from self._enter("barrier", None))
+
+
+def run_ranks(
+    program: Callable[[SimComm, Any], Any],
+    rank_args: Sequence[Any],
+    *,
+    max_steps: int = 10_000_000,
+) -> list[Any]:
+    """Run *program* on ``len(rank_args)`` simulated ranks to completion.
+
+    ``program(comm, arg)`` must be a generator function (it contains
+    ``yield from comm.<collective>(...)`` calls); its return value is
+    collected per rank and the list is returned in rank order.
+    """
+    size = len(rank_args)
+    if size < 1:
+        raise BackendError("need at least one rank")
+    fabric = _Fabric(size)
+    comms = [SimComm(r, size, fabric) for r in range(size)]
+    gens = [program(comms[r], rank_args[r]) for r in range(size)]
+    results: list[Any] = [None] * size
+    live = set(range(size))
+    steps = 0
+    while live:
+        progressed = False
+        for r in sorted(live):
+            steps += 1
+            if steps > max_steps:
+                raise BackendError("simulated ranks exceeded max_steps")
+            try:
+                next(gens[r])
+            except StopIteration as stop:
+                results[r] = stop.value
+                live.discard(r)
+            progressed = True
+        if not progressed:  # pragma: no cover - defensive
+            raise BackendError("deadlock: no rank can progress")
+    return results

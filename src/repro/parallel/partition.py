@@ -1,0 +1,52 @@
+"""Index-range partitioning, mirroring OpenMP loop schedules.
+
+The paper runs its loops with ``schedule(dynamic,512)`` (and ``guided`` for
+``KarpSipserMT``); these helpers produce the same chunk decompositions for
+both the real backends and the machine cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ScheduleError
+
+__all__ = ["chunk_ranges", "static_partition", "guided_chunks"]
+
+
+def chunk_ranges(n: int, chunk: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into consecutive ``[lo, hi)`` chunks of size *chunk*
+    (the last one may be shorter) — OpenMP ``dynamic,chunk`` units."""
+    if chunk <= 0:
+        raise ScheduleError(f"chunk must be positive, got {chunk}")
+    return [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
+
+
+def static_partition(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into *parts* near-equal consecutive ranges —
+    OpenMP ``static`` schedule."""
+    if parts <= 0:
+        raise ScheduleError(f"parts must be positive, got {parts}")
+    bounds = np.linspace(0, n, parts + 1).astype(np.int64)
+    return [
+        (int(bounds[p]), int(bounds[p + 1]))
+        for p in range(parts)
+        if bounds[p + 1] > bounds[p]
+    ]
+
+
+def guided_chunks(n: int, workers: int, min_chunk: int = 1) -> list[tuple[int, int]]:
+    """OpenMP ``guided`` chunk sequence: each next chunk is
+    ``remaining / workers``, floored at *min_chunk*."""
+    if workers <= 0:
+        raise ScheduleError(f"workers must be positive, got {workers}")
+    if min_chunk <= 0:
+        raise ScheduleError(f"min_chunk must be positive, got {min_chunk}")
+    out: list[tuple[int, int]] = []
+    lo = 0
+    while lo < n:
+        size = max(min_chunk, (n - lo) // workers)
+        hi = min(n, lo + size)
+        out.append((lo, hi))
+        lo = hi
+    return out

@@ -1,0 +1,53 @@
+"""Scaling result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._typing import FloatArray
+
+__all__ = ["ScalingResult"]
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Output of a scaling algorithm.
+
+    Attributes
+    ----------
+    dr, dc:
+        Row and column scaling vectors (the diagonals of ``D_R``/``D_C``);
+        the scaled entry is ``s_ij = dr[i] * a_ij * dc[j]``.
+    error:
+        The paper's convergence measure: maximum absolute deviation of the
+        scaled *column* sums from one (row sums are exactly one after each
+        Sinkhorn–Knopp row sweep, up to round-off).
+    iterations:
+        Iterations actually performed.
+    converged:
+        Whether *error* reached the requested tolerance (always ``False``
+        when a fixed iteration count was requested without a tolerance).
+    history:
+        Per-iteration error trace when the caller asked for one.
+    """
+
+    dr: FloatArray
+    dc: FloatArray
+    error: float
+    iterations: int
+    converged: bool
+    history: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "dr", np.ascontiguousarray(self.dr, dtype=np.float64)
+        )
+        object.__setattr__(
+            self, "dc", np.ascontiguousarray(self.dc, dtype=np.float64)
+        )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (int(self.dr.shape[0]), int(self.dc.shape[0]))

@@ -1,0 +1,149 @@
+"""Parallel Sinkhorn–Knopp scaling (the paper's Algorithm 1, ``ScaleSK``).
+
+Each iteration balances the columns, then the rows:
+
+.. code-block:: text
+
+    for j in columns (parallel):  dc[j] = 1 / sum_{i in A*j} dr[i]
+    for i in rows    (parallel):  dr[i] = 1 / sum_{j in Ai*} dc[j]
+
+(the matrix entries are 1, so the sums need only the opposite scaling
+vector).  After a row sweep the scaled row sums are exactly one; the
+convergence error is the maximal deviation of the scaled *column* sums
+from one, measured at the top of the next iteration.
+
+Empty rows/columns keep their factor at 1 and are excluded from the error
+— see Section 3.3 of the paper for why heavily non-converged scalings are
+still useful (with column sums ≥ α the OneSided guarantee degrades
+gracefully to ``1 - e^{-α}``).
+
+``iterations=0`` is meaningful and used throughout the paper's tables: it
+leaves ``dr = dc = 1``, which makes the heuristics pick neighbours
+uniformly at random (the "no guarantee" baseline of Figure 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.errors import ScalingError
+from repro.graph.csr import BipartiteGraph
+from repro.parallel.backends import Backend, SerialBackend, get_backend
+from repro.parallel.reduction import segment_sums, segment_sums_parallel
+from repro.scaling.convergence import column_sum_error
+from repro.scaling.result import ScalingResult
+
+__all__ = ["scale_sinkhorn_knopp", "sinkhorn_knopp_work_profile"]
+
+
+def _reciprocal_or_one(sums: FloatArray) -> FloatArray:
+    """``1/sums`` with empty (zero-sum) lines pinned to factor 1."""
+    out = np.ones_like(sums)
+    np.divide(1.0, sums, out=out, where=sums > 0.0)
+    return out
+
+
+def scale_sinkhorn_knopp(
+    graph: BipartiteGraph,
+    iterations: int | None = None,
+    *,
+    tolerance: float | None = None,
+    max_iterations: int = 1000,
+    backend: Backend | str | None = None,
+    track_history: bool = False,
+) -> ScalingResult:
+    """Scale *graph*'s adjacency pattern toward doubly stochastic form.
+
+    Parameters
+    ----------
+    graph:
+        The (0,1) matrix as a :class:`~repro.graph.BipartiteGraph`.
+    iterations:
+        Run exactly this many column+row sweeps.  Mutually exclusive with
+        *tolerance*; the paper's experiments use fixed small counts
+        (0, 1, 5, 10).
+    tolerance:
+        Iterate until the column-sum error drops below this value (or
+        *max_iterations* is hit).
+    backend:
+        Execution backend for the segment reductions (see
+        :func:`repro.parallel.get_backend`); serial by default.
+    track_history:
+        Record the error after every iteration in the result.
+
+    Returns
+    -------
+    ScalingResult
+        Scaling vectors, final error, iteration count, convergence flag.
+    """
+    if iterations is not None and tolerance is not None:
+        raise ScalingError("pass either iterations or tolerance, not both")
+    if iterations is None and tolerance is None:
+        iterations = 10  # the paper's default working budget
+    if iterations is not None and iterations < 0:
+        raise ScalingError(f"iterations must be >= 0, got {iterations}")
+    if tolerance is not None and tolerance <= 0:
+        raise ScalingError(f"tolerance must be positive, got {tolerance}")
+
+    be = get_backend(backend)
+    use_parallel = not isinstance(be, SerialBackend)
+
+    dr = np.ones(graph.nrows, dtype=np.float64)
+    dc = np.ones(graph.ncols, dtype=np.float64)
+    history: list[float] = []
+
+    def col_sweep() -> None:
+        gathered = dr[graph.row_ind]
+        if use_parallel:
+            sums = segment_sums_parallel(gathered, graph.col_ptr, be)
+        else:
+            sums = segment_sums(gathered, graph.col_ptr)
+        dc[:] = _reciprocal_or_one(sums)
+
+    def row_sweep() -> None:
+        gathered = dc[graph.col_ind]
+        if use_parallel:
+            sums = segment_sums_parallel(gathered, graph.row_ptr, be)
+        else:
+            sums = segment_sums(gathered, graph.row_ptr)
+        dr[:] = _reciprocal_or_one(sums)
+
+    limit = iterations if iterations is not None else max_iterations
+    done = 0
+    converged = False
+    error = column_sum_error(graph, dr, dc, be if use_parallel else None)
+    for _ in range(limit):
+        if tolerance is not None and error <= tolerance:
+            converged = True
+            break
+        col_sweep()
+        row_sweep()
+        done += 1
+        error = column_sum_error(graph, dr, dc, be if use_parallel else None)
+        if track_history:
+            history.append(error)
+    if tolerance is not None and error <= tolerance:
+        converged = True
+
+    return ScalingResult(
+        dr=dr,
+        dc=dc,
+        error=error,
+        iterations=done,
+        converged=converged,
+        history=tuple(history),
+    )
+
+
+def sinkhorn_knopp_work_profile(graph: BipartiteGraph) -> FloatArray:
+    """Per-row work units of one ScaleSK iteration, for the machine model.
+
+    A row costs its degree (the gather+reduce over its nonzeros) plus a
+    constant for the pointer arithmetic and the reciprocal; the column
+    sweep has the mirrored profile, so one iteration's total work profile
+    is the sum of both sides mapped onto a common "loop item" axis.  The
+    model schedules the row sweep (the longer of the two on skewed
+    matrices) — scheduling both sweeps separately changes speedups by <2%.
+    """
+    return graph.row_degrees().astype(np.float64) + 4.0

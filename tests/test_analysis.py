@@ -1,0 +1,92 @@
+"""Tests for the per-instance theory module (repro.core.analysis)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import ONE_SIDED_GUARANTEE
+from repro.graph import from_dense, full_ones, fully_indecomposable, identity, sprand
+from repro.core import one_sided_match
+from repro.core.analysis import (
+    expected_one_sided_cardinality,
+    one_sided_lower_bound,
+    one_sided_miss_probabilities,
+)
+from repro.scaling import scale_sinkhorn_knopp
+
+
+class TestMissProbabilities:
+    def test_identity_never_misses(self):
+        g = identity(5)
+        scaling = scale_sinkhorn_knopp(g, 1)
+        miss = one_sided_miss_probabilities(g, scaling)
+        np.testing.assert_allclose(miss, 0.0)
+
+    def test_ones_matrix_closed_form(self):
+        """Every column missed with probability (1 - 1/n)^n."""
+        n = 16
+        g = full_ones(n)
+        scaling = scale_sinkhorn_knopp(g, 1)
+        miss = one_sided_miss_probabilities(g, scaling)
+        np.testing.assert_allclose(miss, (1 - 1 / n) ** n, rtol=1e-12)
+
+    def test_empty_column_always_missed(self):
+        g = from_dense(np.array([[1, 0], [1, 0]]))
+        scaling = scale_sinkhorn_knopp(g, 0)
+        miss = one_sided_miss_probabilities(g, scaling)
+        assert miss[1] == 1.0
+        assert miss[0] == 0.0  # both rows must pick column 0
+
+    def test_probabilities_in_unit_interval(self):
+        g = sprand(300, 3.0, seed=0)
+        scaling = scale_sinkhorn_knopp(g, 5)
+        miss = one_sided_miss_probabilities(g, scaling)
+        assert (miss >= 0).all() and (miss <= 1).all()
+
+
+class TestExpectedCardinality:
+    def test_matches_monte_carlo(self):
+        g = sprand(500, 4.0, seed=0)
+        scaling = scale_sinkhorn_knopp(g, 5)
+        expected = expected_one_sided_cardinality(g, scaling)
+        samples = [
+            one_sided_match(g, scaling=scaling, seed=s).cardinality
+            for s in range(40)
+        ]
+        mean = float(np.mean(samples))
+        sem = float(np.std(samples)) / math.sqrt(len(samples))
+        assert abs(mean - expected) < max(5 * sem, 2.0)
+
+    def test_ones_matrix_limit(self):
+        n = 400
+        g = full_ones(n)
+        scaling = scale_sinkhorn_knopp(g, 1)
+        expected = expected_one_sided_cardinality(g, scaling)
+        assert abs(expected / n - ONE_SIDED_GUARANTEE) < 1e-3
+
+
+class TestLowerBound:
+    def test_bound_below_expectation(self):
+        """AM-GM only weakens: bound <= exact expectation, always."""
+        for seed in range(5):
+            g = sprand(300, 3.0, seed=seed)
+            scaling = scale_sinkhorn_knopp(g, 5)
+            lb = one_sided_lower_bound(g, scaling)
+            ex = expected_one_sided_cardinality(g, scaling)
+            assert lb <= ex + 1e-9
+
+    def test_theorem1_floor_with_converged_scaling(self):
+        """alpha_j = 1 for all j => bound >= n(1 - 1/e)."""
+        g = fully_indecomposable(300, 4.0, seed=0)
+        scaling = scale_sinkhorn_knopp(g, tolerance=1e-10,
+                                       max_iterations=20000)
+        assert scaling.converged
+        lb = one_sided_lower_bound(g, scaling)
+        assert lb >= 300 * ONE_SIDED_GUARANTEE - 1e-6
+
+    def test_bound_improves_with_scaling(self):
+        g = fully_indecomposable(300, 5.0, seed=1)
+        lb0 = one_sided_lower_bound(g, scale_sinkhorn_knopp(g, 0))
+        lb10 = one_sided_lower_bound(g, scale_sinkhorn_knopp(g, 10))
+        assert lb10 > lb0

@@ -1,0 +1,94 @@
+"""Tests for the block triangular form (repro.graph.btf)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_dense, identity, sprand, sprand_rect
+from repro.graph.btf import block_triangular_form
+from repro.graph.dm import dulmage_mendelsohn
+
+
+@st.composite
+def any_graph(draw):
+    nrows = draw(st.integers(1, 20))
+    ncols = draw(st.integers(1, 20))
+    density = draw(st.floats(0.05, 0.5))
+    seed = draw(st.integers(0, 10**6))
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((nrows, ncols)) < density).astype(int)
+    return from_dense(dense)
+
+
+class TestPermutations:
+    @given(any_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_perms_are_permutations(self, g):
+        btf = block_triangular_form(g)
+        assert sorted(btf.row_perm.tolist()) == list(range(g.nrows))
+        assert sorted(btf.col_perm.tolist()) == list(range(g.ncols))
+
+    @given(any_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_block_upper_triangular_certificate(self, g):
+        btf = block_triangular_form(g)
+        assert btf.is_block_upper_triangular(g)
+
+    @given(any_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_block_boundaries_consistent(self, g):
+        btf = block_triangular_form(g)
+        assert btf.row_blocks[0] == 0 and btf.row_blocks[-1] == g.nrows
+        assert btf.col_blocks[0] == 0 and btf.col_blocks[-1] == g.ncols
+        assert np.all(np.diff(btf.row_blocks) >= 0)
+        assert np.all(np.diff(btf.col_blocks) >= 0)
+        assert btf.row_blocks.shape == btf.col_blocks.shape
+
+
+class TestStructure:
+    def test_identity_n_singleton_blocks(self):
+        g = identity(5)
+        btf = block_triangular_form(g)
+        assert btf.n_blocks == 5
+        assert btf.is_block_upper_triangular(g)
+
+    def test_full_matrix_single_block(self):
+        g = from_dense(np.ones((4, 4)))
+        btf = block_triangular_form(g)
+        assert btf.n_blocks == 1
+
+    def test_square_blocks_have_zero_free_diagonal(self):
+        """Inside the S range, permuted diagonal entries are edges."""
+        g = sprand(300, 3.0, seed=0)
+        btf = block_triangular_form(g)
+        permuted = btf.permuted_pattern(g)
+        start_block, end_block = btf.square_block_range
+        lo = int(btf.row_blocks[start_block])
+        hi = int(btf.row_blocks[end_block])
+        col_lo = int(btf.col_blocks[start_block])
+        for offset in range(hi - lo):
+            assert permuted.has_edge(lo + offset, col_lo + offset)
+
+    def test_triangular_input_gives_n_blocks(self):
+        a = np.triu(np.ones((6, 6)))
+        btf = block_triangular_form(from_dense(a))
+        assert btf.n_blocks == 6
+        assert btf.is_block_upper_triangular(from_dense(a))
+
+    def test_rectangular_h_and_v(self):
+        g = sprand_rect(30, 50, 2.0, seed=1)
+        btf = block_triangular_form(g)
+        assert btf.is_block_upper_triangular(g)
+
+    def test_reuses_supplied_dm(self):
+        g = sprand(100, 2.0, seed=2)
+        dm = dulmage_mendelsohn(g)
+        btf = block_triangular_form(g, dm=dm)
+        assert btf.dm is dm
+
+    def test_larger_random_instance(self):
+        g = sprand(2000, 2.0, seed=3)
+        btf = block_triangular_form(g)
+        assert btf.is_block_upper_triangular(g)
+        assert btf.n_blocks > 10  # sparse random: many fine blocks

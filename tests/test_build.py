@@ -1,0 +1,109 @@
+"""Tests for graph constructors (repro.graph.build)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphStructureError, ShapeError
+from repro.graph import (
+    empty,
+    from_adjacency_lists,
+    from_dense,
+    from_edges,
+    from_scipy,
+    identity,
+)
+
+
+class TestFromEdges:
+    def test_basic(self):
+        g = from_edges(2, 3, [0, 1, 1], [2, 0, 1])
+        assert g.nnz == 3
+        assert list(g.row_neighbors(0)) == [2]
+        assert list(g.row_neighbors(1)) == [0, 1]
+
+    def test_unsorted_input_is_sorted(self):
+        g = from_edges(2, 3, [1, 0, 1], [1, 2, 0])
+        assert list(g.row_neighbors(1)) == [0, 1]
+
+    def test_duplicates_merged_by_default(self):
+        g = from_edges(1, 2, [0, 0, 0], [1, 1, 0])
+        assert g.nnz == 2
+
+    def test_duplicates_rejected_when_asked(self):
+        with pytest.raises(GraphStructureError):
+            from_edges(1, 2, [0, 0], [1, 1], dedup=False)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphStructureError):
+            from_edges(2, 2, [2], [0])
+        with pytest.raises(GraphStructureError):
+            from_edges(2, 2, [0], [-1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            from_edges(2, 2, [0, 1], [0])
+
+    def test_no_edges(self):
+        g = from_edges(3, 3, [], [])
+        assert g.nnz == 0
+        assert g.shape == (3, 3)
+
+
+class TestFromDense:
+    def test_nonzero_pattern(self):
+        a = np.array([[0.0, 2.5], [-1.0, 0.0]])
+        g = from_dense(a)
+        assert list(g.iter_edges()) == [(0, 1), (1, 0)]
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ShapeError):
+            from_dense(np.zeros(3))
+
+
+class TestFromScipy:
+    def test_round_trip_csr(self):
+        from scipy.sparse import random as sprandom
+
+        mat = sprandom(10, 8, density=0.3, random_state=0, format="csr")
+        g = from_scipy(mat)
+        np.testing.assert_array_equal(
+            g.to_dense() > 0, mat.toarray() != 0
+        )
+
+    def test_coo_and_csc_accepted(self):
+        from scipy.sparse import coo_matrix
+
+        mat = coo_matrix(np.eye(4))
+        assert from_scipy(mat).nnz == 4
+        assert from_scipy(mat.tocsc()).nnz == 4
+
+    def test_dense_rejected(self):
+        with pytest.raises(ShapeError):
+            from_scipy(np.eye(3))
+
+
+class TestFromAdjacencyLists:
+    def test_basic(self):
+        g = from_adjacency_lists(3, 4, [[1, 3], [], [0]])
+        assert list(g.row_neighbors(0)) == [1, 3]
+        assert list(g.row_neighbors(1)) == []
+        assert list(g.row_neighbors(2)) == [0]
+
+    def test_dedup_and_sort(self):
+        g = from_adjacency_lists(1, 5, [[4, 1, 4, 0]])
+        assert list(g.row_neighbors(0)) == [0, 1, 4]
+
+    def test_row_count_mismatch(self):
+        with pytest.raises(ShapeError):
+            from_adjacency_lists(2, 2, [[0]])
+
+
+class TestSpecialGraphs:
+    def test_empty(self):
+        g = empty(4, 5)
+        assert g.nnz == 0
+        assert g.shape == (4, 5)
+
+    def test_identity(self):
+        g = identity(5)
+        np.testing.assert_array_equal(g.to_dense(), np.eye(5))

@@ -1,0 +1,144 @@
+"""Tests for scaled random neighbour selection (repro.core.choice)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.graph import from_dense, full_ones, sprand
+from repro.core.choice import (
+    choices_from_weights,
+    scaled_col_choices,
+    scaled_row_choices,
+)
+from repro.matching.matching import NIL
+from repro.scaling import scale_sinkhorn_knopp
+
+
+class TestChoicesFromWeights:
+    def test_single_option_always_picked(self):
+        ptr = np.array([0, 1, 2])
+        ind = np.array([3, 1])
+        out = choices_from_weights(
+            ptr, ind, np.array([1.0, 1.0]), np.random.default_rng(0)
+        )
+        assert out.tolist() == [3, 1]
+
+    def test_empty_segment_gets_nil(self):
+        ptr = np.array([0, 0, 1])
+        ind = np.array([2])
+        out = choices_from_weights(
+            ptr, ind, np.array([1.0]), np.random.default_rng(0)
+        )
+        assert out[0] == NIL and out[1] == 2
+
+    def test_zero_weight_segment_gets_nil(self):
+        ptr = np.array([0, 2])
+        ind = np.array([0, 1])
+        out = choices_from_weights(
+            ptr, ind, np.array([0.0, 0.0]), np.random.default_rng(0)
+        )
+        assert out[0] == NIL
+
+    def test_no_segments(self):
+        out = choices_from_weights(
+            np.array([0]), np.array([], dtype=np.int64),
+            np.array([]), np.random.default_rng(0),
+        )
+        assert out.shape == (0,)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ShapeError):
+            choices_from_weights(
+                np.array([0, 1]), np.array([0]), np.array([1.0, 2.0]),
+                np.random.default_rng(0),
+            )
+
+    def test_zero_weight_entries_never_picked(self):
+        ptr = np.array([0, 3])
+        ind = np.array([0, 1, 2])
+        weights = np.array([0.0, 1.0, 0.0])
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            out = choices_from_weights(ptr, ind, weights, rng)
+            assert out[0] == 1
+
+    def test_distribution_matches_weights(self):
+        """Chi-square-style check of the weighted sampling."""
+        ptr = np.array([0, 3])
+        ind = np.array([0, 1, 2])
+        weights = np.array([1.0, 2.0, 7.0])
+        rng = np.random.default_rng(1)
+        counts = np.zeros(3)
+        trials = 20_000
+        for _ in range(trials):
+            counts[choices_from_weights(ptr, ind, weights, rng)[0]] += 1
+        freq = counts / trials
+        np.testing.assert_allclose(freq, weights / weights.sum(), atol=0.02)
+
+
+class TestRowColChoices:
+    def test_choices_are_neighbours(self):
+        g = sprand(300, 3.0, seed=0)
+        scaling = scale_sinkhorn_knopp(g, 3)
+        rc = scaled_row_choices(g, scaling.dr, scaling.dc, seed=1)
+        for i in range(g.nrows):
+            if rc[i] != NIL:
+                assert g.has_edge(i, int(rc[i]))
+            else:
+                assert g.row_degrees()[i] == 0
+        cc = scaled_col_choices(g, scaling.dr, scaling.dc, seed=1)
+        for j in range(g.ncols):
+            if cc[j] != NIL:
+                assert g.has_edge(int(cc[j]), j)
+
+    def test_uniform_on_ones_matrix(self):
+        """On the all-ones matrix with dr=dc=1 every column is equally
+        likely: verify first moments."""
+        g = full_ones(10)
+        ones = np.ones(10)
+        rng = np.random.default_rng(2)
+        counts = np.zeros(10)
+        for _ in range(3000):
+            counts[scaled_row_choices(g, ones, ones, rng)] += 1
+        np.testing.assert_allclose(counts / counts.sum(), 0.1, atol=0.02)
+
+    def test_deterministic_with_seed(self):
+        g = sprand(200, 4.0, seed=0)
+        s = scale_sinkhorn_knopp(g, 2)
+        a = scaled_row_choices(g, s.dr, s.dc, seed=7)
+        b = scaled_row_choices(g, s.dr, s.dc, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_backend_equivalence(self):
+        from repro.parallel import ThreadBackend
+
+        g = sprand(400, 4.0, seed=0)
+        s = scale_sinkhorn_knopp(g, 2)
+        serial = scaled_row_choices(g, s.dr, s.dc, seed=3)
+        with ThreadBackend(2) as be:
+            threaded = scaled_row_choices(g, s.dr, s.dc, seed=3, backend=be)
+        np.testing.assert_array_equal(serial, threaded)
+
+    def test_scaling_shape_mismatch_rejected(self):
+        g = sprand(10, 2.0, seed=0)
+        with pytest.raises(ShapeError):
+            scaled_row_choices(g, np.ones(10), np.ones(9), seed=0)
+        with pytest.raises(ShapeError):
+            scaled_col_choices(g, np.ones(9), np.ones(10), seed=0)
+
+    def test_scaled_choices_avoid_unmatchable_entries(self):
+        """After scaling, probability mass concentrates on matchable
+        edges (the Section 3.3 phenomenon driving Table 1)."""
+        from repro.graph import karp_sipser_adversarial
+
+        n = 200
+        g = karp_sipser_adversarial(n, 4)
+        s = scale_sinkhorn_knopp(g, 20)
+        rng = np.random.default_rng(0)
+        rc = scaled_row_choices(g, s.dr, s.dc, rng)
+        h = n // 2
+        # Rows of R1 should overwhelmingly choose their C2 diagonal.
+        in_dense_block = sum(
+            1 for i in range(h) if rc[i] < h
+        )
+        assert in_dense_block < 0.15 * h

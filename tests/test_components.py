@@ -1,0 +1,90 @@
+"""Tests for connected components and cycle counting (repro.graph.components)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    component_cycle_counts,
+    connected_components,
+    from_edges,
+    identity,
+)
+from repro.core.karp_sipser_mt import choice_graph
+
+
+class TestConnectedComponents:
+    def test_identity_components(self):
+        info = connected_components(identity(4))
+        assert info.n_components == 4
+        # Each row is with its own column.
+        for i in range(4):
+            assert info.row_labels[i] == info.col_labels[i]
+
+    def test_isolated_vertices_get_own_labels(self):
+        g = from_edges(3, 3, [0], [0])
+        info = connected_components(g)
+        # 1 joined pair + 2 isolated rows + 2 isolated cols = 5 components.
+        assert info.n_components == 5
+
+    def test_single_component(self):
+        # Path r0-c0-r1-c1-r2.
+        g = from_edges(3, 2, [0, 1, 1, 2], [0, 0, 1, 1])
+        info = connected_components(g)
+        assert info.n_components == 1
+        assert info.sizes().tolist() == [5]
+
+    def test_two_components(self):
+        g = from_edges(4, 2, [0, 1, 2, 3], [0, 0, 1, 1])
+        info = connected_components(g)
+        assert info.n_components == 2
+        assert info.row_labels[0] == info.row_labels[1]
+        assert info.row_labels[2] == info.row_labels[3]
+        assert info.row_labels[0] != info.row_labels[2]
+
+    def test_component_against_networkx(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            n = 30
+            rows = rng.integers(0, n, 40)
+            cols = rng.integers(0, n, 40)
+            g = from_edges(n, n, rows, cols)
+            nxg = nx.Graph()
+            nxg.add_nodes_from(range(2 * n))
+            nxg.add_edges_from(
+                (int(r), n + int(c)) for r, c in zip(rows, cols)
+            )
+            assert (
+                connected_components(g).n_components
+                == nx.number_connected_components(nxg)
+            )
+
+
+class TestCycleCounts:
+    def test_tree_has_zero(self):
+        g = from_edges(2, 2, [0, 0, 1], [0, 1, 1])  # path
+        assert component_cycle_counts(g).tolist() == [0]
+
+    def test_single_cycle(self):
+        # 4-cycle r0-c0-r1-c1-r0.
+        g = from_edges(2, 2, [0, 0, 1, 1], [0, 1, 0, 1])
+        assert component_cycle_counts(g).tolist() == [1]
+
+    def test_two_cycles_in_one_component(self):
+        # K_{2,3} has 2 independent cycles.
+        g = from_edges(2, 3, [0, 0, 0, 1, 1, 1], [0, 1, 2, 0, 1, 2])
+        assert component_cycle_counts(g).tolist() == [2]
+
+    @given(st.integers(2, 80), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma1_choice_graphs_unicyclic(self, n, seed):
+        """Paper Lemma 1: components of choice subgraphs have <= 1 cycle."""
+        rng = np.random.default_rng(seed)
+        rc = rng.integers(0, n, n)
+        cc = rng.integers(0, n, n)
+        g = choice_graph(rc, cc)
+        counts = component_cycle_counts(g)
+        assert counts.max() <= 1
+        assert counts.min() >= 0

@@ -1,0 +1,68 @@
+"""Tests for the guarantee constants (repro.constants)."""
+
+import math
+
+import pytest
+
+from repro.constants import (
+    E,
+    ONE_SIDED_GUARANTEE,
+    RHO,
+    TWO_SIDED_GUARANTEE,
+    lambert_w0_of_one,
+    one_sided_guarantee_relaxed,
+)
+
+
+class TestOmegaConstant:
+    def test_rho_solves_defining_equation(self):
+        assert abs(RHO * math.exp(RHO) - 1.0) < 1e-14
+
+    def test_rho_against_scipy(self):
+        from scipy.special import lambertw
+
+        assert abs(RHO - float(lambertw(1.0).real)) < 1e-12
+
+    def test_rho_known_decimal_expansion(self):
+        # Omega constant = 0.5671432904097838...
+        assert abs(RHO - 0.5671432904097838) < 1e-13
+
+    def test_newton_is_idempotent(self):
+        assert lambert_w0_of_one() == RHO
+
+
+class TestGuarantees:
+    def test_one_sided_value(self):
+        assert abs(ONE_SIDED_GUARANTEE - (1.0 - 1.0 / E)) < 1e-15
+        assert 0.632 < ONE_SIDED_GUARANTEE < 0.633
+
+    def test_two_sided_value(self):
+        assert abs(TWO_SIDED_GUARANTEE - 2.0 * (1.0 - RHO)) < 1e-15
+        assert 0.8657 < TWO_SIDED_GUARANTEE < 0.8658
+
+    def test_two_sided_beats_one_sided(self):
+        # The whole point of the second heuristic.
+        assert TWO_SIDED_GUARANTEE > ONE_SIDED_GUARANTEE
+
+
+class TestRelaxedGuarantee:
+    def test_alpha_one_matches_theorem(self):
+        assert abs(
+            one_sided_guarantee_relaxed(1.0) - ONE_SIDED_GUARANTEE
+        ) < 1e-15
+
+    def test_paper_example_alpha_092(self):
+        # Section 3.3: alpha = 0.92 -> about 0.6015.
+        assert abs(one_sided_guarantee_relaxed(0.92) - 0.6015) < 5e-4
+
+    def test_monotone_in_alpha(self):
+        values = [one_sided_guarantee_relaxed(a / 10) for a in range(11)]
+        assert values == sorted(values)
+
+    def test_alpha_zero_gives_zero(self):
+        assert one_sided_guarantee_relaxed(0.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, 2.0])
+    def test_out_of_range_alpha_rejected(self, bad):
+        with pytest.raises(ValueError):
+            one_sided_guarantee_relaxed(bad)

@@ -1,0 +1,100 @@
+"""Tests for the convergence-rate analysis (repro.scaling.convergence_rate)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ScalingError
+from repro.graph import (
+    from_dense,
+    fully_indecomposable,
+    karp_sipser_adversarial,
+    power_law_bipartite,
+    sprand_rect,
+)
+from repro.scaling import scale_sinkhorn_knopp
+from repro.scaling.convergence_rate import (
+    ConvergenceStudy,
+    convergence_study,
+    observed_rate,
+    theoretical_rate,
+)
+
+
+class TestObservedRate:
+    def test_pure_geometric_history(self):
+        history = [0.5 * (0.8**k) for k in range(20)]
+        assert observed_rate(history) == pytest.approx(0.8, rel=1e-9)
+
+    def test_short_history_nan(self):
+        assert math.isnan(observed_rate([0.5, 0.4]))
+
+    def test_round_off_history_nan(self):
+        assert math.isnan(observed_rate([1e-16] * 10))
+
+    def test_transient_ignored(self):
+        """Only the tail determines the fitted rate."""
+        history = [10.0, 5.0, 3.0] + [1.0 * (0.9**k) for k in range(20)]
+        assert observed_rate(history) == pytest.approx(0.9, rel=1e-6)
+
+
+class TestTheoreticalRate:
+    def test_rate_in_unit_interval(self):
+        g = fully_indecomposable(200, 4.0, seed=0)
+        scaling = scale_sinkhorn_knopp(g, 40)
+        rate = theoretical_rate(g, scaling)
+        assert 0.0 <= rate <= 1.0 + 1e-9
+
+    def test_rectangular_rejected(self):
+        g = sprand_rect(10, 12, 2.0, seed=0)
+        with pytest.raises(ScalingError):
+            theoretical_rate(g, scale_sinkhorn_knopp(g, 2))
+
+    def test_tiny_matrix_rejected(self):
+        g = from_dense(np.ones((2, 2)))
+        with pytest.raises(ScalingError):
+            theoretical_rate(g, scale_sinkhorn_knopp(g, 2))
+
+
+class TestStudy:
+    def test_knight_agreement_on_irregular_family(self):
+        """The headline: observed rate ~ sigma_2^2 (Knight's theorem)."""
+        g = fully_indecomposable(400, 4.0, seed=0)
+        st = convergence_study(g, iterations=60)
+        assert not math.isnan(st.observed)
+        assert st.agreement < 0.05
+
+    def test_adversarial_family_is_slow(self):
+        """Near-1 rates explain Table 1's need for 10 iterations."""
+        g = karp_sipser_adversarial(200, 2)
+        st = convergence_study(g, iterations=80)
+        assert st.predicted > 0.97
+        assert st.observed > 0.95
+
+    def test_power_law_agreement(self):
+        g = power_law_bipartite(400, 4.0, skew=1.0, seed=0)
+        st = convergence_study(g, iterations=60)
+        assert st.agreement < 0.08
+
+    def test_study_fields(self):
+        g = fully_indecomposable(100, 4.0, seed=1)
+        st = convergence_study(g, iterations=20)
+        assert isinstance(st, ConvergenceStudy)
+        assert st.iterations == 20
+        assert st.final_error >= 0.0
+
+
+class TestExperiment:
+    def test_convergence_experiment_smoke(self):
+        from repro.experiments.convergence import run_convergence
+
+        t = run_convergence(n=200, iterations=30)
+        assert len(t.rows) == 6
+        recs = t.to_records()
+        for r in recs:
+            assert r["predicted rate"] >= 0.0
+            if "deficient" not in r["family"]:
+                # Knight's theorem needs support; only then is the
+                # scaled matrix (sub)stochastic with sigma_2 <= 1.
+                assert r["predicted rate"] <= 1.0 + 1e-9

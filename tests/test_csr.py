@@ -1,0 +1,227 @@
+"""Tests for the BipartiteGraph container (repro.graph.csr)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphStructureError, ShapeError
+from repro.graph import BipartiteGraph, from_dense, from_edges
+
+
+def small_graph() -> BipartiteGraph:
+    # 3x4 pattern:
+    # [1 0 1 0]
+    # [0 0 0 0]
+    # [1 1 0 1]
+    return BipartiteGraph(
+        3, 4, np.array([0, 2, 2, 5]), np.array([0, 2, 0, 1, 3])
+    )
+
+
+@st.composite
+def random_patterns(draw):
+    nrows = draw(st.integers(0, 12))
+    ncols = draw(st.integers(0, 12))
+    cells = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, max(0, nrows - 1)),
+                st.integers(0, max(0, ncols - 1)),
+            ),
+            max_size=40,
+        )
+    ) if nrows and ncols else []
+    return nrows, ncols, cells
+
+
+class TestConstruction:
+    def test_basic_attributes(self):
+        g = small_graph()
+        assert g.shape == (3, 4)
+        assert g.nnz == 5
+        assert not g.is_square
+        assert list(g.row_degrees()) == [2, 0, 3]
+        assert list(g.col_degrees()) == [2, 1, 1, 1]
+
+    def test_csc_mirror_consistency(self):
+        g = small_graph()
+        assert list(g.col_neighbors(0)) == [0, 2]
+        assert list(g.col_neighbors(1)) == [2]
+        assert list(g.col_neighbors(2)) == [0]
+        assert list(g.col_neighbors(3)) == [2]
+
+    def test_arrays_are_read_only(self):
+        g = small_graph()
+        with pytest.raises(ValueError):
+            g.col_ind[0] = 3
+        with pytest.raises(ValueError):
+            g.row_ptr[0] = 1
+
+    def test_row_ptr_wrong_length(self):
+        with pytest.raises(ShapeError):
+            BipartiteGraph(3, 3, np.array([0, 1]), np.array([0]))
+
+    def test_row_ptr_not_starting_at_zero(self):
+        with pytest.raises(GraphStructureError):
+            BipartiteGraph(1, 2, np.array([1, 2]), np.array([0, 1]))
+
+    def test_row_ptr_nnz_mismatch(self):
+        with pytest.raises(GraphStructureError):
+            BipartiteGraph(1, 3, np.array([0, 2]), np.array([0]))
+
+    def test_decreasing_row_ptr_rejected(self):
+        with pytest.raises(GraphStructureError):
+            BipartiteGraph(2, 3, np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_column_out_of_range_rejected(self):
+        with pytest.raises(GraphStructureError):
+            BipartiteGraph(1, 2, np.array([0, 1]), np.array([5]))
+
+    def test_duplicate_in_row_rejected(self):
+        with pytest.raises(GraphStructureError):
+            BipartiteGraph(1, 3, np.array([0, 2]), np.array([1, 1]))
+
+    def test_unsorted_row_rejected(self):
+        with pytest.raises(GraphStructureError):
+            BipartiteGraph(1, 3, np.array([0, 2]), np.array([2, 0]))
+
+    def test_float_indices_rejected(self):
+        with pytest.raises(GraphStructureError):
+            BipartiteGraph(1, 2, np.array([0.0, 1.0]), np.array([0]))
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ShapeError):
+            BipartiteGraph(-1, 2, np.array([0]), np.array([], dtype=np.int64))
+
+    def test_empty_graph(self):
+        g = BipartiteGraph(0, 0, np.array([0]), np.array([], dtype=np.int64))
+        assert g.nnz == 0
+        assert g.shape == (0, 0)
+
+
+class TestAccess:
+    def test_has_edge(self):
+        g = small_graph()
+        assert g.has_edge(0, 0)
+        assert g.has_edge(2, 3)
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert not g.has_edge(-1, 0)
+        assert not g.has_edge(0, 99)
+
+    def test_iter_edges(self):
+        g = small_graph()
+        assert list(g.iter_edges()) == [
+            (0, 0), (0, 2), (2, 0), (2, 1), (2, 3)
+        ]
+
+    def test_row_of_edge_cached_and_consistent(self):
+        g = small_graph()
+        roe = g.row_of_edge()
+        assert roe is g.row_of_edge()  # cached
+        assert list(roe) == [0, 0, 2, 2, 2]
+
+    def test_to_dense(self):
+        g = small_graph()
+        expected = np.array(
+            [[1, 0, 1, 0], [0, 0, 0, 0], [1, 1, 0, 1]], dtype=float
+        )
+        np.testing.assert_array_equal(g.to_dense(), expected)
+
+    def test_to_scipy_round_trip(self):
+        g = small_graph()
+        sp = g.to_scipy()
+        np.testing.assert_array_equal(sp.toarray(), g.to_dense())
+
+
+class TestTranspose:
+    def test_transpose_is_involution(self):
+        g = small_graph()
+        assert g.transpose().transpose() == g
+
+    def test_transpose_dense_agrees(self):
+        g = small_graph()
+        np.testing.assert_array_equal(
+            g.transpose().to_dense(), g.to_dense().T
+        )
+
+    def test_transpose_shares_arrays(self):
+        g = small_graph()
+        t = g.transpose()
+        assert t.row_ptr is g.col_ptr
+        assert t.col_ind is g.row_ind
+
+
+class TestScaledValues:
+    def test_values_match_outer_product(self):
+        g = small_graph()
+        dr = np.array([2.0, 3.0, 5.0])
+        dc = np.array([1.0, 10.0, 100.0, 1000.0])
+        vals = g.scaled_values(dr, dc)
+        dense = g.to_dense() * np.outer(dr, dc)
+        np.testing.assert_allclose(vals, dense[dense > 0])
+
+    def test_shape_mismatch_rejected(self):
+        g = small_graph()
+        with pytest.raises(ShapeError):
+            g.scaled_values(np.ones(2), np.ones(4))
+
+
+class TestSubgraph:
+    def test_subgraph_rows(self):
+        g = small_graph()
+        sub = g.subgraph_rows(np.array([2, 0]))
+        assert sub.shape == (2, 4)
+        assert list(sub.row_neighbors(0)) == [0, 1, 3]
+        assert list(sub.row_neighbors(1)) == [0, 2]
+
+    def test_subgraph_out_of_range(self):
+        with pytest.raises(ShapeError):
+            small_graph().subgraph_rows(np.array([5]))
+
+
+class TestEquality:
+    def test_equal_patterns(self):
+        assert small_graph() == small_graph()
+
+    def test_unequal_patterns(self):
+        g = small_graph()
+        h = from_dense(np.eye(3))
+        assert g != h
+
+    def test_hashable(self):
+        assert isinstance(hash(small_graph()), int)
+
+
+class TestPropertyBased:
+    @given(random_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_dense_round_trip(self, pattern):
+        nrows, ncols, cells = pattern
+        dense = np.zeros((nrows, ncols))
+        for i, j in cells:
+            dense[i, j] = 1.0
+        g = from_dense(dense)
+        np.testing.assert_array_equal(g.to_dense(), dense)
+
+    @given(random_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_csc_matches_transpose_of_csr(self, pattern):
+        nrows, ncols, cells = pattern
+        rows = [c[0] for c in cells]
+        cols = [c[1] for c in cells]
+        g = from_edges(nrows, ncols, rows, cols)
+        # CSC arrays must describe exactly the transposed dense pattern.
+        t = BipartiteGraph(ncols, nrows, g.col_ptr, g.row_ind)
+        np.testing.assert_array_equal(t.to_dense(), g.to_dense().T)
+
+    @given(random_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_equal_nnz(self, pattern):
+        nrows, ncols, cells = pattern
+        rows = [c[0] for c in cells]
+        cols = [c[1] for c in cells]
+        g = from_edges(nrows, ncols, rows, cols)
+        assert g.row_degrees().sum() == g.nnz
+        assert g.col_degrees().sum() == g.nnz

@@ -1,0 +1,81 @@
+"""Tests for the scaling-based matchability detector
+(repro.scaling.diagnostics)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_dense, karp_sipser_adversarial, sprand
+from repro.graph.dm import dulmage_mendelsohn
+from repro.scaling.diagnostics import (
+    MatchabilityReport,
+    estimate_matchable_edges,
+    matchability_report,
+)
+
+
+class TestEstimate:
+    def test_total_support_all_matchable(self):
+        from repro.graph import union_of_permutations
+
+        g = union_of_permutations(100, 3, seed=0)
+        est = estimate_matchable_edges(g, iterations=30)
+        assert est.all()
+
+    def test_triangular_detects_diagonal(self):
+        a = np.triu(np.ones((8, 8)))
+        g = from_dense(a)
+        est = estimate_matchable_edges(g, iterations=200, threshold=0.2)
+        truth = g.row_of_edge() == g.col_ind
+        np.testing.assert_array_equal(est, truth)
+
+    def test_adversarial_family_star_block_rejected(self):
+        """The dense R1xC1 block of the Figure-2 family is all-'*'."""
+        n = 200
+        g = karp_sipser_adversarial(n, 4)
+        est = estimate_matchable_edges(g, iterations=100, threshold=0.05)
+        truth = dulmage_mendelsohn(g).matchable_edges
+        # Perfect recall is essential (never discard a matchable edge);
+        # precision may be imperfect at finite iterations.
+        assert not (truth & ~est).any()
+        # The vast majority of the star block must be rejected.
+        rejected = np.count_nonzero(~est & ~truth)
+        assert rejected > 0.9 * np.count_nonzero(~truth)
+
+    def test_sharper_with_more_iterations(self):
+        g = sprand(400, 2.0, seed=0)
+        acc_few = matchability_report(g, iterations=5).accuracy
+        acc_many = matchability_report(g, iterations=150).accuracy
+        assert acc_many >= acc_few
+
+
+class TestReport:
+    def test_report_counts_sum_to_nnz(self):
+        g = sprand(300, 2.0, seed=1)
+        rep = matchability_report(g, iterations=40)
+        total = (
+            rep.true_positive + rep.false_positive
+            + rep.true_negative + rep.false_negative
+        )
+        assert total == g.nnz
+
+    def test_metrics_ranges(self):
+        g = sprand(300, 2.5, seed=2)
+        rep = matchability_report(g, iterations=40)
+        for value in (rep.precision, rep.recall, rep.accuracy):
+            assert 0.0 <= value <= 1.0
+
+    def test_high_recall_on_random_deficient(self):
+        """Matchable edges mostly keep their mass.  (Recall plateaus a
+        little above 0.9 on ER deficient matrices: inside the H/V blocks
+        the equilibration is only proportional, so low-weight matchable
+        edges in skewed rows can dip under the cut.)"""
+        g = sprand(500, 2.0, seed=3)
+        rep = matchability_report(g, iterations=80)
+        assert rep.recall > 0.90
+        assert rep.accuracy > 0.80
+
+    def test_degenerate_empty_report(self):
+        rep = MatchabilityReport(0, 0, 0, 0)
+        assert rep.precision == 1.0
+        assert rep.recall == 1.0
+        assert rep.accuracy == 1.0

@@ -1,0 +1,141 @@
+"""Tests for the Dulmage-Mendelsohn decomposition (repro.graph.dm)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MatchingError
+from repro.graph import BipartiteGraph, from_dense, identity, sprand
+from repro.graph.dm import CoarseDM, dulmage_mendelsohn
+from repro.matching import Matching, hopcroft_karp, sprank
+
+
+def brute_matchable_mask(a: np.ndarray) -> np.ndarray:
+    """Per-edge ground truth: edge is in some maximum matching iff deleting
+    its row and column drops the sprank by exactly one."""
+    g = from_dense(a)
+    best = sprank(g)
+    out = []
+    for i in range(a.shape[0]):
+        for j in range(a.shape[1]):
+            if a[i, j]:
+                b = a.copy()
+                b[i, :] = 0
+                b[:, j] = 0
+                rest = sprank(from_dense(b)) if b.any() else 0
+                out.append(rest == best - 1)
+    return np.array(out, dtype=bool)
+
+
+class TestCoarseBlocks:
+    def test_identity_all_square(self):
+        dm = dulmage_mendelsohn(identity(4))
+        assert np.all(dm.row_block == CoarseDM.S_BLOCK)
+        assert np.all(dm.col_block == CoarseDM.S_BLOCK)
+        assert dm.total_support
+        assert dm.sprank == 4
+
+    def test_horizontal_only(self):
+        # 1 row, 3 columns, all edges: everything horizontal.
+        dm = dulmage_mendelsohn(from_dense(np.ones((1, 3))))
+        assert np.all(dm.row_block == CoarseDM.H_BLOCK)
+        assert np.all(dm.col_block == CoarseDM.H_BLOCK)
+        assert dm.sprank == 1
+
+    def test_vertical_only(self):
+        dm = dulmage_mendelsohn(from_dense(np.ones((3, 1))))
+        assert np.all(dm.row_block == CoarseDM.V_BLOCK)
+        assert np.all(dm.col_block == CoarseDM.V_BLOCK)
+
+    def test_mixed_blocks(self):
+        # [H | S | V] textbook example:
+        # row0 spans c0,c1 (H); rows 1 matched to c2 (S); rows 2,3 on c3 (V).
+        a = np.array(
+            [
+                [1, 1, 0, 0],
+                [0, 0, 1, 0],
+                [0, 0, 0, 1],
+                [0, 0, 0, 1],
+            ]
+        )
+        dm = dulmage_mendelsohn(from_dense(a))
+        assert dm.row_block[0] == CoarseDM.H_BLOCK
+        assert dm.col_block[0] == dm.col_block[1] == CoarseDM.H_BLOCK
+        assert dm.row_block[1] == CoarseDM.S_BLOCK
+        assert dm.col_block[2] == CoarseDM.S_BLOCK
+        assert dm.row_block[2] == dm.row_block[3] == CoarseDM.V_BLOCK
+        assert dm.col_block[3] == CoarseDM.V_BLOCK
+
+    def test_sprank_decomposes(self):
+        g = sprand(300, 2.0, seed=0)
+        dm = dulmage_mendelsohn(g)
+        # sprank = rows(H) + n(S) + cols(V).
+        expected = (
+            dm.rows_of(CoarseDM.H_BLOCK).size
+            + dm.rows_of(CoarseDM.S_BLOCK).size
+            + dm.cols_of(CoarseDM.V_BLOCK).size
+        )
+        assert dm.sprank == expected
+
+    def test_h_rows_always_matched_v_cols_always_matched(self):
+        g = sprand(200, 2.0, seed=1)
+        dm = dulmage_mendelsohn(g)
+        rm = dm.matching.row_match
+        cm = dm.matching.col_match
+        assert np.all(rm[dm.rows_of(CoarseDM.H_BLOCK)] >= 0)
+        assert np.all(cm[dm.cols_of(CoarseDM.V_BLOCK)] >= 0)
+
+
+class TestFineDecomposition:
+    def test_triangular_sccs_are_singletons(self):
+        a = np.triu(np.ones((4, 4)))
+        dm = dulmage_mendelsohn(from_dense(a))
+        assert dm.n_scc == 4
+        # Only diagonal entries are matchable.
+        g = from_dense(a)
+        rows = g.row_of_edge()
+        cols = g.col_ind
+        np.testing.assert_array_equal(dm.matchable_edges, rows == cols)
+        assert not dm.total_support
+
+    def test_full_matrix_single_scc(self):
+        dm = dulmage_mendelsohn(from_dense(np.ones((4, 4))))
+        assert dm.n_scc == 1
+        assert dm.fully_indecomposable
+
+    def test_block_diagonal_two_sccs(self):
+        a = np.kron(np.eye(2), np.ones((2, 2)))
+        dm = dulmage_mendelsohn(from_dense(a))
+        assert dm.n_scc == 2
+        assert dm.total_support
+        assert not dm.fully_indecomposable
+
+
+class TestMatchableMask:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_against_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 7))
+        n = int(rng.integers(1, 7))
+        a = (rng.random((m, n)) < 0.45).astype(int)
+        if a.sum() == 0:
+            return
+        dm = dulmage_mendelsohn(from_dense(a))
+        np.testing.assert_array_equal(
+            dm.matchable_edges, brute_matchable_mask(a)
+        )
+
+
+class TestMatchingArgument:
+    def test_reuses_supplied_maximum_matching(self):
+        g = sprand(100, 3.0, seed=0)
+        m = hopcroft_karp(g)
+        dm = dulmage_mendelsohn(g, matching=m)
+        assert dm.matching is m
+
+    def test_rejects_non_maximum_matching(self):
+        g = from_dense(np.ones((3, 3)))
+        with pytest.raises(MatchingError):
+            dulmage_mendelsohn(g, matching=Matching.empty(3, 3))

@@ -1,0 +1,67 @@
+"""Tests for the best-of-k ensemble API (repro.core.ensemble)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError
+from repro.graph import sprand
+from repro.core import two_sided_match
+from repro.core.ensemble import best_of
+from repro.scaling import scale_sinkhorn_knopp
+
+
+class TestBestOf:
+    def test_best_dominates_single_run(self):
+        g = sprand(1000, 4.0, seed=0)
+        scaling = scale_sinkhorn_knopp(g, 5)
+        single = two_sided_match(g, scaling=scaling, seed=0).cardinality
+        ens = best_of(g, 5, scaling=scaling, seed=0)
+        assert ens.best >= single or ens.best >= min(ens.cardinalities)
+        assert ens.matching.cardinality == ens.best
+
+    def test_result_is_valid(self):
+        g = sprand(500, 3.0, seed=1)
+        ens = best_of(g, 3, seed=2)
+        ens.matching.validate(g)
+        assert len(ens.cardinalities) == 3
+
+    def test_one_sided_method(self):
+        g = sprand(500, 3.0, seed=1)
+        one = best_of(g, 3, method="one-sided", seed=2)
+        two = best_of(g, 3, method="two-sided", seed=2)
+        assert two.best >= one.best
+
+    def test_best_monotone_in_k(self):
+        g = sprand(800, 4.0, seed=3)
+        scaling = scale_sinkhorn_knopp(g, 5)
+        small = best_of(g, 2, scaling=scaling, seed=7)
+        large = best_of(g, 8, scaling=scaling, seed=7)
+        # Same seed stream: the first 2 runs of 'large' are 'small'.
+        assert large.best >= small.best
+        assert large.cardinalities[:2] == small.cardinalities
+
+    def test_spread_and_worst(self):
+        g = sprand(500, 4.0, seed=4)
+        ens = best_of(g, 6, seed=1)
+        assert ens.spread == ens.best - ens.worst
+        assert ens.spread >= 0
+
+    def test_deterministic(self):
+        g = sprand(300, 3.0, seed=5)
+        a = best_of(g, 4, seed=11)
+        b = best_of(g, 4, seed=11)
+        assert a.cardinalities == b.cardinalities
+        np.testing.assert_array_equal(a.matching.row_match, b.matching.row_match)
+
+    def test_scaling_shared(self):
+        g = sprand(200, 3.0, seed=6)
+        scaling = scale_sinkhorn_knopp(g, 4)
+        ens = best_of(g, 2, scaling=scaling, seed=0)
+        assert ens.scaling is scaling
+
+    def test_bad_arguments(self):
+        g = sprand(50, 3.0, seed=0)
+        with pytest.raises(MatchingError):
+            best_of(g, 0)
+        with pytest.raises(MatchingError):
+            best_of(g, 2, method="three-sided")

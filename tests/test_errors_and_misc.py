@@ -1,0 +1,73 @@
+"""Tests for the exception hierarchy, typing helpers, and result types."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro._typing import NIL, rng_from
+from repro.scaling.result import ScalingResult
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            if name in ("ReproError", "ConvergenceWarning"):
+                continue
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_shape_error_is_graph_structure_error(self):
+        assert issubclass(errors.ShapeError, errors.GraphStructureError)
+
+    def test_validation_error_is_matching_error(self):
+        assert issubclass(errors.ValidationError, errors.MatchingError)
+
+    def test_schedule_error_is_backend_error(self):
+        assert issubclass(errors.ScheduleError, errors.BackendError)
+
+    def test_convergence_warning_is_warning(self):
+        assert issubclass(errors.ConvergenceWarning, UserWarning)
+
+    def test_catch_all(self):
+        """A caller can blanket-catch ReproError around the public API."""
+        from repro.graph import BipartiteGraph
+
+        with pytest.raises(errors.ReproError):
+            BipartiteGraph(2, 2, np.array([0, 1]), np.array([9]))
+
+
+class TestRngFrom:
+    def test_none_gives_generator(self):
+        assert isinstance(rng_from(None), np.random.Generator)
+
+    def test_int_deterministic(self):
+        a = rng_from(42).random(4)
+        b = rng_from(42).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert rng_from(g) is g
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(rng_from(np.int64(7)), np.random.Generator)
+
+    def test_nil_is_minus_one(self):
+        assert NIL == -1
+
+
+class TestScalingResult:
+    def test_arrays_coerced_to_float64(self):
+        res = ScalingResult(
+            dr=[1, 2], dc=[3], error=0.1, iterations=2, converged=False
+        )
+        assert res.dr.dtype == np.float64
+        assert res.dc.dtype == np.float64
+        assert res.shape == (2, 1)
+
+    def test_history_default_empty(self):
+        res = ScalingResult(
+            dr=np.ones(2), dc=np.ones(2), error=0.0, iterations=0,
+            converged=True,
+        )
+        assert res.history == ()

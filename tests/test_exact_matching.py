@@ -1,0 +1,154 @@
+"""Tests for the exact matchers (Hopcroft-Karp, MC21, sprank)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    BipartiteGraph,
+    empty,
+    from_dense,
+    from_edges,
+    identity,
+    karp_sipser_adversarial,
+    sprand,
+    sprand_rect,
+)
+from repro.matching import Matching, hopcroft_karp, mc21, sprank
+
+
+def scipy_max_matching_size(graph: BipartiteGraph) -> int:
+    from scipy.sparse.csgraph import maximum_bipartite_matching
+
+    if graph.nnz == 0:
+        return 0
+    perm = maximum_bipartite_matching(graph.to_scipy().tocsr(), perm_type="column")
+    return int((perm != -1).sum())
+
+
+@st.composite
+def random_graphs(draw):
+    nrows = draw(st.integers(1, 15))
+    ncols = draw(st.integers(1, 15))
+    density = draw(st.floats(0.05, 0.6))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((nrows, ncols)) < density).astype(int)
+    return from_dense(dense)
+
+
+class TestHopcroftKarp:
+    def test_identity(self):
+        m = hopcroft_karp(identity(5))
+        assert m.is_perfect()
+
+    def test_empty_graph(self):
+        assert hopcroft_karp(empty(4, 4)).cardinality == 0
+
+    def test_zero_vertices(self):
+        assert hopcroft_karp(empty(0, 0)).cardinality == 0
+
+    def test_path_graph(self):
+        # r0-c0-r1-c1: maximum matching has 2 edges.
+        g = from_edges(2, 2, [0, 1, 1], [0, 0, 1])
+        assert hopcroft_karp(g).cardinality == 2
+
+    def test_needs_augmentation(self):
+        # Greedy first-fit can match r0-c0 and strand r1; HK must fix it.
+        g = from_edges(2, 2, [0, 0, 1], [0, 1, 0])
+        m = hopcroft_karp(g)
+        assert m.is_perfect()
+
+    def test_result_is_valid_matching(self):
+        g = sprand(500, 3.0, seed=0)
+        m = hopcroft_karp(g)
+        m.validate(g)
+
+    @pytest.mark.parametrize("greedy", [True, False])
+    def test_greedy_init_does_not_change_size(self, greedy):
+        g = sprand(300, 2.5, seed=1)
+        assert (
+            hopcroft_karp(g, greedy_init=greedy).cardinality
+            == scipy_max_matching_size(g)
+        )
+
+    def test_warm_start_preserves_optimality(self):
+        g = sprand(200, 3.0, seed=2)
+        opt = hopcroft_karp(g).cardinality
+        # Start from a deliberately bad partial matching.
+        partial = Matching.from_row_match(
+            [0 if g.has_edge(0, 0) else -1] + [-1] * 199, 200
+        )
+        assert hopcroft_karp(g, initial=partial).cardinality == opt
+
+    def test_invalid_initial_rejected(self):
+        from repro.errors import ValidationError
+
+        g = identity(3)
+        bad = Matching.from_row_match([1, -1, -1], 3)  # (0,1) not an edge
+        with pytest.raises(ValidationError):
+            hopcroft_karp(g, initial=bad)
+
+    def test_adversarial_family_perfect(self):
+        g = karp_sipser_adversarial(40, 4)
+        assert hopcroft_karp(g).cardinality == 40
+
+    @given(random_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_against_scipy_oracle(self, g):
+        m = hopcroft_karp(g)
+        m.validate(g)
+        assert m.cardinality == scipy_max_matching_size(g)
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_against_networkx_oracle(self, g):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.nrows), bipartite=0)
+        nxg.add_nodes_from(
+            range(g.nrows, g.nrows + g.ncols), bipartite=1
+        )
+        for i, j in g.iter_edges():
+            nxg.add_edge(i, g.nrows + j)
+        nx_size = len(nx.max_weight_matching(nxg, maxcardinality=True))
+        assert hopcroft_karp(g).cardinality == nx_size
+
+
+class TestMC21:
+    @given(random_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_agrees_with_hopcroft_karp(self, g):
+        m = mc21(g)
+        m.validate(g)
+        assert m.cardinality == hopcroft_karp(g).cardinality
+
+    def test_warm_start(self):
+        g = sprand(300, 3.0, seed=3)
+        opt = hopcroft_karp(g).cardinality
+        from repro.core import two_sided_match
+
+        init = two_sided_match(g, 5, seed=0).matching
+        m = mc21(g, initial=init)
+        m.validate(g)
+        assert m.cardinality == opt
+
+    def test_rectangular(self):
+        g = sprand_rect(40, 60, 2.0, seed=0)
+        assert mc21(g).cardinality == hopcroft_karp(g).cardinality
+
+
+class TestSprank:
+    def test_full_matrix(self):
+        assert sprank(from_dense(np.ones((4, 4)))) == 4
+
+    def test_deficient(self):
+        a = np.zeros((3, 3))
+        a[:, 0] = 1  # all rows share one column
+        assert sprank(from_dense(a)) == 1
+
+    def test_rectangular_bounded_by_min_dim(self):
+        g = sprand_rect(10, 30, 5.0, seed=0)
+        assert sprank(g) <= 10

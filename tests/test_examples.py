@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs green at a reduced size."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["2000", "4"], "TwoSidedMatch"),
+    ("jump_start_exact.py", ["3000", "4"], "exact solvers"),
+    ("adversarial_karp_sipser.py", ["400", "8"], "Karp-Sipser"),
+    ("rank_deficient_analysis.py", ["1500", "2"], "sprank"),
+    ("parallel_scaling_demo.py", ["venturiLevel3", "5000"], "modelled speedups"),
+    ("undirected_matching.py", ["1000", "6"], "1-out Karp-Sipser"),
+    ("quality_certificates.py", ["1500", "4"], "Thm-1 bound"),
+    ("block_triangular.py", ["800", "2"], "block upper"),
+]
+
+
+@pytest.mark.parametrize("script,args,expect", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, args, expect):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert expect in proc.stdout, (
+        f"{script} output missing {expect!r}:\n{proc.stdout[-2000:]}"
+    )
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {c[0] for c in CASES}
+    assert scripts == covered, f"untested examples: {scripts - covered}"

@@ -1,0 +1,179 @@
+"""Tests for the experiment harness (repro.experiments)."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.common import Table, fmt, timeit
+
+
+class TestTable:
+    def test_render_contains_headers_and_rows(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row([1, 0.5])
+        text = t.render()
+        assert "demo" in text and "a" in text and "0.500" in text
+
+    def test_row_width_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_to_records(self):
+        t = Table("demo", ["x", "y"])
+        t.add_row([1, 2])
+        assert t.to_records() == [{"x": 1, "y": 2}]
+
+    def test_notes_rendered(self):
+        t = Table("demo", ["a"])
+        t.add_row([1])
+        t.note("hello")
+        assert "hello" in t.render()
+
+    def test_fmt_variants(self):
+        assert fmt(0.5) == "0.500"
+        assert fmt(123456) == "123,456"
+        assert fmt(float("nan")) == "-"
+        assert fmt(1e-9) == "1.000e-09"
+        assert fmt("x") == "x"
+        assert fmt(True) == "True"
+
+    def test_timeit(self):
+        dt, val = timeit(lambda: 42, repeats=2)
+        assert val == 42 and dt >= 0
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "table1", "table2", "table3", "fig3", "fig4", "fig5",
+            "collection", "rectangular", "conjecture", "undirected",
+            "convergence",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("table99")
+
+    def test_every_experiment_has_paper_ref(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.paper_ref
+            assert exp.description
+
+
+class TestSmallRuns:
+    """Run each experiment at tiny sizes: smoke + shape assertions."""
+
+    def test_table1_shape(self):
+        from repro.experiments.table1 import run_table1
+
+        t = run_table1(n=200, ks=(2, 8), iteration_counts=(0, 5), runs=2)
+        assert len(t.rows) == 2
+        rec = t.to_records()
+        # Scaling reduces the error and improves quality.
+        assert rec[0]["err(5)"] < rec[0]["err(0)"]
+        assert rec[0]["qual(5)"] > rec[0]["qual(0)"]
+
+    def test_table2_shape(self):
+        from repro.experiments.table2 import run_table2
+
+        t = run_table2(n=1000, ds=(2, 5), iteration_counts=(0, 5), runs=2)
+        assert len(t.rows) == 4
+        for rec in t.to_records():
+            assert 0.0 < rec["OneSidedMatch"] <= 1.0
+            assert rec["TwoSidedMatch"] >= rec["OneSidedMatch"]
+
+    def test_table3_runs_on_subset(self):
+        from repro.experiments.table3 import run_table3
+
+        t = run_table3(names=("venturiLevel3", "torso1"), n_override=1500)
+        assert len(t.rows) == 2
+        for rec in t.to_records():
+            assert rec["err(10)"] <= rec["err(1)"] + 1e-9
+            assert rec["TwoSided"] >= rec["ScaleSK"]
+
+    def test_fig3_speedups_reasonable(self):
+        from repro.experiments.fig3 import run_fig3
+
+        a, b = run_fig3(names=("venturiLevel3",), n_override=20_000)
+        rec = a.to_records()[0]
+        assert 1.5 < rec["p=2"] <= 2.0
+        assert rec["p=16"] > rec["p=8"] > rec["p=4"] > rec["p=2"]
+        assert 6.0 < rec["p=16"] < 16.0
+
+    def test_fig4_speedups_reasonable(self):
+        from repro.experiments.fig4 import run_fig4
+
+        a, b = run_fig4(names=("venturiLevel3",), n_override=20_000)
+        for table in (a, b):
+            rec = table.to_records()[0]
+            assert rec["p=16"] > 6.0
+
+    def test_fig5_qualities(self):
+        from repro.experiments.fig5 import run_fig5
+
+        a, b = run_fig5(
+            names=("cage15",), iteration_counts=(0, 5), n_override=1500,
+            runs=2,
+        )
+        rec_one = a.to_records()[0]
+        rec_two = b.to_records()[0]
+        assert rec_one["iter=5"] >= 0.632 - 0.05
+        assert rec_two["iter=5"] >= 0.866 - 0.05
+
+    def test_collection_smoke(self):
+        from repro.experiments.collection import run_collection
+
+        t = run_collection(n_matrices=3, base_iterations=10,
+                           min_n=200, max_n=400, seed=1)
+        rec = t.to_records()[0]
+        assert rec["matrices"] == 3
+
+    def test_rectangular_smoke(self):
+        from repro.experiments.rectangular import run_rectangular
+
+        t = run_rectangular(nrows=800, ncols=1000, ds=(2,), runs=2)
+        rec = t.to_records()[0]
+        assert rec["TwoSidedMatch"] > rec["OneSidedMatch"]
+
+    def test_conjecture_smoke(self):
+        from repro.experiments.conjecture import run_conjecture
+
+        t = run_conjecture(sizes=(2000,), trials=3)
+        rec = t.to_records()[0]
+        assert abs(rec["mean |M|/n"] - 0.8657) < 0.02
+
+    def test_undirected_smoke(self):
+        from repro.experiments.undirected import run_undirected
+
+        t = run_undirected(n=400, degrees=(6.0,), iteration_counts=(5,),
+                           runs=2)
+        rec = t.to_records()[0]
+        assert rec["1-out KS"] >= rec["one-sided"] - 0.05
+        assert rec["1-out KS"] > 0.75
+
+    def test_run_experiment_wrapper(self):
+        tables = run_experiment("conjecture", n=1000, runs=2)
+        assert len(tables) == 1
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "conjecture" in out
+
+    def test_run_and_json_out(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out_file = tmp_path / "res.json"
+        assert main(
+            ["conjecture", "--n", "1000", "--runs", "2", "--out", str(out_file)]
+        ) == 0
+        data = json.loads(out_file.read_text())
+        assert "conjecture" in data

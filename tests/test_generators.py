@@ -1,0 +1,200 @@
+"""Tests for the graph generators (repro.graph.generators)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.graph import (
+    banded,
+    from_dense,
+    full_ones,
+    fully_indecomposable,
+    grid_graph,
+    power_law_bipartite,
+    random_k_out,
+    random_permutation_graph,
+    sprand,
+    sprand_rect,
+    union_of_permutations,
+)
+from repro.graph.generators import drop_random_edges, grid3d, overlay
+from repro.graph.properties import has_total_support_certificate
+
+
+class TestSprand:
+    def test_exact_nnz(self):
+        g = sprand(500, 3.0, seed=0)
+        assert g.nnz == 1500
+        assert g.shape == (500, 500)
+
+    def test_rectangular(self):
+        g = sprand_rect(100, 120, 2.0, seed=0)
+        assert g.shape == (100, 120)
+        assert g.nnz == 200
+
+    def test_deterministic_with_seed(self):
+        assert sprand(200, 3.0, seed=7) == sprand(200, 3.0, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert sprand(200, 3.0, seed=1) != sprand(200, 3.0, seed=2)
+
+    def test_dense_regime_uses_permutation(self):
+        g = sprand_rect(10, 10, 9.0, seed=0)  # 90 of 100 cells
+        assert g.nnz == 90
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ShapeError):
+            sprand(10, -1.0)
+
+    def test_uniformity_rough(self):
+        # Mean column degree should be close to d with small spread.
+        g = sprand(2000, 5.0, seed=3)
+        degs = g.col_degrees()
+        assert abs(degs.mean() - 5.0) < 0.01
+        assert degs.max() < 30  # Poisson tail, not clustered
+
+
+class TestFullOnes:
+    def test_shape_and_degree(self):
+        g = full_ones(6)
+        assert g.nnz == 36
+        assert np.all(g.row_degrees() == 6)
+
+    def test_rectangular(self):
+        g = full_ones(3, 5)
+        assert g.shape == (3, 5)
+        assert g.nnz == 15
+
+
+class TestPermutations:
+    def test_permutation_graph_is_permutation(self):
+        g = random_permutation_graph(50, seed=0)
+        assert np.all(g.row_degrees() == 1)
+        assert np.all(g.col_degrees() == 1)
+
+    def test_union_has_total_support(self):
+        g = union_of_permutations(30, 3, seed=1)
+        assert has_total_support_certificate(g)
+
+    def test_union_nnz_bounded(self):
+        g = union_of_permutations(40, 3, seed=2)
+        assert 40 <= g.nnz <= 120
+
+    def test_cycle_inclusion(self):
+        g = union_of_permutations(10, 1, seed=0, include_cycle=True)
+        for i in range(10):
+            assert g.has_edge(i, (i + 1) % 10)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ShapeError):
+            union_of_permutations(10, 0)
+
+    def test_fully_indecomposable_certificate(self):
+        from repro.graph.dm import dulmage_mendelsohn
+
+        g = fully_indecomposable(60, 4.0, seed=5)
+        dm = dulmage_mendelsohn(g)
+        assert dm.fully_indecomposable
+
+
+class TestKOut:
+    def test_one_out_degrees(self):
+        g = random_k_out(100, 1, seed=0, both_sides=False)
+        assert np.all(g.row_degrees() == 1)
+
+    def test_both_sides_edge_count(self):
+        g = random_k_out(100, 1, seed=0, both_sides=True)
+        assert 100 <= g.nnz <= 200  # coincident picks merge
+
+    def test_k_two_distinct_choices(self):
+        g = random_k_out(50, 2, seed=0, both_sides=False)
+        assert np.all(g.row_degrees() == 2)  # distinct by construction
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ShapeError):
+            random_k_out(10, 0)
+        with pytest.raises(ShapeError):
+            random_k_out(10, 11)
+
+
+class TestStructured:
+    def test_grid_five_point_degrees(self):
+        g = grid_graph(4, 4, stencil=5)
+        assert g.shape == (16, 16)
+        # interior cell: self + 4 neighbours
+        degs = g.row_degrees()
+        assert degs.max() == 5
+        assert degs.min() == 3  # corners
+
+    def test_grid_nine_point(self):
+        g = grid_graph(5, 5, stencil=9)
+        assert g.row_degrees().max() == 9
+
+    def test_grid_symmetric_pattern(self):
+        g = grid_graph(4, 6)
+        np.testing.assert_array_equal(g.to_dense(), g.to_dense().T)
+
+    def test_bad_stencil_rejected(self):
+        with pytest.raises(ShapeError):
+            grid_graph(3, 3, stencil=7)
+
+    def test_grid3d_degrees(self):
+        g = grid3d(3, 3, 3)
+        assert g.shape == (27, 27)
+        assert g.row_degrees().max() == 7  # interior: self + 6
+        assert g.row_degrees().min() == 4  # corner: self + 3
+
+    def test_banded(self):
+        g = banded(10, 2)
+        dense = g.to_dense()
+        for i in range(10):
+            for j in range(10):
+                assert dense[i, j] == (1.0 if abs(i - j) <= 2 else 0.0)
+
+
+class TestPowerLaw:
+    def test_average_degree_near_target(self):
+        g = power_law_bipartite(3000, 8.0, skew=1.0, seed=0)
+        assert abs(g.nnz / 3000 - 8.0) < 1.5  # dedup removes a few
+
+    def test_skew_increases_variance(self):
+        low = power_law_bipartite(3000, 8.0, skew=0.2, seed=0)
+        high = power_law_bipartite(3000, 8.0, skew=1.8, seed=0)
+        assert high.row_degrees().var() > 4 * low.row_degrees().var()
+
+    def test_diagonal_support(self):
+        g = power_law_bipartite(100, 3.0, seed=1, ensure_diagonal=True)
+        assert all(g.has_edge(i, i) for i in range(100))
+
+
+class TestEdits:
+    def test_drop_random_edges_fraction(self):
+        g = sprand(1000, 5.0, seed=0)
+        dropped = drop_random_edges(g, 0.5, seed=1)
+        assert 0.4 * g.nnz < dropped.nnz < 0.6 * g.nnz
+
+    def test_drop_zero_keeps_all(self):
+        g = sprand(100, 3.0, seed=0)
+        assert drop_random_edges(g, 0.0, seed=1) == g
+
+    def test_drop_one_removes_all(self):
+        g = sprand(100, 3.0, seed=0)
+        assert drop_random_edges(g, 1.0, seed=1).nnz == 0
+
+    def test_drop_bad_fraction(self):
+        with pytest.raises(ShapeError):
+            drop_random_edges(sprand(10, 2.0, seed=0), 1.5)
+
+    def test_overlay_union(self):
+        a = from_dense(np.eye(3))
+        b = from_dense(np.fliplr(np.eye(3)))
+        u = overlay(a, b)
+        assert u.nnz == 5  # centre cell shared
+
+    def test_overlay_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            overlay(from_dense(np.eye(2)), from_dense(np.eye(3)))
+
+    def test_overlay_empty_args(self):
+        with pytest.raises(ShapeError):
+            overlay()

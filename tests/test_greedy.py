@@ -1,0 +1,74 @@
+"""Tests for the cheap matching baselines (repro.matching.heuristics.greedy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import BipartiteGraph, from_dense, identity, sprand
+from repro.matching import (
+    greedy_edge_matching,
+    greedy_row_matching,
+    greedy_vertex_matching,
+    hopcroft_karp,
+)
+
+ALL = [greedy_edge_matching, greedy_row_matching, greedy_vertex_matching]
+MAXIMAL = [greedy_edge_matching, greedy_vertex_matching]
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(1, 14))
+    density = draw(st.floats(0.05, 0.7))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    return from_dense((rng.random((n, n)) < density).astype(int))
+
+
+def is_maximal(graph: BipartiteGraph, matching) -> bool:
+    """No edge has both endpoints free."""
+    free_rows = set(matching.unmatched_rows().tolist())
+    free_cols = set(matching.unmatched_cols().tolist())
+    return not any(
+        i in free_rows and j in free_cols for i, j in graph.iter_edges()
+    )
+
+
+class TestValidity:
+    @pytest.mark.parametrize("algo", ALL)
+    def test_valid_on_random(self, algo):
+        g = sprand(300, 3.0, seed=0)
+        algo(g, seed=1).validate(g)
+
+    @pytest.mark.parametrize("algo", ALL)
+    def test_perfect_on_identity(self, algo):
+        # Identity leaves no choices: every variant must match everything.
+        m = algo(identity(20), seed=0)
+        assert m.is_perfect()
+
+    @pytest.mark.parametrize("algo", ALL)
+    def test_deterministic_given_seed(self, algo):
+        g = sprand(100, 3.0, seed=0)
+        a = algo(g, seed=42)
+        b = algo(g, seed=42)
+        np.testing.assert_array_equal(a.row_match, b.row_match)
+
+
+class TestMaximality:
+    @pytest.mark.parametrize("algo", MAXIMAL)
+    @given(g=random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_maximal(self, algo, g):
+        m = algo(g, seed=0)
+        assert is_maximal(g, m)
+
+    @pytest.mark.parametrize("algo", MAXIMAL)
+    @given(g=random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_half_approximation(self, algo, g):
+        """A maximal matching is at least half the maximum (the classical
+        1/2 guarantee of Section 2.1)."""
+        m = algo(g, seed=0)
+        opt = hopcroft_karp(g).cardinality
+        assert 2 * m.cardinality >= opt

@@ -1,0 +1,118 @@
+"""Cross-module integration tests: end-to-end flows from the paper."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ONE_SIDED_GUARANTEE,
+    TWO_SIDED_GUARANTEE,
+    hopcroft_karp,
+    karp_sipser,
+    mc21,
+    one_sided_match,
+    sprank,
+    two_sided_match,
+)
+from repro.graph import (
+    dulmage_mendelsohn,
+    fully_indecomposable,
+    karp_sipser_adversarial,
+    sprand,
+    suite_instance,
+)
+from repro.scaling import scale_sinkhorn_knopp
+
+
+class TestPaperStory:
+    """The three headline behaviours, end to end."""
+
+    def test_quality_ordering_on_random_graphs(self):
+        """TwoSided >= OneSided in quality; both valid; exact is exact."""
+        g = sprand(3000, 4.0, seed=0)
+        maximum = sprank(g)
+        one = one_sided_match(g, 5, seed=1)
+        two = two_sided_match(g, 5, seed=1)
+        one.matching.validate(g)
+        two.matching.validate(g)
+        assert one.cardinality <= two.cardinality <= maximum
+        assert hopcroft_karp(g, initial=two.matching).cardinality == maximum
+
+    def test_table1_story_scaling_beats_karp_sipser(self):
+        """On the adversarial family, scaled TwoSided beats classic KS."""
+        n = 600
+        g = karp_sipser_adversarial(n, 16)
+        ks_q = min(karp_sipser(g, seed=s).cardinality / n for s in range(5))
+        ts_q = min(
+            two_sided_match(g, 10, seed=s).cardinality / n for s in range(5)
+        )
+        assert ts_q > ks_q
+        assert ts_q > 0.95
+
+    def test_guarantees_on_structured_instance(self):
+        g = suite_instance("cage15", n=2000, seed=0)
+        maximum = sprank(g)
+        one_q = one_sided_match(g, 5, seed=1).cardinality / maximum
+        two_q = two_sided_match(g, 5, seed=1).cardinality / maximum
+        assert one_q >= ONE_SIDED_GUARANTEE - 0.03
+        assert two_q >= TWO_SIDED_GUARANTEE - 0.03
+
+
+class TestScalingDMInterplay:
+    def test_scaled_mass_concentrates_on_matchable_edges(self):
+        g = sprand(800, 2.0, seed=2)
+        dm = dulmage_mendelsohn(g)
+        if dm.matchable_edges.all():
+            pytest.skip("seed produced no star block")
+        sc = scale_sinkhorn_knopp(g, 40)
+        s = g.scaled_values(sc.dr, sc.dc)
+        frac_on_star = s[~dm.matchable_edges].sum() / s.sum()
+        assert frac_on_star < 0.05
+
+    def test_heuristics_track_sprank_not_n(self):
+        g = sprand(2000, 2.0, seed=3)
+        maximum = sprank(g)
+        assert maximum < 2000  # genuinely deficient
+        two = two_sided_match(g, 10, seed=0)
+        assert two.cardinality / maximum > 0.85
+
+
+class TestWarmStartContract:
+    """Heuristic output is always a legal warm start for exact codes."""
+
+    @pytest.mark.parametrize("heuristic_iters", [0, 1, 5])
+    def test_hopcroft_karp_accepts_all(self, heuristic_iters):
+        g = sprand(400, 3.0, seed=4)
+        opt = sprank(g)
+        for build in (one_sided_match, two_sided_match):
+            m = build(g, heuristic_iters, seed=7).matching
+            assert hopcroft_karp(g, initial=m).cardinality == opt
+
+    def test_mc21_accepts_all(self):
+        g = sprand(400, 3.0, seed=5)
+        opt = sprank(g)
+        m = two_sided_match(g, 5, seed=0).matching
+        assert mc21(g, initial=m).cardinality == opt
+
+
+class TestPublicAPI:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_exports(self):
+        import repro.graph as rg
+        import repro.matching as rm
+        import repro.scaling as rs
+        import repro.core as rc
+        import repro.parallel as rp
+
+        for mod in (rg, rm, rs, rc, rp):
+            for name in mod.__all__:
+                assert hasattr(mod, name), (mod.__name__, name)

@@ -1,0 +1,90 @@
+"""Tests for graph I/O (repro.graph.io)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graph import from_dense, sprand
+from repro.graph.io import (
+    load_npz,
+    read_matrix_market,
+    save_npz,
+    write_matrix_market,
+)
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, tmp_path):
+        g = sprand(50, 3.0, seed=0)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        assert read_matrix_market(path) == g
+
+    def test_pattern_header_written(self, tmp_path):
+        g = from_dense(np.eye(2))
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        first = path.read_text().splitlines()[0]
+        assert first == "%%MatrixMarket matrix coordinate pattern general"
+
+    def test_read_real_field(self, tmp_path):
+        path = tmp_path / "real.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% comment line\n"
+            "2 2 2\n"
+            "1 1 3.5\n"
+            "2 2 -1.0\n"
+        )
+        g = read_matrix_market(path)
+        np.testing.assert_array_equal(g.to_dense(), np.eye(2))
+
+    def test_read_symmetric_expands(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 3\n"
+            "1 1\n"
+            "2 1\n"
+            "3 2\n"
+        )
+        g = read_matrix_market(path)
+        dense = g.to_dense()
+        np.testing.assert_array_equal(dense, dense.T)
+        assert g.nnz == 5  # diagonal entry not duplicated
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("1 1 1\n1 1\n")
+        with pytest.raises(GraphStructureError):
+            read_matrix_market(path)
+
+    def test_array_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n")
+        with pytest.raises(GraphStructureError):
+            read_matrix_market(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "short.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 1\n"
+        )
+        with pytest.raises(GraphStructureError):
+            read_matrix_market(path)
+
+
+class TestNpz:
+    def test_round_trip(self, tmp_path):
+        g = sprand(100, 4.0, seed=1)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+    def test_preserves_rectangular_shape(self, tmp_path):
+        from repro.graph import sprand_rect
+
+        g = sprand_rect(10, 25, 2.0, seed=0)
+        path = tmp_path / "r.npz"
+        save_npz(g, path)
+        assert load_npz(path).shape == (10, 25)

@@ -1,0 +1,95 @@
+"""Tests for the classic Karp-Sipser heuristic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    from_dense,
+    from_edges,
+    identity,
+    karp_sipser_adversarial,
+    sprand,
+)
+from repro.matching import hopcroft_karp, karp_sipser
+from repro.matching.heuristics.karp_sipser import KarpSipserResult
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(1, 14))
+    density = draw(st.floats(0.05, 0.7))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    return from_dense((rng.random((n, n)) < density).astype(int))
+
+
+class TestBasics:
+    def test_valid_matching(self):
+        g = sprand(400, 3.0, seed=0)
+        karp_sipser(g, seed=1).validate(g)
+
+    def test_identity_phase1_only(self):
+        res = karp_sipser(identity(10), seed=0, with_stats=True)
+        assert isinstance(res, KarpSipserResult)
+        assert res.matching.is_perfect()
+        assert res.stats.phase1_matches == 10
+        assert res.stats.random_picks == 0
+
+    def test_exact_on_trees(self):
+        # A path r0-c0-r1-c1-r2-c2 (tree): KS is optimal (all degree-1 rule).
+        g = from_edges(3, 3, [0, 1, 1, 2, 2], [0, 0, 1, 1, 2])
+        m = karp_sipser(g, seed=0)
+        assert m.cardinality == hopcroft_karp(g).cardinality
+
+    def test_full_matrix_perfect(self):
+        # On the full matrix every maximal matching is perfect.
+        g = from_dense(np.ones((8, 8)))
+        assert karp_sipser(g, seed=0).cardinality == 8
+
+    def test_deterministic_given_seed(self):
+        g = sprand(200, 3.0, seed=0)
+        a = karp_sipser(g, seed=5)
+        b = karp_sipser(g, seed=5)
+        np.testing.assert_array_equal(a.row_match, b.row_match)
+
+    def test_stats_sum_to_cardinality(self):
+        g = sprand(300, 4.0, seed=2)
+        res = karp_sipser(g, seed=0, with_stats=True)
+        assert res.stats.total_matches == res.matching.cardinality
+
+
+class TestQuality:
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_maximal_hence_half(self, g):
+        m = karp_sipser(g, seed=0)
+        m.validate(g)
+        assert 2 * m.cardinality >= hopcroft_karp(g).cardinality
+
+    def test_near_optimal_on_sparse_random(self):
+        """KS matches all but ~n^{1/5} vertices of sparse random graphs."""
+        g = sprand(3000, 2.0, seed=0)
+        opt = hopcroft_karp(g).cardinality
+        m = karp_sipser(g, seed=1)
+        assert m.cardinality >= 0.97 * opt
+
+    def test_degrades_on_adversarial_family(self):
+        """Table 1's phenomenon: quality decays as k grows."""
+        n = 800
+        qual = {}
+        for k in (2, 32):
+            g = karp_sipser_adversarial(n, k)
+            qual[k] = min(
+                karp_sipser(g, seed=s).cardinality / n for s in range(5)
+            )
+        assert qual[32] < qual[2]
+        assert qual[32] < 0.80  # far from the perfect matching
+
+    def test_phase1_solves_k1_adversarial(self):
+        """For k <= 1 the paper notes KS consumes the graph in Phase 1."""
+        g = karp_sipser_adversarial(100, 1)
+        res = karp_sipser(g, seed=0, with_stats=True)
+        assert res.matching.cardinality == 100
+        assert res.stats.random_picks == 0

@@ -1,0 +1,126 @@
+"""Tests for Karp-Sipser with the degree-2 contraction rule (KS+)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    banded,
+    from_dense,
+    from_edges,
+    identity,
+    karp_sipser_adversarial,
+    sprand,
+    sprand_rect,
+)
+from repro.matching import hopcroft_karp, karp_sipser
+from repro.matching.heuristics.karp_sipser_plus import (
+    KarpSipserPlusStats,
+    karp_sipser_plus,
+)
+
+
+@st.composite
+def random_graphs(draw):
+    nrows = draw(st.integers(1, 15))
+    ncols = draw(st.integers(1, 15))
+    density = draw(st.floats(0.05, 0.7))
+    seed = draw(st.integers(0, 100_000))
+    rng = np.random.default_rng(seed)
+    return from_dense((rng.random((nrows, ncols)) < density).astype(int))
+
+
+class TestValidity:
+    @given(random_graphs())
+    @settings(max_examples=120, deadline=None)
+    def test_always_valid(self, g):
+        m = karp_sipser_plus(g, seed=0)
+        m.validate(g)
+
+    def test_identity(self):
+        assert karp_sipser_plus(identity(10), seed=0).is_perfect()
+
+    def test_rectangular(self):
+        g = sprand_rect(60, 90, 2.5, seed=0)
+        karp_sipser_plus(g, seed=1).validate(g)
+
+    def test_empty_graph(self):
+        from repro.graph import empty
+
+        m = karp_sipser_plus(empty(4, 4), seed=0)
+        assert m.cardinality == 0
+
+    def test_deterministic(self):
+        g = sprand(200, 3.0, seed=0)
+        a = karp_sipser_plus(g, seed=5)
+        b = karp_sipser_plus(g, seed=5)
+        np.testing.assert_array_equal(a.row_match, b.row_match)
+
+
+class TestDegree2Rule:
+    def test_tridiagonal_exact_without_random_picks(self):
+        """Classic KS needs random picks on tridiagonal matrices (no
+        degree-1 seed); KS+ peels it deterministically via degree-2
+        contractions."""
+        g = banded(200, 1)
+        m, stats = karp_sipser_plus(g, seed=0, with_stats=True)
+        opt = hopcroft_karp(g).cardinality
+        assert m.cardinality == opt
+        assert stats.random_picks == 0
+        assert stats.degree2_contractions > 0
+
+    def test_cycle_exact(self):
+        # Bipartite 2k-cycle: every vertex degree 2 -> pure contraction.
+        k = 20
+        rows = np.concatenate([np.arange(k), np.arange(k)])
+        cols = np.concatenate([np.arange(k), (np.arange(k) + 1) % k])
+        g = from_edges(k, k, rows, cols)
+        m = karp_sipser_plus(g, seed=0)
+        assert m.cardinality == hopcroft_karp(g).cardinality == k
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_at_least_half(self, g):
+        m = karp_sipser_plus(g, seed=1)
+        assert 2 * m.cardinality >= hopcroft_karp(g).cardinality
+
+    def test_stats_structure(self):
+        g = sprand(300, 3.0, seed=2)
+        m, stats = karp_sipser_plus(g, seed=0, with_stats=True)
+        assert isinstance(stats, KarpSipserPlusStats)
+        assert stats.degree1_matches >= 0
+        assert stats.random_picks >= 0
+
+
+class TestQualityVsClassicKS:
+    def test_near_exact_on_sparse_random(self):
+        """Both rules together: essentially no loss on ER d=3."""
+        g = sprand(2000, 3.0, seed=0)
+        opt = hopcroft_karp(g).cardinality
+        plus = karp_sipser_plus(g, seed=1).cardinality
+        assert plus >= opt - 2
+
+    def test_dominates_classic_on_average(self):
+        """KS+ ≥ KS in expectation (both optimal-rule supersets)."""
+        g = sprand(1500, 4.0, seed=3)
+        classic = np.mean(
+            [karp_sipser(g, seed=s).cardinality for s in range(5)]
+        )
+        plus = np.mean(
+            [karp_sipser_plus(g, seed=s).cardinality for s in range(5)]
+        )
+        assert plus >= classic
+
+    def test_improves_on_adversarial_family(self):
+        """The Figure-2 trap: k=2 keeps some degree-<=2 structure that
+        KS+ exploits better than classic KS."""
+        n = 400
+        g = karp_sipser_adversarial(n, 2)
+        classic = min(
+            karp_sipser(g, seed=s).cardinality / n for s in range(5)
+        )
+        plus = min(
+            karp_sipser_plus(g, seed=s).cardinality / n for s in range(5)
+        )
+        assert plus >= classic - 0.02  # never meaningfully worse

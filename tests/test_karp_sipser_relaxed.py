@@ -1,0 +1,121 @@
+"""Tests for the relaxed parallel Karp-Sipser baseline."""
+
+import numpy as np
+import pytest
+
+from repro.graph import banded, from_dense, identity, sprand
+from repro.matching import hopcroft_karp, karp_sipser
+from repro.matching.heuristics.karp_sipser_relaxed import karp_sipser_relaxed
+
+
+class TestBasics:
+    def test_valid_matching(self):
+        g = sprand(300, 3.0, seed=0)
+        m = karp_sipser_relaxed(g, n_threads=4, seed=1)
+        m.validate(g)
+
+    def test_identity_perfect(self):
+        m = karp_sipser_relaxed(identity(20), n_threads=4, seed=0)
+        assert m.is_perfect()
+
+    def test_maximal(self):
+        g = sprand(200, 3.0, seed=1)
+        m = karp_sipser_relaxed(g, n_threads=8, seed=0)
+        free_rows = set(m.unmatched_rows().tolist())
+        free_cols = set(m.unmatched_cols().tolist())
+        assert not any(
+            i in free_rows and j in free_cols for i, j in g.iter_edges()
+        )
+
+    def test_half_approximation(self):
+        g = sprand(400, 4.0, seed=2)
+        opt = hopcroft_karp(g).cardinality
+        m = karp_sipser_relaxed(g, n_threads=8, seed=0)
+        assert 2 * m.cardinality >= opt
+
+    def test_deterministic(self):
+        g = sprand(150, 3.0, seed=0)
+        a = karp_sipser_relaxed(g, n_threads=4, seed=7)
+        b = karp_sipser_relaxed(g, n_threads=4, seed=7)
+        np.testing.assert_array_equal(a.row_match, b.row_match)
+
+    def test_bad_thread_count(self):
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            karp_sipser_relaxed(identity(4), n_threads=0)
+
+
+def _bidiagonal_chain(n: int):
+    """Rows i ~ cols {i, i+1}: col 0 has degree one, so exact serial KS
+    unzips the whole chain in Phase 1 (perfect matching on the diagonal)."""
+    from repro.graph import from_edges
+
+    rows = np.concatenate([np.arange(n), np.arange(n - 1)])
+    cols = np.concatenate([np.arange(n), np.arange(1, n)])
+    return from_edges(n, n, rows, cols)
+
+
+def _disjoint_hexagons(n_cycles: int):
+    """Union of disjoint bipartite 6-cycles: serial KS is exact (one
+    random pick per cycle, then the degree-one rule finishes it), but
+    simultaneous picks inside the same cycle can strand vertices."""
+    from repro.graph import from_edges
+
+    rows_list, cols_list = [], []
+    for c in range(n_cycles):
+        base = 3 * c
+        r = np.arange(base, base + 3)
+        rows_list += [r, r]
+        cols_list += [r, base + (np.arange(1, 4) % 3)]
+    return from_edges(
+        3 * n_cycles,
+        3 * n_cycles,
+        np.concatenate(rows_list),
+        np.concatenate(cols_list),
+    )
+
+
+class TestRelaxationCostsQuality:
+    """The paper's point: the inflicted form loses the guarantee, the
+    specialised KarpSipserMT does not."""
+
+    def test_serial_ks_exact_on_chain_and_hexagons(self):
+        for g in (_bidiagonal_chain(300), _disjoint_hexagons(60)):
+            opt = hopcroft_karp(g).cardinality
+            assert all(
+                karp_sipser(g, seed=s).cardinality == opt for s in range(3)
+            )
+
+    def test_relaxed_loses_on_hexagons(self):
+        """Simultaneous random picks strand vertices inside cycles that
+        one-pick-at-a-time serial KS solves perfectly."""
+        g = _disjoint_hexagons(80)
+        opt = hopcroft_karp(g).cardinality
+        results = [
+            karp_sipser_relaxed(g, n_threads=32, seed=s).cardinality
+            for s in range(5)
+        ]
+        assert all(r <= opt for r in results)
+        assert min(results) < opt  # the guarantee is genuinely lost
+
+    def test_two_sided_ks_mt_keeps_exactness_on_same_structure(self):
+        """KarpSipserMT on an equivalent choice structure never loses,
+        at any simulated thread count (Lemmas 1-4)."""
+        from repro.core import choice_graph, karp_sipser_mt_simulated
+
+        n_cycles = 40
+        # Choice arrays describing the same disjoint hexagons:
+        # row i -> col i; col j -> row (j+1) mod 3 within each cycle.
+        rc = np.arange(3 * n_cycles, dtype=np.int64)
+        cc = np.concatenate(
+            [3 * c + (np.arange(1, 4) % 3) for c in range(n_cycles)]
+        ).astype(np.int64)
+        sub = choice_graph(rc, cc)
+        opt = hopcroft_karp(sub).cardinality
+        assert opt == 3 * n_cycles  # even cycles match perfectly
+        for seed in range(5):
+            m = karp_sipser_mt_simulated(
+                rc, cc, 16, policy="adversarial", seed=seed
+            )
+            assert m.cardinality == opt  # no loss, ever

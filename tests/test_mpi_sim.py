@@ -1,0 +1,157 @@
+"""Tests for the message-passing simulation and distributed scaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BackendError
+from repro.graph import from_dense, sprand, sprand_rect
+from repro.parallel.mpi_sim import SimComm, run_ranks
+from repro.scaling import scale_sinkhorn_knopp
+from repro.scaling.distributed import scale_sinkhorn_knopp_distributed
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        def program(comm, value):
+            total = yield from comm.allreduce(value)
+            return total
+
+        assert run_ranks(program, [1, 2, 3, 4]) == [10, 10, 10, 10]
+
+    def test_allreduce_sum_arrays(self):
+        def program(comm, value):
+            total = yield from comm.allreduce(value)
+            return total
+
+        out = run_ranks(program, [np.arange(3), np.ones(3)])
+        np.testing.assert_array_equal(out[0], [1, 2, 3])
+        np.testing.assert_array_equal(out[1], [1, 2, 3])
+
+    def test_allreduce_max(self):
+        def program(comm, value):
+            return (yield from comm.allreduce(value, op="max"))
+
+        assert run_ranks(program, [3, 7, 5]) == [7, 7, 7]
+
+    def test_allreduce_bad_op(self):
+        def program(comm, value):
+            return (yield from comm.allreduce(value, op="min"))
+
+        with pytest.raises(BackendError):
+            run_ranks(program, [1, 2])
+
+    def test_allgather_ordered_by_rank(self):
+        def program(comm, value):
+            return (yield from comm.allgather(value * 10))
+
+        assert run_ranks(program, [1, 2, 3]) == [[10, 20, 30]] * 3
+
+    def test_bcast_from_root(self):
+        def program(comm, _):
+            return (yield from comm.bcast("payload" if comm.rank == 0 else None))
+
+        assert run_ranks(program, [None, None, None]) == ["payload"] * 3
+
+    def test_bcast_nonzero_root(self):
+        def program(comm, _):
+            value = {"rank": comm.rank} if comm.rank == 2 else None
+            return (yield from comm.bcast(value, root=2))
+
+        assert run_ranks(program, [0, 0, 0]) == [{"rank": 2}] * 3
+
+    def test_barrier_and_rank_metadata(self):
+        def program(comm, _):
+            yield from comm.barrier()
+            return (comm.rank, comm.size)
+
+        assert run_ranks(program, [None] * 3) == [(0, 3), (1, 3), (2, 3)]
+
+    def test_data_is_copied_across_ranks(self):
+        """A rank mutating received data must not affect other ranks."""
+
+        def program(comm, _):
+            data = yield from comm.allgather(np.zeros(2))
+            data[0][0] = comm.rank + 1.0  # mutate the received copy
+            yield from comm.barrier()
+            check = yield from comm.allgather(float(data[0][0]))
+            return check
+
+        out = run_ranks(program, [None, None])
+        # Each rank sees its own mutation only.
+        assert out[0] == [1.0, 2.0]
+
+    def test_sequence_of_collectives(self):
+        def program(comm, value):
+            a = yield from comm.allreduce(value)
+            b = yield from comm.allgather(a + comm.rank)
+            c = yield from comm.allreduce(max(b), op="max")
+            return c
+
+        assert run_ranks(program, [1, 1]) == [3, 3]
+
+    def test_mismatched_collectives_raise(self):
+        def program(comm, _):
+            if comm.rank == 0:
+                yield from comm.allreduce(1)
+            else:
+                yield from comm.allgather(1)
+
+        with pytest.raises(BackendError):
+            run_ranks(program, [None, None])
+
+    def test_deadlock_detected_by_step_bound(self):
+        def program(comm, _):
+            if comm.rank == 0:
+                yield from comm.barrier()  # rank 1 never joins
+            return None
+
+        with pytest.raises(BackendError):
+            run_ranks(program, [None, None], max_steps=1000)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(BackendError):
+            run_ranks(lambda c, a: iter(()), [])
+
+
+class TestDistributedScaling:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 5])
+    def test_matches_serial(self, n_ranks):
+        g = sprand(300, 4.0, seed=0)
+        serial = scale_sinkhorn_knopp(g, 5)
+        dist = scale_sinkhorn_knopp_distributed(g, 5, n_ranks=n_ranks)
+        np.testing.assert_allclose(dist.dr, serial.dr, rtol=1e-12)
+        np.testing.assert_allclose(dist.dc, serial.dc, rtol=1e-12)
+        assert dist.error == pytest.approx(serial.error, rel=1e-9)
+
+    def test_rectangular(self):
+        g = sprand_rect(120, 200, 3.0, seed=1)
+        serial = scale_sinkhorn_knopp(g, 4)
+        dist = scale_sinkhorn_knopp_distributed(g, 4, n_ranks=3)
+        np.testing.assert_allclose(dist.dr, serial.dr, rtol=1e-12)
+
+    def test_empty_lines_tolerated(self):
+        a = np.array([[1, 1, 0], [0, 0, 0], [0, 1, 0]])
+        g = from_dense(a)
+        dist = scale_sinkhorn_knopp_distributed(g, 3, n_ranks=2)
+        assert np.isfinite(dist.dr).all()
+        assert np.isfinite(dist.dc).all()
+
+    def test_more_ranks_than_rows(self):
+        g = sprand(5, 2.0, seed=0)
+        dist = scale_sinkhorn_knopp_distributed(g, 2, n_ranks=16)
+        serial = scale_sinkhorn_knopp(g, 2)
+        np.testing.assert_allclose(dist.dr, serial.dr, rtol=1e-12)
+
+    def test_zero_iterations(self):
+        g = sprand(50, 3.0, seed=0)
+        dist = scale_sinkhorn_knopp_distributed(g, 0, n_ranks=2)
+        np.testing.assert_array_equal(dist.dr, np.ones(50))
+
+    def test_bad_arguments(self):
+        from repro.errors import ScalingError
+
+        g = sprand(10, 2.0, seed=0)
+        with pytest.raises(ScalingError):
+            scale_sinkhorn_knopp_distributed(g, -1)
+        with pytest.raises(ScalingError):
+            scale_sinkhorn_knopp_distributed(g, 2, n_ranks=0)

@@ -1,0 +1,70 @@
+"""Tests for random 1-out graphs and quality helpers (repro.core)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import ONE_SIDED_GUARANTEE, TWO_SIDED_GUARANTEE
+from repro.graph import identity, sprand
+from repro.matching import hopcroft_karp
+from repro.core import (
+    matching_quality,
+    one_out_graph,
+    one_out_max_matching_size,
+    one_sided_bound,
+    sample_uniform_one_out,
+    two_sided_bound,
+)
+
+
+class TestOneOutSampling:
+    def test_choice_ranges(self):
+        rc, cc = sample_uniform_one_out(100, seed=0)
+        assert rc.shape == cc.shape == (100,)
+        assert rc.min() >= 0 and rc.max() < 100
+        assert cc.min() >= 0 and cc.max() < 100
+
+    def test_graph_edge_bound(self):
+        g = one_out_graph(200, seed=1)
+        assert g.nnz <= 400
+        assert g.shape == (200, 200)
+
+    def test_matching_size_equals_exact(self):
+        for seed in range(5):
+            rc, cc = sample_uniform_one_out(150, seed=seed)
+            from repro.core import choice_graph, karp_sipser_mt
+
+            g = choice_graph(rc, cc)
+            assert (
+                karp_sipser_mt(rc, cc).cardinality
+                == hopcroft_karp(g).cardinality
+            )
+
+    def test_karonski_pittel_constant(self):
+        """|M|/n concentrates around 2(1-rho) = 0.8657."""
+        n = 50_000
+        ratio = one_out_max_matching_size(n, seed=0) / n
+        assert abs(ratio - TWO_SIDED_GUARANTEE) < 0.01
+
+    def test_deterministic(self):
+        assert one_out_max_matching_size(1000, seed=3) == \
+            one_out_max_matching_size(1000, seed=3)
+
+
+class TestQualityHelpers:
+    def test_matching_quality_with_known_max(self):
+        g = identity(10)
+        m = hopcroft_karp(g)
+        assert matching_quality(g, m, maximum_cardinality=10) == 1.0
+
+    def test_matching_quality_computes_sprank(self):
+        g = sprand(100, 3.0, seed=0)
+        m = hopcroft_karp(g)
+        assert matching_quality(g, m) == 1.0
+
+    def test_one_sided_bound_values(self):
+        assert one_sided_bound() == ONE_SIDED_GUARANTEE
+        assert one_sided_bound(1.0) == ONE_SIDED_GUARANTEE
+        assert one_sided_bound(0.92) == pytest.approx(0.6015, abs=5e-4)
+
+    def test_two_sided_bound_value(self):
+        assert two_sided_bound() == TWO_SIDED_GUARANTEE

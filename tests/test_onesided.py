@@ -1,0 +1,119 @@
+"""Tests for OneSidedMatch (repro.core.onesided) — Algorithm 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import ONE_SIDED_GUARANTEE
+from repro.graph import (
+    from_dense,
+    full_ones,
+    fully_indecomposable,
+    identity,
+    sprand,
+    sprand_rect,
+)
+from repro.matching.matching import NIL
+from repro.core import one_sided_match
+from repro.core.onesided import cmatch_from_choices
+from repro.scaling import scale_sinkhorn_knopp
+
+
+class TestCmatchFromChoices:
+    def test_last_write_wins(self):
+        # Rows 0 and 2 both pick column 1: numpy fancy assignment keeps
+        # the later row.
+        cm = cmatch_from_choices(np.array([1, 0, 1]), 2)
+        assert cm.tolist() == [1, 2]
+
+    def test_nil_rows_do_not_write(self):
+        cm = cmatch_from_choices(np.array([NIL, 0]), 2)
+        assert cm.tolist() == [1, NIL]
+
+
+class TestOneSidedMatch:
+    def test_valid_matching_always(self):
+        g = sprand(500, 3.0, seed=0)
+        res = one_sided_match(g, iterations=3, seed=1)
+        res.matching.validate(g)
+
+    def test_identity_perfect(self):
+        res = one_sided_match(identity(50), iterations=1, seed=0)
+        assert res.matching.is_perfect()
+
+    def test_deterministic_with_seed(self):
+        g = sprand(200, 4.0, seed=0)
+        a = one_sided_match(g, 3, seed=11).matching
+        b = one_sided_match(g, 3, seed=11).matching
+        np.testing.assert_array_equal(a.row_match, b.row_match)
+
+    def test_scaling_reuse(self):
+        g = sprand(100, 3.0, seed=0)
+        scaling = scale_sinkhorn_knopp(g, 4)
+        res = one_sided_match(g, scaling=scaling, seed=0)
+        assert res.scaling is scaling
+
+    def test_row_choice_exposed_and_consistent(self):
+        g = sprand(100, 3.0, seed=0)
+        res = one_sided_match(g, 3, seed=2)
+        # Every matched (i, j) pair must come from row i's choice.
+        for i, j in res.matching.pairs():
+            assert res.row_choice[i] == j
+
+    def test_column_side(self):
+        g = sprand_rect(80, 60, 3.0, seed=0)
+        res = one_sided_match(g, 3, seed=1, side="column")
+        res.matching.validate(g)
+        assert res.matching.cardinality > 0
+
+    def test_bad_side_rejected(self):
+        with pytest.raises(ValueError):
+            one_sided_match(identity(3), side="diagonal")
+
+    def test_cardinality_property(self):
+        g = sprand(50, 3.0, seed=0)
+        res = one_sided_match(g, 2, seed=0)
+        assert res.cardinality == res.matching.cardinality
+
+
+class TestTheorem1:
+    """Statistical verification of the 0.632 guarantee."""
+
+    def test_expected_quality_on_ones_matrix(self):
+        """On the all-ones matrix the bound is asymptotically tight:
+        E[|M|]/n -> 1 - 1/e exactly."""
+        n = 2000
+        g = full_ones(n)
+        qualities = [
+            one_sided_match(g, 1, seed=s).cardinality / n for s in range(5)
+        ]
+        mean = float(np.mean(qualities))
+        assert abs(mean - ONE_SIDED_GUARANTEE) < 0.02
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_guarantee_on_fully_indecomposable(self, seed):
+        g = fully_indecomposable(400, 4.0, seed=seed)
+        res = one_sided_match(g, 10, seed=seed)
+        # Expectation is >= 0.632 n; a single draw concentrates tightly
+        # for n=400 (allow 4 sigma slack ~ 0.05).
+        assert res.cardinality / g.nrows > ONE_SIDED_GUARANTEE - 0.05
+
+    def test_relaxed_bound_with_one_iteration(self):
+        """Section 3.3: few iterations -> weaker but nontrivial bound."""
+        g = fully_indecomposable(1000, 5.0, seed=0)
+        res = one_sided_match(g, 1, seed=1)
+        assert res.cardinality / g.nrows > 0.55
+
+
+class TestDegenerateInputs:
+    def test_empty_rows_stay_unmatched(self):
+        a = np.array([[1, 1], [0, 0]])
+        res = one_sided_match(from_dense(a), 2, seed=0)
+        assert res.matching.row_match[1] == NIL
+        assert res.row_choice[1] == NIL
+
+    def test_single_vertex(self):
+        res = one_sided_match(identity(1), 1, seed=0)
+        assert res.matching.is_perfect()

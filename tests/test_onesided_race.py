@@ -1,0 +1,90 @@
+"""The OneSidedMatch write race, simulated explicitly.
+
+Algorithm 2's claim: multiple rows may write to the same ``cmatch`` slot
+concurrently; *whichever* write survives, the array defines a valid
+matching, and the set of matched columns — hence the cardinality — is
+identical for every outcome.  Here the racing writes are executed by
+simulated threads under many schedules and the claim is checked, plus
+the library's vectorised "last write wins" is shown to be one of the
+schedule outcomes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import sprand
+from repro.matching import Matching
+from repro.matching.matching import NIL
+from repro.core import one_sided_match, scaled_row_choices
+from repro.parallel.partition import static_partition
+from repro.parallel.simthread import SimScheduler
+from repro.scaling import scale_sinkhorn_knopp
+
+
+def _write_program(rows, row_choice, cmatch):
+    """One simulated thread performing its rows' cmatch writes."""
+    for i in rows:
+        j = int(row_choice[i])
+        if j == NIL:
+            continue
+        yield ("store", j)
+        cmatch[j] = int(i)
+
+
+def _race(row_choice, ncols, n_threads, policy, seed):
+    cmatch = np.full(ncols, NIL, dtype=np.int64)
+    nrows = row_choice.shape[0]
+    programs = [
+        _write_program(range(lo, hi), row_choice, cmatch)
+        for lo, hi in static_partition(nrows, n_threads)
+    ]
+    SimScheduler(programs, policy=policy, seed=seed).run()
+    return cmatch
+
+
+class TestOneSidedWriteRace:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        g = sprand(200, 4.0, seed=0)
+        scaling = scale_sinkhorn_knopp(g, 5)
+        row_choice = scaled_row_choices(g, scaling.dr, scaling.dc, seed=1)
+        return g, row_choice
+
+    def test_every_schedule_gives_valid_matching(self, instance):
+        g, row_choice = instance
+        for seed in range(20):
+            cmatch = _race(row_choice, g.ncols, 4, "random", seed)
+            m = Matching.from_col_match(cmatch, g.nrows)
+            m.validate(g)
+
+    def test_cardinality_schedule_invariant(self, instance):
+        """|M| = number of distinct chosen columns, whoever wins."""
+        g, row_choice = instance
+        expected = np.unique(row_choice[row_choice != NIL]).size
+        for policy in ("round_robin", "random", "adversarial"):
+            for seed in range(5):
+                cmatch = _race(row_choice, g.ncols, 4, policy, seed)
+                assert np.count_nonzero(cmatch != NIL) == expected
+
+    def test_survivors_differ_across_schedules(self, instance):
+        """The race is real: different schedules keep different writers
+        (while cardinality stays fixed)."""
+        g, row_choice = instance
+        outcomes = {
+            _race(row_choice, g.ncols, 4, "random", seed).tobytes()
+            for seed in range(10)
+        }
+        assert len(outcomes) > 1
+
+    def test_library_result_is_one_race_outcome(self, instance):
+        """The vectorised implementation equals the sequential schedule."""
+        g, row_choice = instance
+        sequential = _race(row_choice, g.ncols, 1, "sequential", 0)
+        library = one_sided_match(
+            g,
+            scaling=scale_sinkhorn_knopp(g, 5),
+            seed=1,
+        )
+        np.testing.assert_array_equal(
+            library.matching.col_match, sequential
+        )

@@ -1,0 +1,131 @@
+"""Paper-number window tests.
+
+Each test pins one quantitative claim of the paper to a tolerance window
+at a reduced instance size.  These are the `pytest tests/` counterpart of
+the benchmark-harness shape assertions: if a refactor shifts any of the
+reproduction's headline numbers, one of these trips.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import ONE_SIDED_GUARANTEE, TWO_SIDED_GUARANTEE
+from repro import (
+    karp_sipser,
+    one_sided_match,
+    sprank,
+    two_sided_match,
+)
+from repro.graph import full_ones, karp_sipser_adversarial, sprand
+from repro.scaling import scale_sinkhorn_knopp
+
+
+class TestHeadlineConstants:
+    def test_one_sided_on_ones_matrix_tight(self):
+        """The all-ones matrix saturates Theorem 1: quality -> 0.632."""
+        n = 3000
+        g = full_ones(n)
+        qualities = [
+            one_sided_match(g, 1, seed=s).cardinality / n for s in range(4)
+        ]
+        assert abs(float(np.mean(qualities)) - ONE_SIDED_GUARANTEE) < 0.01
+
+    def test_two_sided_on_ones_matrix_tight(self):
+        """...and Conjecture 1: quality -> 0.8657."""
+        n = 3000
+        g = full_ones(n)
+        qualities = [
+            two_sided_match(g, 1, seed=s).cardinality / n for s in range(4)
+        ]
+        assert abs(float(np.mean(qualities)) - TWO_SIDED_GUARANTEE) < 0.01
+
+
+class TestTable1Windows:
+    """n=800 windows calibrated against the n=3200 run in EXPERIMENTS.md."""
+
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return karp_sipser_adversarial(800, 32)
+
+    def test_ks_window(self, instance):
+        q = min(
+            karp_sipser(instance, seed=s).cardinality / 800 for s in range(5)
+        )
+        assert 0.55 < q < 0.80  # paper at k=32: 0.670
+
+    def test_unscaled_two_sided_window(self, instance):
+        scaling = scale_sinkhorn_knopp(instance, 0)
+        q = min(
+            two_sided_match(instance, scaling=scaling, seed=s).cardinality
+            / 800
+            for s in range(5)
+        )
+        assert 0.40 < q < 0.60  # paper: 0.447
+
+    def test_scaled_two_sided_window(self, instance):
+        scaling = scale_sinkhorn_knopp(instance, 10)
+        q = min(
+            two_sided_match(instance, scaling=scaling, seed=s).cardinality
+            / 800
+            for s in range(5)
+        )
+        assert q > 0.93  # paper: 0.980
+
+
+class TestTable2Windows:
+    """d=5, iter=10 is the paper's tightest cell: 0.716 / 0.882."""
+
+    def test_d5_iter10(self):
+        n = 10_000
+        g = sprand(n, 5.0, seed=0)
+        maximum = sprank(g)
+        scaling = scale_sinkhorn_knopp(g, 10)
+        one_q = min(
+            one_sided_match(g, scaling=scaling, seed=s).cardinality / maximum
+            for s in range(3)
+        )
+        two_q = min(
+            two_sided_match(g, scaling=scaling, seed=s).cardinality / maximum
+            for s in range(3)
+        )
+        assert abs(one_q - 0.716) < 0.04
+        assert abs(two_q - 0.882) < 0.04
+
+    def test_d2_easier_than_d5(self):
+        n = 10_000
+        qualities = {}
+        for d in (2, 5):
+            g = sprand(n, float(d), seed=0)
+            maximum = sprank(g)
+            scaling = scale_sinkhorn_knopp(g, 10)
+            qualities[d] = (
+                two_sided_match(g, scaling=scaling, seed=1).cardinality
+                / maximum
+            )
+        assert qualities[2] - qualities[5] > 0.04  # paper: 0.954 vs 0.882
+
+
+class TestSpeedupWindows:
+    def test_modelled_p16_band(self):
+        """Figures 3-4: every suite instance lands in [9, 12.6] at p=16."""
+        from repro.graph import suite_instance
+        from repro.parallel import MachineModel
+        from repro.parallel.machine import ScheduleSpec
+        from repro.scaling.sinkhorn_knopp import sinkhorn_knopp_work_profile
+
+        model = MachineModel()
+        for name in ("venturiLevel3", "torso1", "europe_osm"):
+            g = suite_instance(name, n=8000, seed=0)
+            prof = sinkhorn_knopp_work_profile(g)
+            sched = ScheduleSpec.dynamic(max(16, g.nrows // 256))
+            s = model.speedup(prof, 16, schedule=sched, barriers=2)
+            assert 9.0 < s < 12.6, name
+
+
+class TestConjectureWindow:
+    def test_one_out_constant_window(self):
+        from repro.core import one_out_max_matching_size
+
+        n = 200_000
+        ratio = one_out_max_matching_size(n, seed=0) / n
+        assert abs(ratio - TWO_SIDED_GUARANTEE) < 0.003

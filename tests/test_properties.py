@@ -1,0 +1,63 @@
+"""Tests for structural diagnostics (repro.graph.properties)."""
+
+import numpy as np
+
+from repro.graph import (
+    degree_statistics,
+    from_dense,
+    full_ones,
+    has_total_support_certificate,
+    identity,
+    is_perfect_matchable,
+    sprand_rect,
+    union_of_permutations,
+)
+
+
+class TestDegreeStatistics:
+    def test_identity(self):
+        rows, cols = degree_statistics(identity(5))
+        assert rows.minimum == rows.maximum == 1
+        assert rows.mean == 1.0
+        assert rows.variance == 0.0
+        assert rows.empty_count == 0
+        assert cols == rows
+
+    def test_with_empty_rows(self):
+        g = from_dense(np.array([[1, 1], [0, 0]]))
+        rows, cols = degree_statistics(g)
+        assert rows.empty_count == 1
+        assert rows.maximum == 2
+        assert cols.empty_count == 0
+
+    def test_empty_graph(self):
+        g = from_dense(np.zeros((0, 0)))
+        rows, _ = degree_statistics(g)
+        assert rows.mean == 0.0
+
+
+class TestSupport:
+    def test_identity_perfect(self):
+        assert is_perfect_matchable(identity(4))
+
+    def test_rectangular_never_perfect(self):
+        assert not is_perfect_matchable(sprand_rect(3, 4, 2.0, seed=0))
+
+    def test_triangular_has_support_not_total(self):
+        # Upper triangular: perfect matching (diagonal) exists, but the
+        # strictly-upper entries are never in one.
+        a = np.triu(np.ones((4, 4)))
+        g = from_dense(a)
+        assert is_perfect_matchable(g)
+        assert not has_total_support_certificate(g)
+
+    def test_full_matrix_total_support(self):
+        assert has_total_support_certificate(full_ones(4))
+
+    def test_union_of_permutations_total_support(self):
+        g = union_of_permutations(25, 2, seed=3)
+        assert has_total_support_certificate(g)
+
+    def test_deficient_matrix_no_support(self):
+        a = np.array([[1, 1], [0, 0]])
+        assert not has_total_support_certificate(from_dense(a))

@@ -1,0 +1,79 @@
+"""Tests for the push-relabel exact matcher (repro.matching.exact.push_relabel)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    empty,
+    from_dense,
+    identity,
+    karp_sipser_adversarial,
+    sprand,
+    sprand_rect,
+)
+from repro.matching import Matching, hopcroft_karp, push_relabel
+
+
+@st.composite
+def random_graphs(draw):
+    nrows = draw(st.integers(1, 15))
+    ncols = draw(st.integers(1, 15))
+    density = draw(st.floats(0.05, 0.7))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    return from_dense((rng.random((nrows, ncols)) < density).astype(int))
+
+
+class TestExactness:
+    def test_identity(self):
+        assert push_relabel(identity(20)).is_perfect()
+
+    def test_empty(self):
+        assert push_relabel(empty(5, 5)).cardinality == 0
+
+    def test_displacement_chain(self):
+        # r1 must displace r0 off c0 and r0 must move to c1.
+        g = from_dense(np.array([[1, 1], [1, 0]]))
+        m = push_relabel(g)
+        assert m.is_perfect()
+
+    @given(random_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_matches_hopcroft_karp(self, g):
+        m = push_relabel(g)
+        m.validate(g)
+        assert m.cardinality == hopcroft_karp(g).cardinality
+
+    def test_large_sparse(self):
+        g = sprand(5000, 3.0, seed=0)
+        assert push_relabel(g).cardinality == hopcroft_karp(g).cardinality
+
+    def test_rectangular(self):
+        g = sprand_rect(60, 90, 2.5, seed=1)
+        assert push_relabel(g).cardinality == hopcroft_karp(g).cardinality
+
+    def test_adversarial_family(self):
+        g = karp_sipser_adversarial(60, 8)
+        assert push_relabel(g).cardinality == 60
+
+
+class TestWarmStart:
+    def test_heuristic_warm_start_stays_exact(self):
+        from repro.core import two_sided_match
+
+        g = sprand(1000, 3.0, seed=2)
+        opt = hopcroft_karp(g).cardinality
+        init = two_sided_match(g, 5, seed=0).matching
+        m = push_relabel(g, initial=init)
+        m.validate(g)
+        assert m.cardinality == opt
+
+    def test_invalid_initial_rejected(self):
+        from repro.errors import ValidationError
+
+        g = identity(3)
+        bad = Matching.from_row_match([1, -1, -1], 3)
+        with pytest.raises(ValidationError):
+            push_relabel(g, initial=bad)

@@ -1,0 +1,165 @@
+"""Randomized cross-validation stress tests.
+
+Each test sweeps a moderate number of random instances and cross-checks
+independent implementations against each other — the strongest kind of
+evidence the library can give that its pieces are mutually consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    hopcroft_karp,
+    karp_sipser,
+    mc21,
+    one_sided_match,
+    push_relabel,
+    two_sided_match,
+)
+from repro.graph import from_dense, sprand, sprand_rect
+from repro.graph.dm import dulmage_mendelsohn
+from repro.matching.heuristics.greedy import (
+    greedy_edge_matching,
+    greedy_vertex_matching,
+)
+from repro.scaling import (
+    scale_sinkhorn_knopp,
+    scaled_column_sums,
+    scaled_row_sums,
+)
+
+
+@st.composite
+def any_graph(draw):
+    nrows = draw(st.integers(1, 25))
+    ncols = draw(st.integers(1, 25))
+    density = draw(st.floats(0.02, 0.6))
+    seed = draw(st.integers(0, 10**6))
+    rng = np.random.default_rng(seed)
+    return from_dense((rng.random((nrows, ncols)) < density).astype(int))
+
+
+class TestExactMatcherAgreement:
+    @given(any_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_three_exact_matchers_agree(self, g):
+        hk = hopcroft_karp(g).cardinality
+        assert mc21(g).cardinality == hk
+        assert push_relabel(g).cardinality == hk
+
+    def test_agreement_on_larger_instances(self):
+        for seed in range(6):
+            g = sprand_rect(700, 900, 2.5, seed=seed)
+            hk = hopcroft_karp(g).cardinality
+            assert mc21(g).cardinality == hk
+            assert push_relabel(g).cardinality == hk
+
+
+class TestHeuristicContracts:
+    @given(any_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_all_heuristics_valid_and_bounded(self, g):
+        maximum = hopcroft_karp(g).cardinality
+        for m in (
+            one_sided_match(g, 2, seed=0).matching,
+            two_sided_match(g, 2, seed=0).matching,
+            karp_sipser(g, seed=0),
+            greedy_edge_matching(g, seed=0),
+            greedy_vertex_matching(g, seed=0),
+        ):
+            m.validate(g)
+            assert m.cardinality <= maximum
+
+    @given(any_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_maximal_heuristics_half_bound(self, g):
+        maximum = hopcroft_karp(g).cardinality
+        for m in (
+            karp_sipser(g, seed=1),
+            greedy_edge_matching(g, seed=1),
+            greedy_vertex_matching(g, seed=1),
+        ):
+            assert 2 * m.cardinality >= maximum
+
+    @given(any_graph())
+    @settings(max_examples=30, deadline=None)
+    def test_warm_starts_never_break_exactness(self, g):
+        maximum = hopcroft_karp(g).cardinality
+        init = two_sided_match(g, 2, seed=3).matching
+        assert hopcroft_karp(g, initial=init).cardinality == maximum
+        assert mc21(g, initial=init).cardinality == maximum
+        assert push_relabel(g, initial=init).cardinality == maximum
+
+
+class TestScalingInvariants:
+    @given(any_graph(), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_row_sums_one_and_errors_finite(self, g, iters):
+        res = scale_sinkhorn_knopp(g, iters)
+        assert np.isfinite(res.dr).all() and np.isfinite(res.dc).all()
+        assert (res.dr > 0).all() and (res.dc > 0).all()
+        rsums = scaled_row_sums(g, res.dr, res.dc)
+        nonempty = g.row_degrees() > 0
+        if nonempty.any():
+            np.testing.assert_allclose(rsums[nonempty], 1.0, atol=1e-9)
+
+    @given(any_graph())
+    @settings(max_examples=30, deadline=None)
+    def test_scaled_mass_conserved(self, g):
+        """After a row sweep, total scaled mass = number of nonempty rows."""
+        res = scale_sinkhorn_knopp(g, 3)
+        csums = scaled_column_sums(g, res.dr, res.dc)
+        n_nonempty_rows = int((g.row_degrees() > 0).sum())
+        np.testing.assert_allclose(csums.sum(), n_nonempty_rows, rtol=1e-9)
+
+
+class TestDMInvariants:
+    @given(any_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_block_accounting(self, g):
+        dm = dulmage_mendelsohn(g)
+        # All rows/cols assigned to exactly one block.
+        assert (
+            dm.rows_of(dm.H_BLOCK).size
+            + dm.rows_of(dm.S_BLOCK).size
+            + dm.rows_of(dm.V_BLOCK).size
+            == g.nrows
+        )
+        # S square; H wide; V tall.
+        assert dm.rows_of(dm.S_BLOCK).size == dm.cols_of(dm.S_BLOCK).size
+        assert dm.rows_of(dm.H_BLOCK).size <= dm.cols_of(dm.H_BLOCK).size
+        assert dm.rows_of(dm.V_BLOCK).size >= dm.cols_of(dm.V_BLOCK).size
+        # sprank decomposition.
+        assert dm.sprank == (
+            dm.rows_of(dm.H_BLOCK).size
+            + dm.rows_of(dm.S_BLOCK).size
+            + dm.cols_of(dm.V_BLOCK).size
+        )
+
+    @given(any_graph())
+    @settings(max_examples=30, deadline=None)
+    def test_matching_restricted_to_matchable_edges(self, g):
+        """Any maximum matching uses only DM-matchable edges."""
+        dm = dulmage_mendelsohn(g)
+        matchable = set()
+        rows = g.row_of_edge()
+        for k in np.flatnonzero(dm.matchable_edges):
+            matchable.add((int(rows[k]), int(g.col_ind[k])))
+        for i, j in dm.matching.pairs():
+            assert (i, j) in matchable
+
+
+class TestEndToEndLarge:
+    def test_full_pipeline_various_shapes(self):
+        shapes = [(2000, 2000, 3.0), (1500, 2500, 2.0), (2500, 1500, 2.0)]
+        for idx, (m, n, d) in enumerate(shapes):
+            g = sprand_rect(m, n, d, seed=idx)
+            maximum = hopcroft_karp(g).cardinality
+            one = one_sided_match(g, 5, seed=idx)
+            two = two_sided_match(g, 5, seed=idx)
+            one.matching.validate(g)
+            two.matching.validate(g)
+            assert one.cardinality <= two.cardinality + int(0.02 * maximum)
+            assert two.cardinality >= 0.8 * maximum

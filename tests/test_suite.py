@@ -1,0 +1,69 @@
+"""Tests for the synthetic instance suite (repro.graph.suite)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.graph import SUITE_NAMES, suite_instance, suite_spec
+from repro.matching import sprank
+
+
+class TestRegistry:
+    def test_twelve_instances(self):
+        assert len(SUITE_NAMES) == 12
+
+    def test_paper_names_present(self):
+        for name in ("torso1", "europe_osm", "audikw_1", "cage15"):
+            assert name in SUITE_NAMES
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ExperimentError):
+            suite_spec("nonexistent")
+        with pytest.raises(ExperimentError):
+            suite_instance("nonexistent")
+
+    def test_spec_metadata(self):
+        spec = suite_spec("torso1")
+        assert spec.paper_n == 116_158
+        assert spec.paper_avg_degree == pytest.approx(73.3)
+        assert spec.skewed
+
+
+class TestInstances:
+    @pytest.mark.parametrize("name", SUITE_NAMES)
+    def test_builds_at_small_size(self, name):
+        g = suite_instance(name, n=2000, seed=0)
+        assert g.nrows >= 1000  # mesh builders round the size
+        assert g.nnz > 0
+
+    @pytest.mark.parametrize("name", SUITE_NAMES)
+    def test_deterministic(self, name):
+        a = suite_instance(name, n=1500, seed=3)
+        b = suite_instance(name, n=1500, seed=3)
+        assert a == b
+
+    def test_average_degrees_roughly_match_paper(self):
+        for name in SUITE_NAMES:
+            spec = suite_spec(name)
+            g = suite_instance(name, n=4000, seed=0)
+            measured = g.nnz / g.nrows
+            # Within a factor 1.7 of the paper's average degree.
+            assert measured > spec.paper_avg_degree / 1.7, name
+            assert measured < spec.paper_avg_degree * 1.7, name
+
+    def test_skewed_instances_have_higher_variance(self):
+        skew_var = suite_instance("torso1", n=3000, seed=0).row_degrees().var()
+        flat_var = suite_instance(
+            "venturiLevel3", n=3000, seed=0
+        ).row_degrees().var()
+        assert skew_var > 100 * max(flat_var, 1e-9)
+
+    def test_road_instances_are_sprank_deficient(self):
+        for name in ("europe_osm", "road_usa"):
+            g = suite_instance(name, n=4000, seed=0)
+            assert sprank(g) < g.nrows, name
+
+    def test_mesh_instances_have_full_sprank(self):
+        for name in ("venturiLevel3", "hugebubbles", "nlpkkt240"):
+            g = suite_instance(name, n=2000, seed=0)
+            assert sprank(g) == g.nrows, name

@@ -1,0 +1,37 @@
+"""Tests for the shape-verification harness (repro.experiments.verify)."""
+
+import pytest
+
+from repro.experiments.verify import CHECKS, run_verification
+
+
+class TestChecklist:
+    def test_all_checks_named_and_referenced(self):
+        names = [c.name for c in CHECKS]
+        assert len(names) == len(set(names))
+        for c in CHECKS:
+            assert c.paper_ref
+
+    def test_individual_fast_checks_pass(self):
+        fast = {
+            "two-sided-dominates",
+            "ksmt-exactness",
+            "schedule-independence",
+            "scaling-error-drops",
+        }
+        for check in CHECKS:
+            if check.name in fast:
+                assert check.fn(0), check.name
+
+    def test_run_verification_end_to_end(self):
+        passed, total, lines = run_verification(seed=0)
+        assert total == len(CHECKS)
+        assert passed == total, "\n".join(lines)
+        assert all(line.startswith("[PASS]") for line in lines)
+
+    def test_cli_verify(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "shape checks passed" in out

@@ -1,0 +1,65 @@
+"""Tests for the terminal visualisation helpers (repro.graph.viz)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.graph import from_dense, identity
+from repro.graph.viz import choice_diagram, spy
+from repro.matching import Matching, hopcroft_karp
+from repro.matching.matching import NIL
+
+
+class TestSpy:
+    def test_pattern_characters(self):
+        g = from_dense(np.array([[1, 0], [0, 1]]))
+        out = spy(g)
+        lines = out.splitlines()
+        assert lines[1].endswith("*.")
+        assert lines[2].endswith(".*")
+
+    def test_matching_highlighted(self):
+        g = identity(3)
+        m = hopcroft_karp(g)
+        out = spy(g, m)
+        assert "@" in out and "*" not in out  # every edge matched
+
+    def test_partial_matching_mixed(self):
+        g = from_dense(np.ones((2, 2)))
+        m = Matching.from_row_match([0, NIL], 2)
+        out = spy(g, m)
+        assert "@" in out and "*" in out
+
+    def test_size_limit(self):
+        from repro.graph import sprand
+
+        with pytest.raises(ShapeError):
+            spy(sprand(500, 2.0, seed=0))
+
+    def test_column_header_present(self):
+        out = spy(identity(12))
+        assert out.splitlines()[0].strip().startswith("01234567891011"[:10])
+
+
+class TestChoiceDiagram:
+    def test_simple_pair(self):
+        out = choice_diagram(np.array([0]), np.array([0]))
+        assert "r0 -> c0" in out
+        assert "c0 -> r0" in out
+
+    def test_nil_choices_skipped(self):
+        out = choice_diagram(
+            np.array([NIL], dtype=np.int64), np.array([NIL], dtype=np.int64)
+        )
+        assert out == "(no non-trivial components)"
+
+    def test_components_grouped(self):
+        rc = np.array([0, 1], dtype=np.int64)
+        cc = np.array([0, 1], dtype=np.int64)
+        out = choice_diagram(rc, cc)
+        assert out.count("component") == 2
+
+    def test_size_limit(self):
+        big = np.zeros(1000, dtype=np.int64)
+        with pytest.raises(ShapeError):
+            choice_diagram(big, big)
