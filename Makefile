@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments verify examples clean
+.PHONY: install test bench bench-regress bench-regress-smoke experiments verify examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-regress:
+	$(PYTHON) benchmarks/regression.py --check
+
+bench-regress-smoke:
+	$(PYTHON) benchmarks/regression.py --check --smoke
 
 experiments:
 	$(PYTHON) -m repro.experiments all --out results.json

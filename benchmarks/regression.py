@@ -1,0 +1,293 @@
+#!/usr/bin/env python
+"""Seeded perf-regression harness (``make bench-regress``).
+
+Runs a fixed workload matrix (sizes, seeds, and repetition counts are all
+pinned), writes a ``BENCH_<timestamp>.json`` snapshot into the snapshot
+directory, and — with ``--check`` — compares the fresh run against the most
+recent previous snapshot of the same mode:
+
+* a workload whose best-of-N wall time exceeds the previous snapshot's by
+  more than ``--tolerance`` (default 40% — CI wall clocks are noisy) is a
+  **timing regression**;
+* a quality workload whose mean matching ratio falls below its floor
+  (Theorem 1's ``1 - 1/e`` for OneSidedMatch, Conjecture 1's ``2(1 - ρ)``
+  for TwoSidedMatch, each minus ``--quality-eps``) is a **quality breach**
+  — floors are absolute, they are checked even when no previous snapshot
+  exists.
+
+Either failure mode exits non-zero, which is what the CI smoke job and
+every future perf PR are judged by.  ``--smoke`` shrinks the matrix to
+seconds for CI; smoke snapshots are only ever compared against other smoke
+snapshots.  See ``docs/observability.md`` for the snapshot schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if not any(Path(p).resolve() == REPO_ROOT / "src" for p in sys.path if p):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import __version__  # noqa: E402
+from repro.constants import ONE_SIDED_GUARANTEE, TWO_SIDED_GUARANTEE  # noqa: E402
+from repro.core import one_sided_match, two_sided_match  # noqa: E402
+from repro.core.choice import (  # noqa: E402
+    scaled_col_choices,
+    scaled_row_choices,
+)
+from repro.core.karp_sipser_mt import (  # noqa: E402
+    karp_sipser_mt,
+    karp_sipser_mt_vectorized,
+)
+from repro.graph import sprand  # noqa: E402
+from repro.graph.generators import union_of_permutations  # noqa: E402
+from repro.scaling import scale_sinkhorn_knopp  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: (workload, full_n, smoke_n) — every size in one place so full and smoke
+#: snapshots stay structurally identical.
+SIZES = {
+    "scale_sk": (20_000, 2_000),
+    "onesided": (20_000, 2_000),
+    "twosided_serial": (10_000, 1_500),
+    "twosided_vectorized": (20_000, 2_000),
+    "ks_mt_serial": (10_000, 1_500),
+    "ks_mt_vectorized": (10_000, 1_500),
+    "onesided_quality": (1_500, 400),
+    "twosided_quality": (1_500, 400),
+}
+
+
+def _choice_arrays(n: int):
+    """Deterministic scaled 1-out choice arrays on an ER d=4 instance."""
+    g = sprand(n, 4.0, seed=0)
+    sc = scale_sinkhorn_knopp(g, 5)
+    rc = scaled_row_choices(g, sc.dr, sc.dc, seed=1)
+    cc = scaled_col_choices(g, sc.dr, sc.dc, seed=2)
+    return rc, cc
+
+
+def _best_of(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def run_workloads(smoke: bool) -> dict[str, dict]:
+    """Execute the fixed matrix; returns ``{name: result-dict}``."""
+    idx = 1 if smoke else 0
+    repeats = 2 if smoke else 3
+    results: dict[str, dict] = {}
+
+    def record_timing(name: str, n: int, fn) -> None:
+        seconds = _best_of(fn, repeats)
+        results[name] = {"n": n, "seconds": seconds}
+        print(f"  {name:<22} n={n:<7} {seconds * 1e3:9.2f} ms")
+
+    print("timing workloads:")
+
+    n = SIZES["scale_sk"][idx]
+    g = sprand(n, 4.0, seed=0)
+    record_timing("scale_sk", n, lambda: scale_sinkhorn_knopp(g, 5))
+
+    n = SIZES["onesided"][idx]
+    g = sprand(n, 4.0, seed=0)
+    sc = scale_sinkhorn_knopp(g, 5)
+    record_timing(
+        "onesided", n, lambda: one_sided_match(g, scaling=sc, seed=1)
+    )
+
+    for name, engine in (
+        ("twosided_serial", "serial"),
+        ("twosided_vectorized", "vectorized"),
+    ):
+        n = SIZES[name][idx]
+        g = sprand(n, 4.0, seed=0)
+        sc = scale_sinkhorn_knopp(g, 5)
+        record_timing(
+            name, n,
+            lambda g=g, sc=sc, engine=engine: two_sided_match(
+                g, scaling=sc, seed=1, engine=engine
+            ),
+        )
+
+    for name, engine_fn in (
+        ("ks_mt_serial", karp_sipser_mt),
+        ("ks_mt_vectorized", karp_sipser_mt_vectorized),
+    ):
+        n = SIZES[name][idx]
+        rc, cc = _choice_arrays(n)
+        record_timing(
+            name, n, lambda rc=rc, cc=cc, fn=engine_fn: fn(rc, cc)
+        )
+
+    print("quality workloads:")
+    trials = 3 if smoke else 5
+
+    n = SIZES["onesided_quality"][idx]
+    g = union_of_permutations(n, 4, seed=0)
+    ratios = [
+        one_sided_match(g, 5, seed=s).cardinality / n for s in range(trials)
+    ]
+    results["onesided_quality"] = {
+        "n": n,
+        "quality": float(np.mean(ratios)),
+        "floor": ONE_SIDED_GUARANTEE,
+        "trials": trials,
+    }
+
+    n = SIZES["twosided_quality"][idx]
+    g = union_of_permutations(n, 4, seed=0)
+    ratios = [
+        two_sided_match(g, 5, seed=s, engine="vectorized").cardinality / n
+        for s in range(trials)
+    ]
+    results["twosided_quality"] = {
+        "n": n,
+        "quality": float(np.mean(ratios)),
+        "floor": TWO_SIDED_GUARANTEE,
+        "trials": trials,
+    }
+    for name in ("onesided_quality", "twosided_quality"):
+        r = results[name]
+        print(
+            f"  {name:<22} n={r['n']:<7} quality={r['quality']:.4f} "
+            f"(floor {r['floor']:.4f})"
+        )
+
+    return results
+
+
+def make_snapshot(smoke: bool) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "smoke": smoke,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "results": run_workloads(smoke),
+    }
+
+
+def latest_snapshot(out_dir: Path, smoke: bool) -> dict | None:
+    """The newest parseable snapshot of the same mode, or None."""
+    for path in sorted(out_dir.glob("BENCH_*.json"), reverse=True):
+        try:
+            snap = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if snap.get("schema") == SCHEMA_VERSION and snap.get("smoke") == smoke:
+            snap["_path"] = str(path)
+            return snap
+    return None
+
+
+def check(
+    current: dict,
+    previous: dict | None,
+    tolerance: float,
+    quality_eps: float,
+) -> list[str]:
+    """All regression/breach messages for *current* (empty list = pass)."""
+    failures = []
+    for name, res in current["results"].items():
+        floor = res.get("floor")
+        if floor is not None:
+            effective = floor - quality_eps
+            if res["quality"] < effective:
+                failures.append(
+                    f"quality breach: {name} = {res['quality']:.4f} < "
+                    f"{effective:.4f} (floor {floor:.4f} - eps {quality_eps})"
+                )
+    if previous is None:
+        return failures
+    for name, res in current["results"].items():
+        prev = previous["results"].get(name)
+        if not prev or "seconds" not in res or "seconds" not in prev:
+            continue
+        if prev.get("n") != res.get("n"):
+            continue  # size matrix changed; timings not comparable
+        ratio = res["seconds"] / prev["seconds"] if prev["seconds"] else 1.0
+        if ratio > 1.0 + tolerance:
+            failures.append(
+                f"timing regression: {name} {prev['seconds'] * 1e3:.2f} ms "
+                f"-> {res['seconds'] * 1e3:.2f} ms ({ratio:.2f}x, "
+                f"tolerance {1.0 + tolerance:.2f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="seeded perf-regression harness"
+    )
+    parser.add_argument(
+        "--out-dir", default=str(REPO_ROOT / "benchmarks" / "snapshots"),
+        help="snapshot directory (default benchmarks/snapshots)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI (compared only against smoke snapshots)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the previous snapshot and fail on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.40,
+        help="allowed relative slowdown before failing (default 0.40)",
+    )
+    parser.add_argument(
+        "--quality-eps", type=float, default=0.02,
+        help="slack below the theoretical quality floors (default 0.02)",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="run and check without writing a snapshot",
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    previous = latest_snapshot(out_dir, args.smoke) if args.check else None
+
+    mode = "smoke" if args.smoke else "full"
+    print(f"running {mode} workload matrix ...")
+    snapshot = make_snapshot(args.smoke)
+
+    if not args.no_write:
+        stamp = snapshot["date"].replace(":", "").replace("-", "")
+        path = out_dir / f"BENCH_{stamp}.json"
+        path.write_text(json.dumps(snapshot, indent=2) + "\n")
+        print(f"wrote {path}")
+
+    failures = check(snapshot, previous, args.tolerance, args.quality_eps)
+    if previous is not None:
+        print(f"compared against {previous['_path']}")
+    elif args.check:
+        print("no previous snapshot of this mode — quality floors only")
+    if failures:
+        print("\nREGRESSIONS DETECTED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("all workloads within tolerance; quality floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,9 @@ Public API highlights
   baseline heuristics (greedy variants, classic Karp–Sipser).
 * :mod:`repro.experiments` — regenerates every table and figure of the
   paper's evaluation (``python -m repro.experiments list``).
+* :mod:`repro.telemetry` — opt-in observability (counters/timers/spans
+  wired through the hot paths; ``python -m repro telemetry`` for a
+  per-run report, ``docs/observability.md`` for the metric catalogue).
 """
 
 from repro.constants import (
@@ -37,8 +40,10 @@ from repro.errors import (
     ReproError,
     ScalingError,
     ShapeError,
+    TelemetryError,
     ValidationError,
 )
+from repro import telemetry
 from repro.graph import BipartiteGraph
 from repro.matching import (
     Matching,
@@ -76,6 +81,9 @@ __all__ = [
     "MatchingError",
     "ValidationError",
     "BackendError",
+    "TelemetryError",
+    # telemetry
+    "telemetry",
     # graph
     "BipartiteGraph",
     # matching

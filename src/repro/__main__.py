@@ -8,6 +8,8 @@ Subcommands::
     python -m repro dm       <file.mtx>
     python -m repro generate <kind> --n 1000 [--degree 4] [--out g.mtx]
     python -m repro info     <file.mtx>
+    python -m repro telemetry <file.mtx> [--method two-sided] [--trace]
+                              [--jsonl trace.jsonl]
 
 Matrices are MatrixMarket coordinate files (``.mtx``) or the library's
 ``.npz`` cache format (auto-detected by extension).
@@ -150,6 +152,43 @@ def cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Run a heuristic with telemetry enabled and print the metric report."""
+    from repro import telemetry
+    from repro.core import one_sided_match, two_sided_match
+    from repro.telemetry import JsonLinesSink, TableSink, render_report
+
+    if args.repeat < 1:
+        raise SystemExit("--repeat must be at least 1")
+    g = _load(args.matrix)
+    sinks = []
+    if args.trace:
+        sinks.append(TableSink())
+    jsonl = None
+    if args.jsonl:
+        jsonl = JsonLinesSink(args.jsonl)
+        sinks.append(jsonl)
+    with telemetry.session(*sinks) as registry:
+        for rep in range(args.repeat):
+            seed = args.seed + rep
+            if args.method == "one-sided":
+                result = one_sided_match(
+                    g, args.iterations, seed=seed, backend=args.backend
+                )
+            else:
+                result = two_sided_match(
+                    g, args.iterations, seed=seed, backend=args.backend,
+                    engine=args.engine,
+                )
+        report = render_report(registry.snapshot())
+    if jsonl is not None:
+        jsonl.close()
+        print(f"wrote event trace to {args.jsonl}")
+    print(report, end="")
+    print(f"cardinality : {result.cardinality}  (last of {args.repeat} run(s))")
+    return 0
+
+
 def cmd_dm(args: argparse.Namespace) -> int:
     from repro.graph.dm import CoarseDM, dulmage_mendelsohn
 
@@ -248,6 +287,36 @@ def main(argv: list[str] | None = None) -> int:
     p_dm = sub.add_parser("dm", help="Dulmage-Mendelsohn decomposition")
     p_dm.add_argument("matrix")
     p_dm.set_defaults(fn=cmd_dm)
+
+    p_tel = sub.add_parser(
+        "telemetry",
+        help="run a heuristic with telemetry on and report its metrics",
+    )
+    p_tel.add_argument("matrix")
+    p_tel.add_argument(
+        "--method", choices=["one-sided", "two-sided"], default="two-sided"
+    )
+    p_tel.add_argument("--iterations", type=int, default=5)
+    p_tel.add_argument("--seed", type=int, default=0)
+    p_tel.add_argument(
+        "--engine",
+        choices=["serial", "vectorized", "simulated", "threaded"],
+        default="serial",
+    )
+    p_tel.add_argument(
+        "--backend", default=None,
+        help="parallel backend spec (e.g. threads:4, processes:2)",
+    )
+    p_tel.add_argument("--repeat", type=int, default=1)
+    p_tel.add_argument(
+        "--trace", action="store_true",
+        help="echo events to stdout as they happen",
+    )
+    p_tel.add_argument(
+        "--jsonl", default=None,
+        help="also append the event trace to this JSON-lines file",
+    )
+    p_tel.set_defaults(fn=cmd_telemetry)
 
     p_gen = sub.add_parser("generate", help="generate a test matrix")
     p_gen.add_argument("kind")

@@ -50,9 +50,8 @@ def choices_from_weights(
     n = ptr.shape[0] - 1
     if ind.shape != weights.shape:
         raise ShapeError("ind and weights must be parallel arrays")
-    out = np.full(n, NIL, dtype=np.int64)
     if ind.shape[0] == 0 or n == 0:
-        return out
+        return np.full(n, NIL, dtype=np.int64)
     # Uniform draws first so results are identical across backends: the
     # random stream is consumed in one deterministic vectorised call.
     draws = 1.0 - rng.random(n)  # in (0, 1]
@@ -60,7 +59,11 @@ def choices_from_weights(
     cum = np.cumsum(weights)
     prefix = np.concatenate([[0.0], cum])
 
-    def work(lo: int, hi: int) -> None:
+    # Workers return their slice of picks (no shared-array writes) so the
+    # kernel also runs on process backends; every pick depends only on the
+    # global prefix sums and the row's own draw, so the result is bitwise
+    # identical for any backend and worker count.
+    def work(lo: int, hi: int) -> IndexArray:
         base = prefix[ptr[lo:hi]]
         totals = prefix[ptr[lo + 1 : hi + 1]] - base
         targets = base + draws[lo:hi] * totals
@@ -71,11 +74,10 @@ def choices_from_weights(
         picked[totals <= 0.0] = NIL
         empty = ptr[lo:hi] == ptr[lo + 1 : hi + 1]
         picked[empty] = NIL
-        out[lo:hi] = picked
+        return picked
 
     be = backend or SerialBackend()
-    be.map_ranges(work, n)
-    return out
+    return np.concatenate(be.map_ranges(work, n))
 
 
 def scaled_row_choices(

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry as _tm
 from repro._typing import IndexArray, SeedLike
 from repro.errors import MatchingError, ShapeError
 from repro.graph.build import from_edges
@@ -75,6 +76,26 @@ class KarpSipserMTStats:
     @property
     def cardinality(self) -> int:
         return self.phase1_pairs + self.phase2_pairs
+
+
+def _record_stats(engine: str, stats: KarpSipserMTStats) -> None:
+    """Publish one run's phase counters (telemetry known to be enabled).
+
+    Engines call this once per run, after the fact — the instrumentation
+    policy keeps the per-vertex loops untouched so the disabled-mode cost
+    stays at a single boolean check per engine invocation.
+    """
+    _tm.incr(f"ks_mt.{engine}.runs")
+    _tm.incr(f"ks_mt.{engine}.phase1_pairs", stats.phase1_pairs)
+    _tm.incr(f"ks_mt.{engine}.phase2_pairs", stats.phase2_pairs)
+    if stats.chains >= 0:
+        _tm.incr(f"ks_mt.{engine}.chains", stats.chains)
+        _tm.set_gauge(f"ks_mt.{engine}.longest_chain", stats.longest_chain)
+        if stats.chains:
+            _tm.set_gauge(
+                f"ks_mt.{engine}.mean_chain",
+                stats.phase1_pairs / stats.chains,
+            )
 
 
 # ----------------------------------------------------------------------
@@ -181,52 +202,57 @@ def karp_sipser_mt(
     """
     choice, nrows, ncols = unify_choices(row_choice, col_choice)
     n = nrows + ncols
-    mark, deg = _init_mark_deg(choice)
-    match = np.full(n, NIL, dtype=np.int64)
+    with _tm.span("karp_sipser_mt.serial", n=n) as sp:
+        mark, deg = _init_mark_deg(choice)
+        match = np.full(n, NIL, dtype=np.int64)
 
-    phase1_pairs = 0
-    chains = 0
-    longest = 0
+        phase1_pairs = 0
+        chains = 0
+        longest = 0
 
-    # Phase 1: out-one chains.
-    for u in range(n):
-        if not mark[u] or choice[u] == NIL:
-            continue
-        curr = u
-        length = 0
-        while curr != NIL:
-            nbr = int(choice[curr])
-            if nbr == NIL or match[nbr] != NIL:
-                break
-            match[nbr] = curr
-            match[curr] = nbr
-            phase1_pairs += 1
-            length += 1
-            nxt = int(choice[nbr])
-            curr = NIL
-            if nxt != NIL and match[nxt] == NIL:
-                deg[nxt] -= 1
-                if deg[nxt] == 1:
-                    curr = nxt
-        if length:
-            chains += 1
-            longest = max(longest, length)
+        # Phase 1: out-one chains.
+        with _tm.span("phase1"):
+            for u in range(n):
+                if not mark[u] or choice[u] == NIL:
+                    continue
+                curr = u
+                length = 0
+                while curr != NIL:
+                    nbr = int(choice[curr])
+                    if nbr == NIL or match[nbr] != NIL:
+                        break
+                    match[nbr] = curr
+                    match[curr] = nbr
+                    phase1_pairs += 1
+                    length += 1
+                    nxt = int(choice[nbr])
+                    curr = NIL
+                    if nxt != NIL and match[nxt] == NIL:
+                        deg[nxt] -= 1
+                        if deg[nxt] == 1:
+                            curr = nxt
+                if length:
+                    chains += 1
+                    longest = max(longest, length)
 
-    # Phase 2: residual cycles / 2-cliques via column choices.
-    phase2_pairs = 0
-    for j in range(ncols):
-        u = nrows + j
-        v = int(choice[u])
-        if v != NIL and match[u] == NIL and match[v] == NIL:
-            match[u] = v
-            match[v] = u
-            phase2_pairs += 1
+        # Phase 2: residual cycles / 2-cliques via column choices.
+        phase2_pairs = 0
+        with _tm.span("phase2", loop_size=ncols):
+            for j in range(ncols):
+                u = nrows + j
+                v = int(choice[u])
+                if v != NIL and match[u] == NIL and match[v] == NIL:
+                    match[u] = v
+                    match[v] = u
+                    phase2_pairs += 1
 
-    result = matching_from_unified(match, nrows, ncols)
+        result = matching_from_unified(match, nrows, ncols)
+        stats = KarpSipserMTStats(phase1_pairs, phase2_pairs, chains, longest)
+        if _tm.enabled():
+            _record_stats("serial", stats)
+            sp.set(cardinality=stats.cardinality)
     if with_stats:
-        return result, KarpSipserMTStats(
-            phase1_pairs, phase2_pairs, chains, longest
-        )
+        return result, stats
     return result
 
 
@@ -253,73 +279,91 @@ def karp_sipser_mt_vectorized(
     """
     choice, nrows, ncols = unify_choices(row_choice, col_choice)
     n = nrows + ncols
-    match = np.full(n, NIL, dtype=np.int64)
+    with _tm.span("karp_sipser_mt.vectorized", n=n) as sp:
+        rounds = 0
+        match = np.full(n, NIL, dtype=np.int64)
 
-    valid = choice != NIL
-    # in_count[u]: number of *unmatched* vertices currently choosing u.
-    in_count = np.zeros(n, dtype=np.int64)
-    np.add.at(in_count, choice[valid], 1)
+        valid = choice != NIL
+        # in_count[u]: number of *unmatched* vertices currently choosing u.
+        in_count = np.zeros(n, dtype=np.int64)
+        np.add.at(in_count, choice[valid], 1)
 
-    # Vertices whose out-edge is still usable (target unmatched, self
-    # unmatched).  Candidates are out-ones: in_count == 0 among them.
-    alive = valid.copy()
-    while True:
-        candidates = np.flatnonzero(
-            alive & (in_count == 0) & (match == NIL)
-        )
-        if candidates.size:
-            targets = choice[candidates]
-            usable = match[targets] == NIL
-            candidates = candidates[usable]
-            targets = targets[usable]
-        if candidates.size == 0:
-            break
-        # Scatter resolves conflicts: last writer per target survives.
+        # Vertices whose out-edge is still usable (target unmatched, self
+        # unmatched).  Candidates are out-ones: in_count == 0 among them.
+        alive = valid.copy()
+        while True:
+            candidates = np.flatnonzero(
+                alive & (in_count == 0) & (match == NIL)
+            )
+            if candidates.size:
+                targets = choice[candidates]
+                usable = match[targets] == NIL
+                candidates = candidates[usable]
+                targets = targets[usable]
+            if candidates.size == 0:
+                break
+            rounds += 1
+            # Scatter resolves conflicts: last writer per target survives.
+            winner_of = np.full(n, NIL, dtype=np.int64)
+            winner_of[targets] = candidates
+            winners = winner_of[targets] == candidates
+            w = candidates[winners]
+            t = targets[winners]
+            match[w] = t
+            match[t] = w
+            # Losers' out-edges are dead (their target is matched) — and so
+            # are they as chain continuations: mark not-alive so they do not
+            # re-enter candidates forever.
+            alive[candidates] = False
+            alive[w] = False
+            # Consumed targets' out-pointers die: decrement their targets'
+            # in-counts (skipping targets-of-targets that are now matched —
+            # matched vertices never become candidates anyway, but keeping
+            # counts exact preserves the out-one semantics for the rest).
+            t_next = choice[t]
+            t_has_next = t_next != NIL
+            np.subtract.at(in_count, t_next[t_has_next], 1)
+            # The matched winners' in-pointers also die for *their* targets?
+            # No: winners matched WITH their targets; their out-pointer went
+            # to the matched target, nothing else changes.  But other
+            # unmatched vertices pointing AT the winners keep pointing at a
+            # matched vertex — their edges are dead; decrementing is not
+            # needed because what matters is in_count of *unmatched* targets
+            # only (matched vertices never become candidates).
+
+        if _tm.enabled():
+            phase1_pairs = int(np.count_nonzero(match != NIL)) // 2
+
+        # Phase 2: residual cycles/2-cliques via column choices (Lemma 3:
+        # conflict-free among the residual columns).
+        cols = np.arange(nrows, n, dtype=np.int64)
+        v = choice[cols]
+        ok = (v != NIL) & (match[cols] == NIL)
+        ok[ok] &= match[v[ok]] == NIL
+        cu = cols[ok]
+        cv = v[ok]
+        # Residual column choices are pairwise distinct (cycle structure);
+        # a duplicate would indicate corrupted input — resolve by scatter
+        # anyway so arbitrary inputs still yield a valid matching.
         winner_of = np.full(n, NIL, dtype=np.int64)
-        winner_of[targets] = candidates
-        winners = winner_of[targets] == candidates
-        w = candidates[winners]
-        t = targets[winners]
-        match[w] = t
-        match[t] = w
-        # Losers' out-edges are dead (their target is matched) — and so
-        # are they as chain continuations: mark not-alive so they do not
-        # re-enter candidates forever.
-        alive[candidates] = False
-        alive[w] = False
-        # Consumed targets' out-pointers die: decrement their targets'
-        # in-counts (skipping targets-of-targets that are now matched —
-        # matched vertices never become candidates anyway, but keeping
-        # counts exact preserves the out-one semantics for the rest).
-        t_next = choice[t]
-        t_has_next = t_next != NIL
-        np.subtract.at(in_count, t_next[t_has_next], 1)
-        # The matched winners' in-pointers also die for *their* targets?
-        # No: winners matched WITH their targets; their out-pointer went
-        # to the matched target, nothing else changes.  But other
-        # unmatched vertices pointing AT the winners keep pointing at a
-        # matched vertex — their edges are dead; decrementing is not
-        # needed because what matters is in_count of *unmatched* targets
-        # only (matched vertices never become candidates).
+        winner_of[cv] = cu
+        keep = winner_of[cv] == cu
+        match[cu[keep]] = cv[keep]
+        match[cv[keep]] = cu[keep]
 
-    # Phase 2: residual cycles/2-cliques via column choices (Lemma 3:
-    # conflict-free among the residual columns).
-    cols = np.arange(nrows, n, dtype=np.int64)
-    v = choice[cols]
-    ok = (v != NIL) & (match[cols] == NIL)
-    ok[ok] &= match[v[ok]] == NIL
-    cu = cols[ok]
-    cv = v[ok]
-    # Residual column choices are pairwise distinct (cycle structure);
-    # a duplicate would indicate corrupted input — resolve by scatter
-    # anyway so arbitrary inputs still yield a valid matching.
-    winner_of = np.full(n, NIL, dtype=np.int64)
-    winner_of[cv] = cu
-    keep = winner_of[cv] == cu
-    match[cu[keep]] = cv[keep]
-    match[cv[keep]] = cu[keep]
-
-    return matching_from_unified(match, nrows, ncols)
+        result = matching_from_unified(match, nrows, ncols)
+        if _tm.enabled():
+            total_pairs = int(np.count_nonzero(match != NIL)) // 2
+            _record_stats(
+                "vectorized",
+                KarpSipserMTStats(
+                    phase1_pairs, total_pairs - phase1_pairs,
+                    chains=-1, longest_chain=-1,
+                ),
+            )
+            _tm.incr("ks_mt.vectorized.rounds", rounds)
+            sp.set(rounds=rounds, cardinality=total_pairs)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -336,7 +380,12 @@ def _phase1_program(
 
     Yields before every shared-memory access so the scheduler can
     interleave threads at exactly the granularity real hardware would.
+
+    Lost CAS races (another thread claimed the neighbour first) are
+    aggregated locally and recorded once per program as the
+    ``ks_mt.simulated.cas_lost`` counter — the paper's "retry" events.
     """
+    cas_lost = 0
     for u in vertices:
         u = int(u)
         if not mark[u] or choice[u] == NIL:
@@ -362,8 +411,11 @@ def _phase1_program(
                         if deg.add_and_fetch(nxt, -1) == 1:
                             curr = nxt
             else:
+                cas_lost += 1
                 curr = NIL
         yield ("next", u)
+    if cas_lost:
+        _tm.incr("ks_mt.simulated.cas_lost", cas_lost)
 
 
 def _phase2_program(
@@ -412,43 +464,54 @@ def karp_sipser_mt_simulated(
         raise ShapeError(f"n_threads must be >= 1, got {n_threads}")
     choice, nrows, ncols = unify_choices(row_choice, col_choice)
     n = nrows + ncols
-    mark, deg0 = _init_mark_deg(choice)
-    match = AtomicArray(np.full(n, NIL, dtype=np.int64))
-    deg = AtomicArray(deg0)
+    with _tm.span(
+        "karp_sipser_mt.simulated", n=n, n_threads=n_threads
+    ) as sp:
+        mark, deg0 = _init_mark_deg(choice)
+        match = AtomicArray(np.full(n, NIL, dtype=np.int64))
+        deg = AtomicArray(deg0)
 
-    chunks = guided_chunks(n, n_threads, 16)
-    assignment: list[list[int]] = [[] for _ in range(n_threads)]
-    for idx, (lo, hi) in enumerate(chunks):
-        assignment[idx % n_threads].extend(range(lo, hi))
+        chunks = guided_chunks(n, n_threads, 16)
+        assignment: list[list[int]] = [[] for _ in range(n_threads)]
+        for idx, (lo, hi) in enumerate(chunks):
+            assignment[idx % n_threads].extend(range(lo, hi))
 
-    programs = [
-        _phase1_program(
-            np.asarray(vs, dtype=np.int64), choice, mark, match, deg
-        )
-        for vs in assignment
-        if vs
-    ]
-    SimScheduler(programs, policy=policy, seed=seed).run()
-    phase1_pairs = int(np.count_nonzero(match.values != NIL)) // 2
+        programs = [
+            _phase1_program(
+                np.asarray(vs, dtype=np.int64), choice, mark, match, deg
+            )
+            for vs in assignment
+            if vs
+        ]
+        with _tm.span("phase1"):
+            SimScheduler(programs, policy=policy, seed=seed).run()
+        phase1_pairs = int(np.count_nonzero(match.values != NIL)) // 2
 
-    col_chunks = guided_chunks(ncols, n_threads, 16)
-    col_assignment: list[list[int]] = [[] for _ in range(n_threads)]
-    for idx, (lo, hi) in enumerate(col_chunks):
-        col_assignment[idx % n_threads].extend(range(lo, hi))
-    programs2 = [
-        _phase2_program(np.asarray(js, dtype=np.int64), choice, nrows, match)
-        for js in col_assignment
-        if js
-    ]
-    SimScheduler(programs2, policy=policy, seed=seed).run()
-    total_pairs = int(np.count_nonzero(match.values != NIL)) // 2
+        col_chunks = guided_chunks(ncols, n_threads, 16)
+        col_assignment: list[list[int]] = [[] for _ in range(n_threads)]
+        for idx, (lo, hi) in enumerate(col_chunks):
+            col_assignment[idx % n_threads].extend(range(lo, hi))
+        programs2 = [
+            _phase2_program(
+                np.asarray(js, dtype=np.int64), choice, nrows, match
+            )
+            for js in col_assignment
+            if js
+        ]
+        with _tm.span("phase2", loop_size=ncols):
+            SimScheduler(programs2, policy=policy, seed=seed).run()
+        total_pairs = int(np.count_nonzero(match.values != NIL)) // 2
 
-    result = matching_from_unified(match.values, nrows, ncols)
-    if with_stats:
-        return result, KarpSipserMTStats(
+        result = matching_from_unified(match.values, nrows, ncols)
+        stats = KarpSipserMTStats(
             phase1_pairs, total_pairs - phase1_pairs, chains=-1,
             longest_chain=-1,
         )
+        if _tm.enabled():
+            _record_stats("simulated", stats)
+            sp.set(cardinality=total_pairs)
+    if with_stats:
+        return result, stats
     return result
 
 
@@ -506,17 +569,28 @@ def karp_sipser_mt_threaded(
 
     from repro.parallel.partition import static_partition
 
-    for worker, count in ((phase1_worker, n), (phase2_worker, ncols)):
-        threads = [
-            threading.Thread(target=worker, args=(lo, hi))
-            for lo, hi in static_partition(count, n_threads)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+    with _tm.span(
+        "karp_sipser_mt.threaded", n=n, n_threads=n_threads
+    ) as sp:
+        for name, worker, count in (
+            ("phase1", phase1_worker, n), ("phase2", phase2_worker, ncols)
+        ):
+            threads = [
+                threading.Thread(target=worker, args=(lo, hi))
+                for lo, hi in static_partition(count, n_threads)
+            ]
+            with _tm.span(name):
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
 
-    return matching_from_unified(match.values, nrows, ncols)
+        result = matching_from_unified(match.values, nrows, ncols)
+        if _tm.enabled():
+            pairs = int(np.count_nonzero(match.values != NIL)) // 2
+            _tm.incr("ks_mt.threaded.runs")
+            sp.set(cardinality=pairs)
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry as _tm
 from repro._typing import IndexArray, SeedLike, rng_from
 from repro.graph.csr import BipartiteGraph
 from repro.matching.matching import NIL, Matching
@@ -93,25 +94,38 @@ def one_sided_match(
     """
     be = get_backend(backend)
     rng = rng_from(seed)
-    if scaling is None:
-        scaling = scale_sinkhorn_knopp(graph, iterations, backend=be)
-    if side == "row":
-        row_choice = scaled_row_choices(
-            graph, scaling.dr, scaling.dc, rng, backend=be
-        )
-        cmatch = cmatch_from_choices(row_choice, graph.ncols)
-        matching = Matching.from_col_match(cmatch, graph.nrows)
-    elif side == "column":
-        col_choice = scaled_col_choices(
-            graph, scaling.dr, scaling.dc, rng, backend=be
-        )
-        # rmatch[i] is the column whose racing write survived on row i,
-        # which is exactly a row_match array.
-        rmatch = cmatch_from_choices(col_choice, graph.nrows)
-        matching = Matching.from_row_match(rmatch, graph.ncols)
-        row_choice = col_choice
-    else:
-        raise ValueError(f"side must be 'row' or 'column', got {side!r}")
+    with _tm.span("core.one_sided_match", side=side) as sp:
+        if scaling is None:
+            scaling = scale_sinkhorn_knopp(graph, iterations, backend=be)
+        with _tm.span("choices"):
+            if side == "row":
+                row_choice = scaled_row_choices(
+                    graph, scaling.dr, scaling.dc, rng, backend=be
+                )
+            elif side == "column":
+                row_choice = scaled_col_choices(
+                    graph, scaling.dr, scaling.dc, rng, backend=be
+                )
+            else:
+                raise ValueError(
+                    f"side must be 'row' or 'column', got {side!r}"
+                )
+        if side == "row":
+            cmatch = cmatch_from_choices(row_choice, graph.ncols)
+            matching = Matching.from_col_match(cmatch, graph.nrows)
+        else:
+            # rmatch[i] is the column whose racing write survived on row
+            # i, which is exactly a row_match array.
+            rmatch = cmatch_from_choices(row_choice, graph.nrows)
+            matching = Matching.from_row_match(rmatch, graph.ncols)
+        if _tm.enabled():
+            cardinality = matching.cardinality
+            chosen = int(np.count_nonzero(row_choice != NIL))
+            collisions = chosen - cardinality
+            _tm.incr("onesided.runs")
+            _tm.incr("onesided.choices", chosen)
+            _tm.incr("onesided.collisions", collisions)
+            sp.set(cardinality=cardinality, collisions=collisions)
     return OneSidedResult(
         matching=matching, scaling=scaling, row_choice=row_choice
     )

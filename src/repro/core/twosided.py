@@ -12,10 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro import telemetry as _tm
 from repro._typing import IndexArray, SeedLike, rng_from
 from repro.errors import ShapeError
 from repro.graph.csr import BipartiteGraph
-from repro.matching.matching import Matching
+from repro.matching.matching import NIL, Matching
 from repro.parallel.backends import Backend, get_backend
 from repro.parallel.simthread import SchedulePolicy
 from repro.scaling.result import ScalingResult
@@ -95,39 +98,56 @@ def two_sided_match(
     """
     be = get_backend(backend)
     rng = rng_from(seed)
-    if scaling is None:
-        scaling = scale_sinkhorn_knopp(graph, iterations, backend=be)
+    with _tm.span("core.two_sided_match", engine=engine) as sp:
+        if scaling is None:
+            scaling = scale_sinkhorn_knopp(graph, iterations, backend=be)
 
-    row_choice = scaled_row_choices(
-        graph, scaling.dr, scaling.dc, rng, backend=be
-    )
-    col_choice = scaled_col_choices(
-        graph, scaling.dr, scaling.dc, rng, backend=be
-    )
+        with _tm.span("choices"):
+            row_choice = scaled_row_choices(
+                graph, scaling.dr, scaling.dc, rng, backend=be
+            )
+            col_choice = scaled_col_choices(
+                graph, scaling.dr, scaling.dc, rng, backend=be
+            )
 
-    stats: KarpSipserMTStats | None = None
-    if engine == "serial":
-        matching, stats = karp_sipser_mt(
-            row_choice, col_choice, with_stats=True
-        )
-    elif engine == "vectorized":
-        matching = karp_sipser_mt_vectorized(row_choice, col_choice)
-    elif engine == "simulated":
-        matching, stats = karp_sipser_mt_simulated(
-            row_choice,
-            col_choice,
-            n_threads,
-            policy=sim_policy,
-            seed=rng,
-            with_stats=True,
-        )
-    elif engine == "threaded":
-        matching = karp_sipser_mt_threaded(row_choice, col_choice, n_threads)
-    else:
-        raise ShapeError(
-            f"engine must be 'serial', 'vectorized', 'simulated' or "
-            f"'threaded', got {engine!r}"
-        )
+        stats: KarpSipserMTStats | None = None
+        if engine == "serial":
+            matching, stats = karp_sipser_mt(
+                row_choice, col_choice, with_stats=True
+            )
+        elif engine == "vectorized":
+            matching = karp_sipser_mt_vectorized(row_choice, col_choice)
+        elif engine == "simulated":
+            matching, stats = karp_sipser_mt_simulated(
+                row_choice,
+                col_choice,
+                n_threads,
+                policy=sim_policy,
+                seed=rng,
+                with_stats=True,
+            )
+        elif engine == "threaded":
+            matching = karp_sipser_mt_threaded(
+                row_choice, col_choice, n_threads
+            )
+        else:
+            raise ShapeError(
+                f"engine must be 'serial', 'vectorized', 'simulated' or "
+                f"'threaded', got {engine!r}"
+            )
+
+        if _tm.enabled():
+            # A "mutual pair" row chose a column that chose it back — a
+            # 2-clique the Karp–Sipser phase keeps with certainty.
+            rows = np.flatnonzero(row_choice != NIL)
+            mutual = int(np.count_nonzero(col_choice[row_choice[rows]] == rows))
+            _tm.incr("twosided.runs")
+            _tm.incr("twosided.mutual_pairs", mutual)
+            _tm.incr(
+                "twosided.choices",
+                int(rows.size + np.count_nonzero(col_choice != NIL)),
+            )
+            sp.set(cardinality=matching.cardinality, mutual_pairs=mutual)
 
     return TwoSidedResult(
         matching=matching,

@@ -17,6 +17,7 @@ __all__ = [
     "BackendError",
     "ScheduleError",
     "ExperimentError",
+    "TelemetryError",
 ]
 
 
@@ -65,3 +66,7 @@ class ScheduleError(BackendError):
 
 class ExperimentError(ReproError):
     """An experiment id is unknown or its parameters are invalid."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry misuse (e.g. re-registering a metric under another kind)."""

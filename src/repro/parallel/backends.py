@@ -1,17 +1,27 @@
 """Real execution backends for data-parallel kernels.
 
 Three backends share one tiny interface, :class:`Backend`: map a function
-over contiguous index ranges.
+over contiguous index ranges and return the per-range results in partition
+order.
 
 * :class:`SerialBackend` — reference implementation, zero overhead.
 * :class:`ThreadBackend` — a ``ThreadPoolExecutor``.  Python's GIL would
   serialise pure-Python bodies, but the kernels this library parallelises
   are numpy segment reductions and gathers, which release the GIL inside
   numpy; on multi-core hosts this yields real concurrency.
-* :class:`ProcessBackend` — fork-based process pool for fully GIL-free
-  execution.  Arguments are pickled, so it pays a copy per call; it is the
+* :class:`ProcessBackend` — forks one child per range, per call.  The
+  kernel function is *inherited through the fork* (closures over large
+  arrays work and are not copied through pickling); only the per-range
+  **return values** travel back through a pipe, so kernels must return
+  their results rather than write into shared output arrays.  It is the
   honest demonstration backend for CPU-bound pure-Python work, not the
   fast path.
+
+When telemetry is enabled (:mod:`repro.telemetry`), every ``map_ranges``
+call records per-chunk wall times into the ``parallel.<label>.chunk``
+timer and a load-imbalance gauge ``parallel.<label>.imbalance`` (max chunk
+time over mean chunk time — 1.0 is a perfectly balanced call).  When
+telemetry is disabled the only cost is one boolean check per call.
 
 The *scalability claims* of the paper are reproduced with the machine cost
 model (:mod:`repro.parallel.machine`); these backends exist so that every
@@ -23,9 +33,11 @@ from __future__ import annotations
 
 import abc
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
+from repro import telemetry as _tm
 from repro.errors import BackendError
 from repro.parallel.partition import static_partition
 
@@ -40,16 +52,53 @@ __all__ = [
 RangeFn = Callable[[int, int], Any]
 
 
+def _record_chunks(label: str, durations: Sequence[float]) -> None:
+    """Feed one call's per-chunk wall times into the telemetry registry."""
+    if not durations:
+        return
+    timer = _tm.get_registry().timer(f"parallel.{label}.chunk")
+    for dt in durations:
+        timer.observe(dt)
+    _tm.incr(f"parallel.{label}.calls")
+    mean = sum(durations) / len(durations)
+    if mean > 0.0:
+        _tm.set_gauge(
+            f"parallel.{label}.imbalance", max(durations) / mean
+        )
+
+
 class Backend(abc.ABC):
     """Maps ``fn(lo, hi)`` over a partition of ``range(n)``."""
 
     #: Number of workers the backend schedules onto.
     n_workers: int = 1
+    #: Short name used in telemetry metric paths.
+    label: str = "backend"
 
-    @abc.abstractmethod
     def map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
         """Call ``fn`` on each range of a static partition of ``range(n)``
         and return the per-range results in partition order."""
+        if not _tm.enabled():
+            return self._map_ranges(fn, n)
+        durations: list[float] = []
+
+        def timed(lo: int, hi: int) -> Any:
+            t0 = time.perf_counter()
+            try:
+                return fn(lo, hi)
+            finally:
+                # list.append is atomic under the GIL, so concurrent
+                # worker threads can share this list safely.
+                durations.append(time.perf_counter() - t0)
+
+        try:
+            return self._map_ranges(timed, n)
+        finally:
+            _record_chunks(self.label, durations)
+
+    @abc.abstractmethod
+    def _map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
+        """Backend-specific execution of the partitioned map."""
 
     def close(self) -> None:
         """Release worker resources (no-op by default)."""
@@ -65,8 +114,9 @@ class SerialBackend(Backend):
     """Run everything inline on the calling thread."""
 
     n_workers = 1
+    label = "serial"
 
-    def map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
+    def _map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
         return [fn(0, n)] if n > 0 else []
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -76,13 +126,15 @@ class SerialBackend(Backend):
 class ThreadBackend(Backend):
     """Thread-pool backend (effective for GIL-releasing numpy kernels)."""
 
+    label = "threads"
+
     def __init__(self, n_workers: int | None = None) -> None:
         self.n_workers = (os.cpu_count() or 1) if n_workers is None else n_workers
         if self.n_workers < 1:
             raise BackendError(f"n_workers must be >= 1, got {self.n_workers}")
         self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
 
-    def map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
+    def _map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
         parts = static_partition(n, self.n_workers)
         futures = [self._pool.submit(fn, lo, hi) for lo, hi in parts]
         return [f.result() for f in futures]
@@ -94,13 +146,42 @@ class ThreadBackend(Backend):
         return f"ThreadBackend(n_workers={self.n_workers})"
 
 
-class ProcessBackend(Backend):
-    """Fork-based process pool backend.
+def _child_range(fn: RangeFn, lo: int, hi: int, conn) -> None:
+    """Run one range in a forked child and ship ``(ok, dt, result)`` back."""
+    t0 = time.perf_counter()
+    try:
+        result = fn(lo, hi)
+        ok = True
+    except BaseException as exc:  # noqa: BLE001 - report to the parent
+        result = exc
+        ok = False
+    dt = time.perf_counter() - t0
+    try:
+        conn.send((ok, dt, result))
+    except Exception as exc:  # result (or exception) not picklable
+        try:
+            conn.send(
+                (False, dt, BackendError(f"could not return result: {exc}"))
+            )
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
 
-    ``fn`` and its results must be picklable; closures over large arrays
-    are copied to the children.  Intended for demonstrations and tests of
-    GIL-free execution, not as the performance path.
+
+class ProcessBackend(Backend):
+    """Fork-per-call process backend.
+
+    Each ``map_ranges`` call forks one child per range: the kernel and its
+    closed-over arrays are inherited by the fork (no pickling of the
+    function, no argument copies), and only the per-range return value is
+    pickled back through a pipe.  Side effects the kernel makes on arrays
+    happen in the child's copy-on-write memory and are *not* visible to
+    the parent — kernels must return their results, which is the library
+    convention (see :mod:`repro.parallel.reduction`).
     """
+
+    label = "processes"
 
     def __init__(self, n_workers: int | None = None) -> None:
         import multiprocessing as mp
@@ -109,18 +190,57 @@ class ProcessBackend(Backend):
         if self.n_workers < 1:
             raise BackendError(f"n_workers must be >= 1, got {self.n_workers}")
         try:
-            ctx = mp.get_context("fork")
+            self._ctx = mp.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX
             raise BackendError("ProcessBackend requires fork support") from exc
-        self._pool = ctx.Pool(processes=self.n_workers)
 
     def map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
-        parts = static_partition(n, self.n_workers)
-        return self._pool.starmap(fn, parts)
+        record = _tm.enabled()
+        pairs = self._run(fn, n)
+        if record:
+            _record_chunks(self.label, [dt for _, dt in pairs])
+        return [result for result, _ in pairs]
 
-    def close(self) -> None:
-        self._pool.terminate()
-        self._pool.join()
+    def _map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
+        return [result for result, _ in self._run(fn, n)]
+
+    def _run(self, fn: RangeFn, n: int) -> list[tuple[Any, float]]:
+        parts = static_partition(n, self.n_workers)
+        if not parts:
+            return []
+        procs = []
+        conns = []
+        for lo, hi in parts:
+            recv, send = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(
+                target=_child_range, args=(fn, lo, hi, send)
+            )
+            proc.start()
+            send.close()
+            procs.append(proc)
+            conns.append(recv)
+        out: list[tuple[Any, float]] = []
+        failure: BaseException | None = None
+        for proc, conn in zip(procs, conns):
+            try:
+                ok, dt, payload = conn.recv()
+            except EOFError:
+                ok, dt, payload = False, 0.0, BackendError(
+                    "worker exited without returning a result"
+                )
+            conn.close()
+            proc.join()
+            if ok:
+                out.append((payload, dt))
+            elif failure is None:
+                failure = (
+                    payload
+                    if isinstance(payload, BaseException)
+                    else BackendError(str(payload))
+                )
+        if failure is not None:
+            raise failure
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessBackend(n_workers={self.n_workers})"

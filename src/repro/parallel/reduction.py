@@ -61,12 +61,18 @@ def segment_sums_parallel(
     ptr = np.asarray(ptr)
     n_seg = ptr.shape[0] - 1
     values = np.asarray(values, dtype=np.float64)
-    out = np.empty(n_seg, dtype=np.float64)
+    if n_seg <= 0:
+        return np.empty(max(n_seg, 0), dtype=np.float64)
 
-    def work(lo: int, hi: int) -> None:
+    # Workers *return* their block of sums (rather than writing into a
+    # shared output array) so the kernel also runs on process backends,
+    # where side effects stay in the child.  Each segment's sum depends
+    # only on its own slice, so the concatenated result is bitwise
+    # identical across backends and worker counts.
+    def work(lo: int, hi: int) -> FloatArray:
         sub_ptr = ptr[lo : hi + 1] - ptr[lo]
         sub_vals = values[ptr[lo] : ptr[hi]]
-        out[lo:hi] = segment_sums(sub_vals, sub_ptr)
+        return segment_sums(sub_vals, sub_ptr)
 
-    backend.map_ranges(work, n_seg)
-    return out
+    pieces = backend.map_ranges(work, n_seg)
+    return np.concatenate(pieces)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry as _tm
 from repro._typing import FloatArray
 from repro.errors import ScalingError
 from repro.graph.csr import BipartiteGraph
@@ -112,19 +113,30 @@ def scale_sinkhorn_knopp(
     limit = iterations if iterations is not None else max_iterations
     done = 0
     converged = False
-    error = column_sum_error(graph, dr, dc, be if use_parallel else None)
-    for _ in range(limit):
+    with _tm.span(
+        "scaling.sinkhorn_knopp",
+        nrows=graph.nrows, ncols=graph.ncols, nnz=graph.nnz,
+    ) as sp:
+        error = column_sum_error(graph, dr, dc, be if use_parallel else None)
+        for _ in range(limit):
+            if tolerance is not None and error <= tolerance:
+                converged = True
+                break
+            col_sweep()
+            row_sweep()
+            done += 1
+            error = column_sum_error(
+                graph, dr, dc, be if use_parallel else None
+            )
+            if track_history:
+                history.append(error)
+            if _tm.enabled():
+                _tm.incr("scaling.sk.sweeps")
+                _tm.event("scaling.sk.sweep", iteration=done, error=error)
         if tolerance is not None and error <= tolerance:
             converged = True
-            break
-        col_sweep()
-        row_sweep()
-        done += 1
-        error = column_sum_error(graph, dr, dc, be if use_parallel else None)
-        if track_history:
-            history.append(error)
-    if tolerance is not None and error <= tolerance:
-        converged = True
+        _tm.set_gauge("scaling.sk.error", error)
+        sp.set(iterations=done, error=error, converged=converged)
 
     return ScalingResult(
         dr=dr,

@@ -1,0 +1,169 @@
+"""Metric primitives: :class:`Counter`, :class:`Gauge`, :class:`Timer`.
+
+Each metric owns its lock, so hot paths updating different metrics never
+contend with each other.  All three are cheap enough to update from inner
+library code, but the instrumentation policy (see ``docs/observability.md``)
+is to keep updates *out* of per-vertex loops: engines aggregate locally and
+record once per phase, which is what keeps the disabled-mode overhead
+unmeasurable.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+__all__ = ["Counter", "Gauge", "Timer"]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    kind = "counter"
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self._value}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, value={self._value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins; min/max are tracked)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "_lock", "_value", "_min", "_max", "_writes")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = math.nan
+        self._min = math.inf
+        self._max = -math.inf
+        self._writes = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._value = value
+            self._writes += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def minimum(self) -> float:
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "value": self._value,
+            "min": self._min,
+            "max": self._max,
+            "writes": self._writes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name!r}, value={self._value})"
+
+
+class Timer:
+    """Accumulated wall-time observations (count/total/min/max/mean)."""
+
+    kind = "timer"
+    __slots__ = ("name", "_lock", "_count", "_total", "_min", "_max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        with self._lock:
+            self._count += 1
+            self._total += seconds
+            if seconds < self._min:
+                self._min = seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    def time(self) -> "_TimerContext":
+        """Context manager observing the wall time of its block."""
+        return _TimerContext(self)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def minimum(self) -> float:
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else math.nan
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self._count,
+            "total": self._total,
+            "min": self._min if self._count else math.nan,
+            "max": self._max if self._count else math.nan,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Timer({self.name!r}, count={self._count}, total={self._total:.6f})"
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._timer.observe(time.perf_counter() - self._start)

@@ -1,0 +1,147 @@
+"""Thread-safe metric registry and nestable spans.
+
+The :class:`Registry` is a name → metric map with get-or-create semantics;
+a name is permanently bound to the kind it was first created as (asking for
+``counter("x")`` after ``timer("x")`` raises :class:`TelemetryError` — a
+silent kind change would corrupt every report downstream).
+
+A :class:`Span` measures the wall time of a ``with`` block.  Spans nest
+through a per-thread stack: a span opened inside another gets the path
+``outer/inner``, its duration lands in the timer ``span.outer/inner``, and
+the completed span is emitted to the active sinks as an event.  Each thread
+has its own stack, so concurrently open spans on different threads do not
+interleave their paths.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import Counter, Gauge, Timer
+
+__all__ = ["Registry", "Span"]
+
+_METRIC_TYPES = {Counter.kind: Counter, Gauge.kind: Gauge, Timer.kind: Timer}
+
+
+class Registry:
+    """A thread-safe collection of named metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Timer] = {}
+
+    def _get_or_create(self, name: str, cls: type):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TelemetryError(
+                    f"metric {name!r} is a {metric.kind}, not a "
+                    f"{cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get_or_create(name, Timer)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str):
+        """The metric registered under *name*, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """A plain-dict copy of every metric (JSON-serialisable)."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in metrics}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry({len(self)} metrics)"
+
+
+_span_stack = threading.local()
+
+
+def _current_stack() -> list[str]:
+    stack = getattr(_span_stack, "stack", None)
+    if stack is None:
+        stack = []
+        _span_stack.stack = stack
+    return stack
+
+
+class Span:
+    """A timed, attributed, nestable section of work.
+
+    Created by :func:`repro.telemetry.span`; not instantiated directly.
+    On exit the span's duration is observed into ``span.<path>`` of the
+    owning registry and a ``span`` event (path, seconds, attributes) is
+    emitted to the sinks.
+    """
+
+    __slots__ = ("name", "path", "attrs", "_state", "_start")
+
+    def __init__(self, state, name: str, attrs: dict) -> None:
+        self.name = name
+        self.path = name  # finalised on __enter__
+        self.attrs = attrs
+        self._state = state
+        self._start = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach or update attributes reported when the span closes."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        stack = _current_stack()
+        self.path = "/".join(stack + [self.name]) if stack else self.name
+        stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        seconds = time.perf_counter() - self._start
+        stack = _current_stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        state = self._state
+        if state.enabled:
+            state.registry.timer(f"span.{self.path}").observe(seconds)
+            state.emit(
+                {
+                    "event": "span",
+                    "name": self.path,
+                    "seconds": seconds,
+                    **self.attrs,
+                }
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.path!r})"

@@ -1,0 +1,173 @@
+"""Event sinks: where telemetry events go when enabled.
+
+Every sink consumes plain-dict events (``{"event": ..., "name": ...,
+payload}``).  Three implementations:
+
+* :class:`JsonLinesSink` — one JSON object per line, append-mode; the
+  machine-readable trace (``JsonLinesSink.read`` round-trips it).
+* :class:`TableSink` — aligned human-readable lines on a stream (stdout by
+  default); the "watch it run" sink.
+* :class:`NullSink` — swallows everything; useful to measure the cost of
+  the instrumentation itself.
+
+Sinks must tolerate concurrent ``emit`` calls (the backends emit from
+worker threads); both stateful sinks serialise writes with a lock.
+"""
+
+from __future__ import annotations
+
+import abc
+import io
+import json
+import sys
+import threading
+from pathlib import Path
+
+__all__ = ["Sink", "NullSink", "JsonLinesSink", "TableSink", "render_report"]
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and other stragglers into JSON-safe values."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+class Sink(abc.ABC):
+    """Receives telemetry events."""
+
+    @abc.abstractmethod
+    def emit(self, event: dict) -> None:
+        """Consume one event dict."""
+
+    def flush(self) -> None:  # noqa: B027 - optional hook
+        """Push buffered output to its destination (no-op by default)."""
+
+    def close(self) -> None:  # noqa: B027 - optional hook
+        """Release resources (no-op by default)."""
+
+
+class NullSink(Sink):
+    """Discards every event."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullSink()"
+
+
+class JsonLinesSink(Sink):
+    """Appends one JSON object per event to *path* (or a file-like)."""
+
+    def __init__(self, path) -> None:
+        self._lock = threading.Lock()
+        self._closed = False
+        if hasattr(path, "write"):
+            self._file = path
+            self._owns = False
+            self.path = None
+        else:
+            self.path = Path(path)
+            self._file = open(self.path, "a", encoding="utf-8")
+            self._owns = True
+
+    def emit(self, event: dict) -> None:
+        line = json.dumps(event, default=_jsonable)
+        with self._lock:
+            if not self._closed:
+                self._file.write(line + "\n")
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._file.flush()
+            if self._owns:
+                self._file.close()
+
+    @staticmethod
+    def read(path) -> list[dict]:
+        """Parse a JSON-lines trace back into a list of event dicts."""
+        events = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+        return events
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JsonLinesSink({str(self.path)!r})"
+
+
+class TableSink(Sink):
+    """Writes each event as an aligned line on *stream* (default stdout)."""
+
+    def __init__(self, stream=None) -> None:
+        self._lock = threading.Lock()
+        self._stream = stream
+
+    def _out(self):
+        return self._stream if self._stream is not None else sys.stdout
+
+    def emit(self, event: dict) -> None:
+        event = dict(event)
+        kind = event.pop("event", "event")
+        name = event.pop("name", None)
+        if name is None:
+            # Raw telemetry.event(...) payloads carry the name in "event".
+            name, kind = kind, "event"
+        if "seconds" in event:
+            timing = f"{event.pop('seconds') * 1e3:10.3f} ms"
+        else:
+            timing = " " * 13
+        attrs = "  ".join(f"{k}={_fmt(v)}" for k, v in event.items())
+        with self._lock:
+            self._out().write(f"[{kind:<5}] {name:<44} {timing}  {attrs}\n")
+
+    def flush(self) -> None:
+        with self._lock:
+            self._out().flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TableSink()"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_report(snapshot: dict[str, dict]) -> str:
+    """Format a :meth:`Registry.snapshot` as a sorted metrics table.
+
+    Used by ``python -m repro telemetry`` for the end-of-run report.
+    """
+    out = io.StringIO()
+    if not snapshot:
+        return "(no metrics recorded)\n"
+    width = max(len(name) for name in snapshot) + 2
+    out.write(f"{'metric':<{width}} {'kind':<8} value\n")
+    out.write("-" * (width + 40) + "\n")
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry["kind"]
+        if kind == "timer":
+            value = (
+                f"count={entry['count']}  total={entry['total']:.6f}s  "
+                f"mean={entry['mean']:.6f}s  max={entry['max']:.6f}s"
+            )
+        elif kind == "gauge":
+            value = f"{entry['value']:.6g}  (min={entry['min']:.6g}, max={entry['max']:.6g})"
+        else:
+            value = str(entry["value"])
+        out.write(f"{name:<{width}} {kind:<8} {value}\n")
+    return out.getvalue()

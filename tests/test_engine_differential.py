@@ -1,0 +1,152 @@
+"""Differential tests: independent implementations must agree exactly.
+
+Two families of oracle checks:
+
+* The four KarpSipserMT engines (serial loop, round-based vectorized,
+  simulated-interleaving, real threads) are maximum matchers on the same
+  choice subgraph, so on identical choice arrays they must report
+  identical cardinalities — for every seed, schedule policy, and thread
+  count.
+* The parallel backends only change *how* work is partitioned, never
+  *what* is computed: ScaleSK scaling vectors and the scaled 1-out
+  choices must be **bitwise identical** across SerialBackend,
+  ThreadBackend, and ProcessBackend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.choice import scaled_col_choices, scaled_row_choices
+from repro.core.karp_sipser_mt import (
+    karp_sipser_mt,
+    karp_sipser_mt_simulated,
+    karp_sipser_mt_threaded,
+    karp_sipser_mt_vectorized,
+)
+from repro.graph.generators import sprand, sprand_rect
+from repro.matching.matching import NIL
+from repro.parallel.backends import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
+from repro.parallel.simthread import SchedulePolicy
+from repro.scaling import scale_sinkhorn_knopp
+
+SEEDS = range(8)
+
+
+def _random_choice_arrays(nrows, ncols, seed, nil_fraction=0.2):
+    """Arbitrary choice arrays, including NIL entries (empty rows/cols)."""
+    rng = np.random.default_rng(seed)
+    rc = rng.integers(0, ncols, size=nrows).astype(np.int64)
+    cc = rng.integers(0, nrows, size=ncols).astype(np.int64)
+    rc[rng.random(nrows) < nil_fraction] = NIL
+    cc[rng.random(ncols) < nil_fraction] = NIL
+    return rc, cc
+
+
+def _scaled_choice_arrays(n, seed):
+    """Choice arrays as TwoSidedMatch actually produces them."""
+    g = sprand(n, 3.0, seed=seed)
+    sc = scale_sinkhorn_knopp(g, 5)
+    rc = scaled_row_choices(g, sc.dr, sc.dc, seed=seed + 1)
+    cc = scaled_col_choices(g, sc.dr, sc.dc, seed=seed + 2)
+    return rc, cc
+
+
+def _all_engine_cardinalities(rc, cc, seed):
+    return {
+        "serial": karp_sipser_mt(rc, cc).cardinality,
+        "vectorized": karp_sipser_mt_vectorized(rc, cc).cardinality,
+        "simulated": karp_sipser_mt_simulated(
+            rc, cc, 4, seed=seed
+        ).cardinality,
+        "threaded": karp_sipser_mt_threaded(rc, cc, 4).cardinality,
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engines_agree_on_random_choices(seed):
+    rc, cc = _random_choice_arrays(120, 150, seed)
+    sizes = _all_engine_cardinalities(rc, cc, seed)
+    assert len(set(sizes.values())) == 1, sizes
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engines_agree_on_scaled_choices(seed):
+    rc, cc = _scaled_choice_arrays(200, seed)
+    sizes = _all_engine_cardinalities(rc, cc, seed)
+    assert len(set(sizes.values())) == 1, sizes
+
+
+@pytest.mark.parametrize("policy", list(SchedulePolicy))
+@pytest.mark.parametrize("n_threads", [1, 3, 7])
+def test_simulated_schedules_all_maximum(policy, n_threads):
+    rc, cc = _random_choice_arrays(90, 80, seed=5)
+    expected = karp_sipser_mt(rc, cc).cardinality
+    got = karp_sipser_mt_simulated(
+        rc, cc, n_threads, policy=policy, seed=11
+    ).cardinality
+    assert got == expected
+
+
+def _backends():
+    return [
+        ("serial", SerialBackend()),
+        ("threads", ThreadBackend(3)),
+        ("processes", ProcessBackend(2)),
+    ]
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_scale_sk_bitwise_across_backends(seed):
+    g = sprand_rect(300, 260, 3.0, seed=seed)
+    results = {}
+    for name, backend in _backends():
+        try:
+            results[name] = scale_sinkhorn_knopp(g, 8, backend=backend)
+        finally:
+            backend.close()
+    ref = results["serial"]
+    for name, res in results.items():
+        np.testing.assert_array_equal(res.dr, ref.dr, err_msg=name)
+        np.testing.assert_array_equal(res.dc, ref.dc, err_msg=name)
+        assert res.error == ref.error, name
+        assert res.iterations == ref.iterations, name
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_choices_bitwise_across_backends(seed):
+    g = sprand(400, 4.0, seed=seed)
+    sc = scale_sinkhorn_knopp(g, 5)
+    rows, cols = {}, {}
+    for name, backend in _backends():
+        try:
+            rows[name] = scaled_row_choices(
+                g, sc.dr, sc.dc, seed=seed, backend=backend
+            )
+            cols[name] = scaled_col_choices(
+                g, sc.dr, sc.dc, seed=seed, backend=backend
+            )
+        finally:
+            backend.close()
+    for name in rows:
+        np.testing.assert_array_equal(rows[name], rows["serial"],
+                                      err_msg=name)
+        np.testing.assert_array_equal(cols[name], cols["serial"],
+                                      err_msg=name)
+
+
+def test_two_sided_engines_identical_matching_size():
+    # End-to-end: same graph + seed through every engine of TwoSidedMatch.
+    from repro.core import two_sided_match
+
+    g = sprand(300, 3.5, seed=7)
+    sizes = {
+        engine: two_sided_match(g, 5, seed=13, engine=engine).cardinality
+        for engine in ("serial", "vectorized", "simulated", "threaded")
+    }
+    assert len(set(sizes.values())) == 1, sizes

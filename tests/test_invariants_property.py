@@ -1,0 +1,115 @@
+"""Property-based invariant sweep over every matching engine.
+
+For arbitrary seeded random bipartite graphs, every engine — the paper's
+heuristics, the baseline heuristics, and the exact solvers — must return
+a matching that
+
+* matches no vertex twice and stays row/col consistent,
+* uses only edges present in the graph,
+* has cardinality at most the structural rank,
+
+and the exact solvers must all *attain* the structural rank.  The graph
+strategy covers square/rectangular shapes, varying densities, and (via
+low densities) empty rows and columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import one_sided_match, two_sided_match
+from repro.graph.generators import sprand_rect
+from repro.matching import (
+    hopcroft_karp,
+    karp_sipser,
+    karp_sipser_plus,
+    karp_sipser_relaxed,
+    mc21,
+    push_relabel,
+    sprank,
+)
+from repro.matching.heuristics.greedy import greedy_edge_matching
+from repro.matching.matching import NIL, Matching
+
+HEURISTICS = {
+    "one_sided": lambda g, seed: one_sided_match(g, 3, seed=seed).matching,
+    "two_sided": lambda g, seed: two_sided_match(g, 3, seed=seed).matching,
+    "two_sided_vectorized": lambda g, seed: two_sided_match(
+        g, 3, seed=seed, engine="vectorized"
+    ).matching,
+    "karp_sipser": lambda g, seed: karp_sipser(g, seed=seed),
+    "karp_sipser_plus": lambda g, seed: karp_sipser_plus(g, seed=seed),
+    "karp_sipser_relaxed": lambda g, seed: karp_sipser_relaxed(
+        g, 2, seed=seed
+    ),
+    "greedy": lambda g, seed: greedy_edge_matching(g, seed=seed),
+}
+
+EXACT = {
+    "hopcroft_karp": hopcroft_karp,
+    "mc21": mc21,
+    "push_relabel": push_relabel,
+}
+
+
+@st.composite
+def graphs(draw):
+    nrows = draw(st.integers(min_value=1, max_value=60))
+    ncols = draw(st.integers(min_value=1, max_value=60))
+    degree = draw(st.floats(min_value=0.0, max_value=4.0))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return sprand_rect(nrows, ncols, degree, seed=seed)
+
+
+def assert_valid_matching(matching: Matching, graph) -> None:
+    """Structural invariants every engine's output must satisfy."""
+    matching.validate(graph)  # consistency + edges-exist-in-A
+    rm, cm = matching.row_match, matching.col_match
+    assert rm.shape == (graph.nrows,)
+    assert cm.shape == (graph.ncols,)
+    matched_cols = rm[rm != NIL]
+    matched_rows = cm[cm != NIL]
+    # no vertex matched twice
+    assert len(set(matched_cols.tolist())) == matched_cols.size
+    assert len(set(matched_rows.tolist())) == matched_rows.size
+    assert matched_cols.size == matched_rows.size == matching.cardinality
+
+
+@pytest.mark.parametrize("name", sorted(HEURISTICS))
+@given(graph=graphs(), seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25)
+def test_heuristic_invariants(name, graph, seed):
+    matching = HEURISTICS[name](graph, seed)
+    assert_valid_matching(matching, graph)
+    assert matching.cardinality <= sprank(graph)
+
+
+@pytest.mark.parametrize("name", sorted(EXACT))
+@given(graph=graphs())
+@settings(max_examples=25)
+def test_exact_solvers_attain_sprank(name, graph):
+    matching = EXACT[name](graph)
+    assert_valid_matching(matching, graph)
+    assert matching.cardinality == sprank(graph)
+
+
+@given(graph=graphs(), seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=15)
+def test_heuristics_never_beat_exact(graph, seed):
+    maximum = hopcroft_karp(graph).cardinality
+    for fn in HEURISTICS.values():
+        assert fn(graph, seed).cardinality <= maximum
+
+
+def test_empty_graph_all_engines():
+    g = sprand_rect(5, 7, 0.0, seed=0)
+    assert g.nnz == 0
+    for fn in HEURISTICS.values():
+        matching = fn(g, 0)
+        assert_valid_matching(matching, g)
+        assert matching.cardinality == 0
+    for fn in EXACT.values():
+        assert fn(g).cardinality == 0

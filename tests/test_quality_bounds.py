@@ -1,0 +1,133 @@
+"""Statistical checks of the paper's quality guarantees.
+
+Theorem 1: on graphs with total support, OneSidedMatch matches at least
+``1 - 1/e ≈ 0.632`` of the rows in expectation.  Conjecture 1 (supported
+by the paper's experiments): TwoSidedMatch reaches ``2(1 - ρ) ≈ 0.866``
+where ``ρ = W(1)``.  Both statements are about the *mean* over the
+algorithm's internal randomness, so these tests average many seeded
+trials and compare the mean against the floor minus a slack ``EPS`` that
+covers finite-sample noise (trial standard deviation is ~0.015 at the
+sizes used; the standard error of a 40-trial mean is ~0.0024, so
+``EPS = 0.02`` gives a >7-sigma margin against false alarms while still
+catching any real quality regression).
+
+Trial counts scale with the ``REPRO_STAT_TRIALS`` environment variable
+(default 40, which keeps the file inside the tier-1 budget; the issue's
+full sweep is ``REPRO_STAT_TRIALS=200 pytest -m statistical``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.constants import ONE_SIDED_GUARANTEE, TWO_SIDED_GUARANTEE
+from repro.core import one_sided_match, two_sided_match
+from repro.graph.generators import full_ones, sprand, union_of_permutations
+from repro.matching import sprank
+from repro.scaling import scale_sinkhorn_knopp
+
+TRIALS = int(os.environ.get("REPRO_STAT_TRIALS", "40"))
+EPS = 0.02
+
+pytestmark = pytest.mark.statistical
+
+
+def _mean_quality(fn, trials=TRIALS):
+    return float(np.mean([fn(seed) for seed in range(trials)]))
+
+
+@pytest.fixture(scope="module")
+def dense_instance():
+    """full_ones: doubly stochastic after scaling, sprank = n."""
+    g = full_ones(300)
+    return g, scale_sinkhorn_knopp(g, 5)
+
+
+@pytest.fixture(scope="module")
+def perm_union_instance():
+    """Union of 4 permutations: sparse, total support, sprank = n."""
+    g = union_of_permutations(800, 4, seed=0)
+    return g, scale_sinkhorn_knopp(g, 5)
+
+
+def test_one_sided_mean_quality_dense(dense_instance):
+    g, sc = dense_instance
+    mean = _mean_quality(
+        lambda s: one_sided_match(g, scaling=sc, seed=s).cardinality
+        / g.nrows
+    )
+    assert mean >= ONE_SIDED_GUARANTEE - EPS, mean
+
+
+def test_two_sided_mean_quality_dense(dense_instance):
+    g, sc = dense_instance
+    mean = _mean_quality(
+        lambda s: two_sided_match(
+            g, scaling=sc, seed=s, engine="vectorized"
+        ).cardinality / g.nrows
+    )
+    assert mean >= TWO_SIDED_GUARANTEE - EPS, mean
+
+
+def test_one_sided_mean_quality_sparse(perm_union_instance):
+    g, sc = perm_union_instance
+    mean = _mean_quality(
+        lambda s: one_sided_match(g, scaling=sc, seed=s).cardinality
+        / g.nrows
+    )
+    assert mean >= ONE_SIDED_GUARANTEE - EPS, mean
+
+
+def test_two_sided_mean_quality_sparse(perm_union_instance):
+    g, sc = perm_union_instance
+    mean = _mean_quality(
+        lambda s: two_sided_match(
+            g, scaling=sc, seed=s, engine="vectorized"
+        ).cardinality / g.nrows
+    )
+    assert mean >= TWO_SIDED_GUARANTEE - EPS, mean
+
+
+def test_quality_vs_sprank_er():
+    """ER graphs lack total support; quality is measured against sprank.
+
+    Empirically both heuristics clear the theoretical floors here too
+    (measured means 0.71 / 0.89 at this size); the test guards the
+    weaker, guaranteed-side statement.
+    """
+    g = sprand(1000, 5.0, seed=3)
+    sc = scale_sinkhorn_knopp(g, 5)
+    maximum = sprank(g)
+    trials = max(10, TRIALS // 4)
+    one = _mean_quality(
+        lambda s: one_sided_match(g, scaling=sc, seed=s).cardinality
+        / maximum,
+        trials,
+    )
+    two = _mean_quality(
+        lambda s: two_sided_match(
+            g, scaling=sc, seed=s, engine="vectorized"
+        ).cardinality / maximum,
+        trials,
+    )
+    assert one >= ONE_SIDED_GUARANTEE - EPS, one
+    assert two >= TWO_SIDED_GUARANTEE - EPS, two
+    assert two >= one  # two-sided dominates on average
+
+
+def test_more_iterations_do_not_hurt(perm_union_instance):
+    """5 SK iterations should beat 0 (uniform choices) on average."""
+    g, _ = perm_union_instance
+    trials = max(10, TRIALS // 4)
+    uniform = _mean_quality(
+        lambda s: one_sided_match(g, 0, seed=s).cardinality / g.nrows,
+        trials,
+    )
+    scaled = _mean_quality(
+        lambda s: one_sided_match(g, 5, seed=s).cardinality / g.nrows,
+        trials,
+    )
+    assert scaled >= uniform - 0.01, (uniform, scaled)
