@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-regress bench-regress-smoke experiments verify examples clean
+.PHONY: install test bench bench-regress bench-regress-smoke chaos chaos-smoke experiments verify examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,13 @@ bench-regress:
 
 bench-regress-smoke:
 	$(PYTHON) benchmarks/regression.py --check --smoke
+	$(MAKE) chaos-smoke
+
+chaos:
+	$(PYTHON) -m repro chaos
+
+chaos-smoke:
+	timeout 300 $(PYTHON) -m repro chaos --smoke
 
 experiments:
 	$(PYTHON) -m repro.experiments all --out results.json

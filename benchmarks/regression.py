@@ -64,6 +64,7 @@ SIZES = {
     "ks_mt_vectorized": (10_000, 1_500),
     "onesided_quality": (1_500, 400),
     "twosided_quality": (1_500, 400),
+    "resilient_scale_sk": (20_000, 2_000),
 }
 
 
@@ -132,6 +133,22 @@ def run_workloads(smoke: bool) -> dict[str, dict]:
         record_timing(
             name, n, lambda rc=rc, cc=cc, fn=engine_fn: fn(rc, cc)
         )
+
+    # Resilience-layer overhead: the same scaling workload through the
+    # deadline/retry wrapper with injection off.  Tracked against the
+    # plain scale_sk cell so the supervisor cost stays visibly bounded.
+    from repro.resilience import ResilientBackend
+
+    n = SIZES["resilient_scale_sk"][idx]
+    g = sprand(n, 4.0, seed=0)
+    be = ResilientBackend("serial", deadline=60.0)
+    try:
+        record_timing(
+            "resilient_scale_sk", n,
+            lambda: scale_sinkhorn_knopp(g, 5, backend=be),
+        )
+    finally:
+        be.close()
 
     print("quality workloads:")
     trials = 3 if smoke else 5

@@ -25,6 +25,9 @@ Public API highlights
 * :mod:`repro.telemetry` — opt-in observability (counters/timers/spans
   wired through the hot paths; ``python -m repro telemetry`` for a
   per-run report, ``docs/observability.md`` for the metric catalogue).
+* :mod:`repro.resilience` — fault injection, the deadline/retry
+  :class:`~repro.resilience.ResilientBackend`, and the chaos harness
+  (``python -m repro chaos``; ``docs/resilience.md``).
 """
 
 from repro.constants import (
@@ -35,13 +38,17 @@ from repro.constants import (
 from repro.errors import (
     BackendError,
     ConvergenceWarning,
+    DeadlineExceededError,
     GraphStructureError,
     MatchingError,
     ReproError,
+    ResultCorruptionError,
+    RetryExhaustedError,
     ScalingError,
     ShapeError,
     TelemetryError,
     ValidationError,
+    WorkerCrashError,
 )
 from repro import telemetry
 from repro.graph import BipartiteGraph
@@ -81,6 +88,10 @@ __all__ = [
     "MatchingError",
     "ValidationError",
     "BackendError",
+    "WorkerCrashError",
+    "DeadlineExceededError",
+    "ResultCorruptionError",
+    "RetryExhaustedError",
     "TelemetryError",
     # telemetry
     "telemetry",

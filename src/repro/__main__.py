@@ -10,6 +10,7 @@ Subcommands::
     python -m repro info     <file.mtx>
     python -m repro telemetry <file.mtx> [--method two-sided] [--trace]
                               [--jsonl trace.jsonl]
+    python -m repro chaos    [--n 600] [--deadline 0.3] [--smoke]
 
 Matrices are MatrixMarket coordinate files (``.mtx``) or the library's
 ``.npz`` cache format (auto-detected by extension).
@@ -189,6 +190,27 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos matrix and print the cell table (exit 1 on failure)."""
+    from repro.resilience import run_chaos
+
+    backends = (
+        ("serial",)
+        if args.smoke
+        else ("serial", "threads:2", "processes:2")
+    )
+    n = min(args.n, 200) if args.smoke else args.n
+    report = run_chaos(
+        n,
+        backends=backends,
+        deadline=args.deadline,
+        max_retries=args.max_retries,
+        seed=args.seed,
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def cmd_dm(args: argparse.Namespace) -> int:
     from repro.graph.dm import CoarseDM, dulmage_mendelsohn
 
@@ -317,6 +339,21 @@ def main(argv: list[str] | None = None) -> int:
         help="also append the event trace to this JSON-lines file",
     )
     p_tel.set_defaults(fn=cmd_telemetry)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep over the backend matrix",
+    )
+    p_chaos.add_argument("--n", type=int, default=600)
+    p_chaos.add_argument("--deadline", type=float, default=0.3)
+    p_chaos.add_argument("--max-retries", type=int, default=3,
+                         dest="max_retries")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--smoke", action="store_true",
+        help="small serial-only sweep (the CI smoke configuration)",
+    )
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_gen = sub.add_parser("generate", help="generate a test matrix")
     p_gen.add_argument("kind")

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro import telemetry as _tm
 from repro._typing import IndexArray, SeedLike, rng_from
+from repro.constants import ONE_SIDED_GUARANTEE, one_sided_guarantee_relaxed
 from repro.graph.csr import BipartiteGraph
 from repro.matching.matching import NIL, Matching
 from repro.parallel.backends import Backend, get_backend
@@ -39,6 +40,29 @@ class OneSidedResult:
     @property
     def cardinality(self) -> int:
         return self.matching.cardinality
+
+    @property
+    def guarantee(self) -> float:
+        """Best provable expected-quality floor for the scaling rung used.
+
+        ``"full"`` rung: Theorem 1's ``1 - 1/e`` (assuming total
+        support).  ``"capped"`` rung: the Section 3.3 relaxed bound
+        ``1 - e^{-α}`` with ``α`` from the achieved column-sum error.
+        ``"uniform"`` rung: 0 — the matching is still valid, but nothing
+        is guaranteed about its size.
+        """
+        return _rung_guarantee(self.scaling, ONE_SIDED_GUARANTEE)
+
+
+def _rung_guarantee(scaling: ScalingResult, full_floor: float) -> float:
+    """Quality floor for a scaling result, by degradation-ladder rung."""
+    if scaling.rung == "uniform":
+        return 0.0
+    if scaling.rung == "capped":
+        # Section 3.3: column sums >= alpha give a 1 - e^{-alpha} floor.
+        alpha = max(0.0, 1.0 - min(1.0, scaling.error))
+        return one_sided_guarantee_relaxed(alpha)
+    return full_floor
 
 
 def cmatch_from_choices(row_choice: IndexArray, ncols: int) -> IndexArray:
@@ -125,7 +149,11 @@ def one_sided_match(
             _tm.incr("onesided.runs")
             _tm.incr("onesided.choices", chosen)
             _tm.incr("onesided.collisions", collisions)
-            sp.set(cardinality=cardinality, collisions=collisions)
+            sp.set(
+                cardinality=cardinality,
+                collisions=collisions,
+                rung=scaling.rung,
+            )
     return OneSidedResult(
         matching=matching, scaling=scaling, row_choice=row_choice
     )

@@ -16,6 +16,8 @@ import numpy as np
 
 from repro import telemetry as _tm
 from repro._typing import IndexArray, SeedLike, rng_from
+from repro.constants import TWO_SIDED_GUARANTEE
+from repro.core.onesided import _rung_guarantee
 from repro.errors import ShapeError
 from repro.graph.csr import BipartiteGraph
 from repro.matching.matching import NIL, Matching
@@ -51,6 +53,17 @@ class TwoSidedResult:
     @property
     def cardinality(self) -> int:
         return self.matching.cardinality
+
+    @property
+    def guarantee(self) -> float:
+        """Best attainable quality floor for the scaling rung used.
+
+        ``"full"`` rung: Conjecture 1's ``2(1 - ρ)``.  ``"capped"``
+        rung: the conservative Section 3.3 one-sided relaxed bound (no
+        relaxed form of Conjecture 1 is known, and TwoSided empirically
+        dominates OneSided at equal scaling).  ``"uniform"`` rung: 0.
+        """
+        return _rung_guarantee(self.scaling, TWO_SIDED_GUARANTEE)
 
 
 def two_sided_match(
@@ -147,7 +160,11 @@ def two_sided_match(
                 "twosided.choices",
                 int(rows.size + np.count_nonzero(col_choice != NIL)),
             )
-            sp.set(cardinality=matching.cardinality, mutual_pairs=mutual)
+            sp.set(
+                cardinality=matching.cardinality,
+                mutual_pairs=mutual,
+                rung=scaling.rung,
+            )
 
     return TwoSidedResult(
         matching=matching,

@@ -16,6 +16,10 @@ __all__ = [
     "ValidationError",
     "BackendError",
     "ScheduleError",
+    "WorkerCrashError",
+    "DeadlineExceededError",
+    "ResultCorruptionError",
+    "RetryExhaustedError",
     "ExperimentError",
     "TelemetryError",
 ]
@@ -44,8 +48,23 @@ class ConvergenceWarning(UserWarning):
 
     This is a warning rather than an error: the paper (Section 3.3) makes a
     point of the heuristics remaining useful with only a few iterations of
-    scaling, long before convergence.
+    scaling, long before convergence.  When emitted by the degradation
+    ladder the instance carries the achieved column-sum error in
+    :attr:`achieved_error` and the ladder rung in :attr:`rung`.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        achieved_error: float | None = None,
+        rung: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: Column-sum error at the point the algorithm stopped (or None).
+        self.achieved_error = achieved_error
+        #: Degradation-ladder rung that produced the result (or None).
+        self.rung = rung
 
 
 class MatchingError(ReproError):
@@ -62,6 +81,42 @@ class BackendError(ReproError):
 
 class ScheduleError(BackendError):
     """A simulated-thread schedule is invalid (unknown policy, bad seed, ...)."""
+
+
+class WorkerCrashError(BackendError):
+    """A backend worker died before returning its chunk's result.
+
+    Raised when a forked child exits (or is killed) without writing to its
+    result pipe, or when an injected crash fault fires on an in-process
+    worker.  The message names the chunk range and, for processes, the exit
+    code.
+    """
+
+
+class DeadlineExceededError(BackendError):
+    """A chunk did not complete within the configured per-call deadline.
+
+    :class:`~repro.resilience.ResilientBackend` kills expired child
+    processes outright; hung threads cannot be killed in CPython and are
+    abandoned (they finish in the background), but the call still returns
+    or raises within the deadline budget.
+    """
+
+
+class ResultCorruptionError(BackendError):
+    """A chunk returned a payload that failed the integrity check.
+
+    Models a checksum mismatch on the result channel; fault injection
+    produces such payloads with the ``corrupt`` fault kind.
+    """
+
+
+class RetryExhaustedError(BackendError):
+    """All retry attempts for a chunk failed.
+
+    The final underlying failure (crash, deadline, corruption) is chained
+    as ``__cause__``.
+    """
 
 
 class ExperimentError(ReproError):

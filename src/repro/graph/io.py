@@ -24,46 +24,101 @@ __all__ = [
 ]
 
 
+def _fail(path: Path, lineno: int, message: str) -> GraphStructureError:
+    """Build a parse error pinned to *path*, line *lineno* (1-based)."""
+    return GraphStructureError(f"{path}:{lineno}: {message}")
+
+
 def read_matrix_market(path: str | os.PathLike) -> BipartiteGraph:
     """Read a MatrixMarket coordinate file as a pattern.
 
     ``pattern``, ``real``, ``integer`` and ``complex`` fields are accepted
     (values are discarded — the paper's algorithms use the pattern only).
     ``symmetric`` and ``skew-symmetric`` storage is expanded to general.
+
+    Malformed input raises :class:`~repro.errors.GraphStructureError`
+    naming the file and the 1-based line number of the offending line —
+    a corrupted download should be diagnosable from the message alone.
     """
     path = Path(path)
     with open(path, "r", encoding="utf-8") as fh:
+        lineno = 1
         header = fh.readline()
         if not header.startswith("%%MatrixMarket"):
-            raise GraphStructureError(f"{path}: missing MatrixMarket header")
+            raise _fail(
+                path, lineno,
+                "missing '%%MatrixMarket' header (is this a MatrixMarket "
+                "file?)",
+            )
         tokens = header.strip().split()
         if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
-            raise GraphStructureError(
-                f"{path}: only coordinate matrices are supported"
+            raise _fail(
+                path, lineno,
+                f"only 'matrix coordinate' objects are supported, got "
+                f"header {header.strip()!r}",
             )
         field = tokens[3]
         symmetry = tokens[4]
         if field not in {"pattern", "real", "integer", "complex"}:
-            raise GraphStructureError(f"{path}: unsupported field {field!r}")
+            raise _fail(path, lineno, f"unsupported field {field!r}")
         if symmetry not in {"general", "symmetric", "skew-symmetric"}:
-            raise GraphStructureError(
-                f"{path}: unsupported symmetry {symmetry!r}"
-            )
+            raise _fail(path, lineno, f"unsupported symmetry {symmetry!r}")
         line = fh.readline()
+        lineno += 1
         while line.startswith("%"):
             line = fh.readline()
+            lineno += 1
+        if not line:
+            raise _fail(path, lineno, "file ends before the size line")
         parts = line.split()
         if len(parts) != 3:
-            raise GraphStructureError(f"{path}: malformed size line")
-        nrows, ncols, nnz = (int(p) for p in parts)
+            raise _fail(
+                path, lineno,
+                f"size line must be 'nrows ncols nnz', got {line.strip()!r}",
+            )
+        try:
+            nrows, ncols, nnz = (int(p) for p in parts)
+        except ValueError:
+            raise _fail(
+                path, lineno,
+                f"non-integer value on the size line: {line.strip()!r}",
+            ) from None
+        if nrows < 0 or ncols < 0 or nnz < 0:
+            raise _fail(
+                path, lineno,
+                f"negative dimension on the size line: {line.strip()!r}",
+            )
         rows = np.empty(nnz, dtype=np.int64)
         cols = np.empty(nnz, dtype=np.int64)
         for k in range(nnz):
-            entry = fh.readline().split()
+            line = fh.readline()
+            lineno += 1
+            if not line:
+                raise _fail(
+                    path, lineno,
+                    f"file ends after {k} of {nnz} entries (truncated?)",
+                )
+            entry = line.split()
             if len(entry) < 2:
-                raise GraphStructureError(f"{path}: truncated at entry {k}")
-            rows[k] = int(entry[0]) - 1
-            cols[k] = int(entry[1]) - 1
+                raise _fail(
+                    path, lineno,
+                    f"entry must be 'row col [value]', got {line.strip()!r}",
+                )
+            try:
+                i, j = int(entry[0]), int(entry[1])
+            except ValueError:
+                raise _fail(
+                    path, lineno,
+                    f"non-integer coordinate in entry: {line.strip()!r}",
+                ) from None
+            if not (1 <= i <= nrows and 1 <= j <= ncols):
+                raise _fail(
+                    path, lineno,
+                    f"entry ({i}, {j}) outside the declared "
+                    f"{nrows} x {ncols} matrix (indices are 1-based)",
+                )
+            rows[k] = i - 1
+            cols[k] = j - 1
     if symmetry in {"symmetric", "skew-symmetric"}:
         off_diag = rows != cols
         rows, cols = (

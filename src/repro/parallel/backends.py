@@ -23,6 +23,14 @@ timer and a load-imbalance gauge ``parallel.<label>.imbalance`` (max chunk
 time over mean chunk time — 1.0 is a perfectly balanced call).  When
 telemetry is disabled the only cost is one boolean check per call.
 
+Fault injection (:mod:`repro.resilience.faults`) hooks in at the same
+altitude: each ``map_ranges`` call checks for an installed
+:class:`~repro.resilience.FaultPlan` — a single ``is None`` test in
+production — and, when one is active, wraps the kernel so matching
+crash/hang/slow/corrupt rules fire on the addressed chunks.  Recovery
+(deadlines, retries, chunk re-execution) is layered on top by
+:class:`~repro.resilience.ResilientBackend`.
+
 The *scalability claims* of the paper are reproduced with the machine cost
 model (:mod:`repro.parallel.machine`); these backends exist so that every
 parallel algorithm in the library can also genuinely execute in parallel,
@@ -38,8 +46,9 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
 from repro import telemetry as _tm
-from repro.errors import BackendError
+from repro.errors import BackendError, WorkerCrashError
 from repro.parallel.partition import static_partition
+from repro.resilience import faults as _faults
 
 __all__ = [
     "Backend",
@@ -50,6 +59,7 @@ __all__ = [
 ]
 
 RangeFn = Callable[[int, int], Any]
+Parts = Sequence[tuple[int, int]]
 
 
 def _record_chunks(label: str, durations: Sequence[float]) -> None:
@@ -67,19 +77,48 @@ def _record_chunks(label: str, durations: Sequence[float]) -> None:
         )
 
 
+def _faulty_range_fn(
+    fn: RangeFn, plan: "_faults.FaultPlan", label: str, parts: Parts,
+    in_child: bool,
+) -> RangeFn:
+    """Bind one call's fault draws (made now, in the parent) onto *fn*."""
+    specs = plan.plan_call(label, len(parts))
+    by_range = {part: spec for part, spec in zip(parts, specs)}
+
+    def faulty(lo: int, hi: int) -> Any:
+        return _faults.execute_with_fault(
+            by_range.get((lo, hi)), fn, lo, hi, in_child=in_child
+        )
+
+    return faulty
+
+
 class Backend(abc.ABC):
     """Maps ``fn(lo, hi)`` over a partition of ``range(n)``."""
 
     #: Number of workers the backend schedules onto.
     n_workers: int = 1
-    #: Short name used in telemetry metric paths.
+    #: Short name used in telemetry metric paths and fault addressing.
     label: str = "backend"
+    #: Whether injected faults run inside a forked child (crash = exit).
+    _faults_in_child: bool = False
+
+    def partition(self, n: int) -> list[tuple[int, int]]:
+        """The static chunk decomposition a ``map_ranges(fn, n)`` call uses
+        (one near-equal contiguous range per worker)."""
+        return static_partition(n, self.n_workers) if n > 0 else []
 
     def map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
         """Call ``fn`` on each range of a static partition of ``range(n)``
         and return the per-range results in partition order."""
+        parts = self.partition(n)
+        plan = _faults.active_plan()
+        if plan is not None:
+            fn = _faulty_range_fn(
+                fn, plan, self.label, parts, self._faults_in_child
+            )
         if not _tm.enabled():
-            return self._map_ranges(fn, n)
+            return self._map_ranges(fn, parts)
         durations: list[float] = []
 
         def timed(lo: int, hi: int) -> Any:
@@ -92,12 +131,12 @@ class Backend(abc.ABC):
                 durations.append(time.perf_counter() - t0)
 
         try:
-            return self._map_ranges(timed, n)
+            return self._map_ranges(timed, parts)
         finally:
             _record_chunks(self.label, durations)
 
     @abc.abstractmethod
-    def _map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
+    def _map_ranges(self, fn: RangeFn, parts: Parts) -> list[Any]:
         """Backend-specific execution of the partitioned map."""
 
     def close(self) -> None:
@@ -116,8 +155,8 @@ class SerialBackend(Backend):
     n_workers = 1
     label = "serial"
 
-    def _map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
-        return [fn(0, n)] if n > 0 else []
+    def _map_ranges(self, fn: RangeFn, parts: Parts) -> list[Any]:
+        return [fn(lo, hi) for lo, hi in parts]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialBackend()"
@@ -134,8 +173,7 @@ class ThreadBackend(Backend):
             raise BackendError(f"n_workers must be >= 1, got {self.n_workers}")
         self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
 
-    def _map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
-        parts = static_partition(n, self.n_workers)
+    def _map_ranges(self, fn: RangeFn, parts: Parts) -> list[Any]:
         futures = [self._pool.submit(fn, lo, hi) for lo, hi in parts]
         return [f.result() for f in futures]
 
@@ -179,9 +217,14 @@ class ProcessBackend(Backend):
     happen in the child's copy-on-write memory and are *not* visible to
     the parent — kernels must return their results, which is the library
     convention (see :mod:`repro.parallel.reduction`).
+
+    A child that dies before writing its result (crash, ``os._exit``,
+    signal) surfaces as a :class:`~repro.errors.WorkerCrashError` naming
+    the chunk range and the exit status — never a raw ``EOFError``.
     """
 
     label = "processes"
+    _faults_in_child = True
 
     def __init__(self, n_workers: int | None = None) -> None:
         import multiprocessing as mp
@@ -195,17 +238,20 @@ class ProcessBackend(Backend):
             raise BackendError("ProcessBackend requires fork support") from exc
 
     def map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
+        parts = self.partition(n)
+        plan = _faults.active_plan()
+        if plan is not None:
+            fn = _faulty_range_fn(fn, plan, self.label, parts, in_child=True)
         record = _tm.enabled()
-        pairs = self._run(fn, n)
+        pairs = self._run(fn, parts)
         if record:
             _record_chunks(self.label, [dt for _, dt in pairs])
         return [result for result, _ in pairs]
 
-    def _map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
-        return [result for result, _ in self._run(fn, n)]
+    def _map_ranges(self, fn: RangeFn, parts: Parts) -> list[Any]:
+        return [result for result, _ in self._run(fn, parts)]
 
-    def _run(self, fn: RangeFn, n: int) -> list[tuple[Any, float]]:
-        parts = static_partition(n, self.n_workers)
+    def _run(self, fn: RangeFn, parts: Parts) -> list[tuple[Any, float]]:
         if not parts:
             return []
         procs = []
@@ -221,12 +267,16 @@ class ProcessBackend(Backend):
             conns.append(recv)
         out: list[tuple[Any, float]] = []
         failure: BaseException | None = None
-        for proc, conn in zip(procs, conns):
+        for proc, conn, (lo, hi) in zip(procs, conns, parts):
             try:
                 ok, dt, payload = conn.recv()
             except EOFError:
-                ok, dt, payload = False, 0.0, BackendError(
-                    "worker exited without returning a result"
+                # The child died before sending anything; join it to
+                # collect the exit status for the diagnostic.
+                proc.join()
+                ok, dt, payload = False, 0.0, WorkerCrashError(
+                    f"worker for range [{lo}, {hi}) exited with status "
+                    f"{proc.exitcode} before returning a result"
                 )
             conn.close()
             proc.join()
@@ -251,7 +301,9 @@ def get_backend(spec: "Backend | str | None") -> Backend:
 
     Accepts an existing :class:`Backend`, ``None`` (serial), or a string:
     ``"serial"``, ``"threads"``, ``"threads:4"``, ``"processes"``,
-    ``"processes:2"``.
+    ``"processes:2"``, or ``"resilient:<inner spec>"`` (e.g.
+    ``"resilient:threads:4"``) for a default-configured
+    :class:`~repro.resilience.ResilientBackend` wrapper.
     """
     if spec is None:
         return SerialBackend()
@@ -260,6 +312,10 @@ def get_backend(spec: "Backend | str | None") -> Backend:
     if not isinstance(spec, str):
         raise BackendError(f"cannot interpret backend spec {spec!r}")
     name, _, count = spec.partition(":")
+    if name == "resilient":
+        from repro.resilience.resilient import ResilientBackend
+
+        return ResilientBackend(get_backend(count or None))
     workers = int(count) if count else None
     if name == "serial":
         return SerialBackend()

@@ -1,0 +1,274 @@
+"""Chaos harness: the backend matrix under injected fault schedules.
+
+Each cell of the matrix runs a real workload — Sinkhorn–Knopp scaling and
+``OneSidedMatch`` — through a :class:`~repro.resilience.ResilientBackend`
+while a :class:`~repro.resilience.FaultPlan` injects crashes, hangs,
+stragglers, and corrupted payloads.  A cell passes when it either
+
+* returns a **bitwise-correct** result (scaling vectors identical to the
+  serial reference; matchings valid with quality above the Theorem 1
+  floor), or
+* raises a **typed** :class:`~repro.errors.BackendError` subclass,
+
+and in both cases finishes inside its wall-clock budget
+(``(deadline + max backoff) × attempts`` per call, plus slack) — never a
+bare hang, ``EOFError``, or silent wrong answer.
+
+Entry points: :func:`run_chaos` (used by the ``chaos``-marked tests),
+``python -m repro chaos`` and ``make chaos`` (human-facing reports).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.constants import ONE_SIDED_GUARANTEE
+from repro.errors import BackendError
+from repro.resilience.faults import FaultPlan, FaultSpec, injected_faults
+from repro.resilience.resilient import ResilientBackend
+
+__all__ = ["ChaosOutcome", "ChaosReport", "run_chaos", "standard_schedules"]
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """Result of one (workload, backend, schedule) cell.
+
+    ``status`` is ``"ok"`` (correct result returned), ``"degraded:<E>"``
+    (typed error ``E`` raised within budget), or ``"FAILED:<why>"`` (the
+    resilience contract was violated).
+    """
+
+    workload: str
+    backend: str
+    schedule: str
+    status: str
+    elapsed: float
+    budget: float
+    detail: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """True iff the cell honoured the resilience contract."""
+        return not self.status.startswith("FAILED")
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """All cell outcomes of one :func:`run_chaos` sweep."""
+
+    outcomes: tuple[ChaosOutcome, ...]
+
+    @property
+    def passed(self) -> bool:
+        """True iff every cell honoured the resilience contract."""
+        return all(o.passed for o in self.outcomes)
+
+    @property
+    def failures(self) -> tuple[ChaosOutcome, ...]:
+        """The contract-violating cells."""
+        return tuple(o for o in self.outcomes if not o.passed)
+
+    def render(self) -> str:
+        """Fixed-width table of every cell."""
+        header = (
+            f"{'workload':<10} {'backend':<12} {'schedule':<10} "
+            f"{'elapsed':>8} {'budget':>7}  status"
+        )
+        lines = [header, "-" * len(header)]
+        for o in self.outcomes:
+            status = o.status + (f"  [{o.detail}]" if o.detail else "")
+            lines.append(
+                f"{o.workload:<10} {o.backend:<12} {o.schedule:<10} "
+                f"{o.elapsed:>7.2f}s {o.budget:>6.1f}s  {status}"
+            )
+        passed = sum(o.passed for o in self.outcomes)
+        lines.append(
+            f"{passed}/{len(self.outcomes)} cells honoured the contract"
+        )
+        return "\n".join(lines)
+
+
+def standard_schedules(
+    *,
+    hang_seconds: float = 0.6,
+    slow_seconds: float = 0.05,
+    crash_hits: int = 2,
+    seed: int = 0,
+) -> dict[str, FaultPlan]:
+    """The named fault schedules the chaos matrix runs under.
+
+    ``none`` is the injection-free control; ``crash``/``hang``/``corrupt``
+    exercise one recovery path each with a bounded hit budget (so retries
+    eventually succeed); ``slow`` is pure straggling (no failure, results
+    must still be bitwise-correct); ``storm`` mixes everything with an
+    unbounded crash rule, so exhaustion — a typed error — is a legal
+    outcome.
+    """
+    return {
+        "none": FaultPlan([], seed=seed),
+        "crash": FaultPlan(
+            [FaultSpec("crash", probability=0.7, max_hits=crash_hits)],
+            seed=seed,
+        ),
+        "hang": FaultPlan(
+            [
+                FaultSpec(
+                    "hang", seconds=hang_seconds, probability=0.5,
+                    max_hits=crash_hits,
+                )
+            ],
+            seed=seed,
+        ),
+        "slow": FaultPlan(
+            [FaultSpec("slow", seconds=slow_seconds, probability=0.8)],
+            seed=seed,
+        ),
+        "corrupt": FaultPlan(
+            [FaultSpec("corrupt", probability=0.7, max_hits=crash_hits)],
+            seed=seed,
+        ),
+        "storm": FaultPlan(
+            [
+                FaultSpec("crash", probability=0.25),
+                FaultSpec("hang", seconds=hang_seconds, probability=0.15),
+                FaultSpec("slow", seconds=slow_seconds, probability=0.3),
+                FaultSpec("corrupt", probability=0.2),
+            ],
+            seed=seed,
+        ),
+    }
+
+
+def _run_cell(
+    workload: str,
+    backend_spec: str,
+    schedule: str,
+    plan: FaultPlan,
+    fn: Callable[[ResilientBackend], str],
+    make_backend: Callable[[], ResilientBackend],
+    budget: float,
+) -> ChaosOutcome:
+    """Execute one cell and classify its outcome."""
+    backend = make_backend()
+    t0 = time.perf_counter()
+    try:
+        with injected_faults(plan.reset()):
+            detail = fn(backend)
+        status = "ok"
+    except BackendError as exc:
+        status = f"degraded:{type(exc).__name__}"
+        detail = str(exc)[:60]
+    except Exception as exc:  # noqa: BLE001 - untyped = contract violation
+        status = f"FAILED:untyped:{type(exc).__name__}"
+        detail = str(exc)[:60]
+    finally:
+        backend.close()
+    elapsed = time.perf_counter() - t0
+    if elapsed > budget and not status.startswith("FAILED"):
+        status = "FAILED:budget"
+    return ChaosOutcome(
+        workload=workload,
+        backend=backend_spec,
+        schedule=schedule,
+        status=status,
+        elapsed=elapsed,
+        budget=budget,
+        detail=detail if status != "ok" else "",
+    )
+
+
+def run_chaos(
+    n: int = 600,
+    *,
+    backends: Sequence[str] = ("serial", "threads:2", "processes:2"),
+    schedules: Mapping[str, FaultPlan] | None = None,
+    deadline: float = 0.3,
+    max_retries: int = 3,
+    sk_iterations: int = 2,
+    quality_eps: float = 0.02,
+    seed: int = 0,
+) -> ChaosReport:
+    """Run the full chaos matrix and return a :class:`ChaosReport`.
+
+    Two workloads per (backend, schedule) pair:
+
+    * ``scale``: Sinkhorn–Knopp on a random sparse square; on success the
+      scaling vectors must be bitwise-equal to the serial no-fault
+      reference.
+    * ``match`` (``storm`` schedule only — the most hostile): a full
+      ``OneSidedMatch``; a returned matching must validate against the
+      graph and, on the total-support instance used, reach the Theorem 1
+      floor minus *quality_eps*.
+    """
+    from repro.core.onesided import one_sided_match
+    from repro.graph.generators import sprand, union_of_permutations
+    from repro.scaling.sinkhorn_knopp import scale_sinkhorn_knopp
+
+    if schedules is None:
+        schedules = standard_schedules(
+            hang_seconds=2.0 * deadline, seed=seed
+        )
+    graph = sprand(n, 4.0, seed=seed)
+    support_graph = union_of_permutations(n, 4, seed=seed)
+    reference = scale_sinkhorn_knopp(graph, sk_iterations)
+
+    # A call's worst legal wall time: every attempt burns the deadline
+    # plus the capped backoff; SK makes ~2 map calls per sweep plus the
+    # error reductions, and chunk supervisors run concurrently.
+    per_call = (deadline + 2.0) * (max_retries + 1)
+    sk_calls = 2 * sk_iterations + sk_iterations + 2
+    budget = per_call * sk_calls + 5.0
+
+    def scale_cell(backend: ResilientBackend) -> str:
+        result = scale_sinkhorn_knopp(
+            graph, sk_iterations, backend=backend
+        )
+        if not (
+            np.array_equal(result.dr, reference.dr)
+            and np.array_equal(result.dc, reference.dc)
+        ):
+            raise AssertionError("scaling diverged from serial reference")
+        return ""
+
+    def match_cell(backend: ResilientBackend) -> str:
+        result = one_sided_match(
+            support_graph, sk_iterations, seed=seed, backend=backend
+        )
+        result.matching.validate(support_graph)
+        quality = result.cardinality / n
+        floor = ONE_SIDED_GUARANTEE - quality_eps
+        if quality < floor:
+            raise AssertionError(
+                f"quality {quality:.4f} below floor {floor:.4f}"
+            )
+        return f"quality={quality:.4f}"
+
+    outcomes: list[ChaosOutcome] = []
+    for backend_spec in backends:
+        def make_backend(spec: str = backend_spec) -> ResilientBackend:
+            return ResilientBackend(
+                spec, deadline=deadline, max_retries=max_retries,
+                backoff=0.01, max_backoff=0.1, seed=seed,
+            )
+
+        for schedule, plan in schedules.items():
+            outcomes.append(
+                _run_cell(
+                    "scale", backend_spec, schedule, plan,
+                    scale_cell, make_backend, budget,
+                )
+            )
+        if "storm" in schedules:
+            outcomes.append(
+                _run_cell(
+                    "match", backend_spec, "storm", schedules["storm"],
+                    match_cell, make_backend, budget * 2,
+                )
+            )
+    report = ChaosReport(outcomes=tuple(outcomes))
+    return report

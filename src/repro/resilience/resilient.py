@@ -1,0 +1,349 @@
+"""``ResilientBackend`` — deadlines, retries, and per-chunk re-execution.
+
+The wrapper owns chunk execution instead of delegating whole calls to the
+inner backend: each range runs as an independently supervised *attempt*
+(a forked child for a :class:`~repro.parallel.ProcessBackend` inner, a
+daemon thread otherwise), so one failed or stalled chunk can be retried
+alone while the other chunks' results are kept — exploiting the library
+convention that kernels *return* their slice rather than mutate shared
+state.
+
+Failure handling:
+
+* A child process that dies raises
+  :class:`~repro.errors.WorkerCrashError` (exit status in the message).
+* An attempt exceeding the per-chunk ``deadline`` raises
+  :class:`~repro.errors.DeadlineExceededError`; expired children are
+  killed, expired threads are abandoned (CPython threads cannot be
+  killed) but the caller still gets its answer within the budget.
+* A payload failing the integrity check (the fault injector's
+  :data:`~repro.resilience.CORRUPTED` marker) raises
+  :class:`~repro.errors.ResultCorruptionError`.
+
+Each of these is retried up to ``max_retries`` times with exponential
+backoff and deterministic seeded jitter; exhaustion raises
+:class:`~repro.errors.RetryExhaustedError` with the final failure
+chained.  Any other exception is a kernel error and propagates
+immediately — retrying a deterministic bug only hides it.
+
+Telemetry: every fault, failure, retry, and recovery increments a
+``resilience.*`` counter and emits a span event, so a chaos run's story
+is reconstructable from the event trace alone.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any
+
+from repro import telemetry as _tm
+from repro.errors import (
+    BackendError,
+    DeadlineExceededError,
+    ResultCorruptionError,
+    RetryExhaustedError,
+    WorkerCrashError,
+)
+from repro.parallel.backends import (
+    Backend,
+    ProcessBackend,
+    RangeFn,
+    get_backend,
+)
+from repro.resilience import faults as _faults
+
+__all__ = ["ResilientBackend"]
+
+#: Failure types that re-execution can plausibly cure.
+_RETRYABLE = (WorkerCrashError, DeadlineExceededError, ResultCorruptionError)
+
+
+def _attempt_child(fn: RangeFn, lo: int, hi: int, spec, conn) -> None:
+    """Run one supervised attempt inside a forked child."""
+    try:
+        result = _faults.execute_with_fault(spec, fn, lo, hi, in_child=True)
+        ok = True
+    except BaseException as exc:  # noqa: BLE001 - report to the parent
+        result = exc
+        ok = False
+    try:
+        conn.send((ok, result))
+    except Exception as exc:  # payload not picklable
+        try:
+            conn.send((False, BackendError(f"could not return result: {exc}")))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+class ResilientBackend(Backend):
+    """Deadline/retry wrapper around any execution backend.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped backend (a :class:`~repro.parallel.Backend`, a spec
+        string, or ``None`` for serial).  Fault rules address the *inner*
+        label, so one plan drives plain and resilient runs identically.
+    deadline:
+        Per-attempt wall-clock budget in seconds.  Expired child
+        processes are killed; expired threads are abandoned.
+    max_retries:
+        Re-executions allowed per chunk after the first attempt.
+    backoff:
+        Initial sleep before the first retry, in seconds.
+    backoff_factor:
+        Multiplier applied to the sleep after every retry.
+    max_backoff:
+        Upper bound on a single backoff sleep.
+    jitter:
+        Fraction of the sleep randomised away (``0.5`` → sleep uniformly
+        in ``[0.5 d, d]``), from a generator seeded with *seed* so runs
+        are reproducible.
+    seed:
+        Seed for the jitter generator.
+    """
+
+    def __init__(
+        self,
+        inner: Backend | str | None = None,
+        *,
+        deadline: float = 30.0,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        backoff_factor: float = 2.0,
+        max_backoff: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if deadline <= 0:
+            raise BackendError(f"deadline must be positive, got {deadline}")
+        if max_retries < 0:
+            raise BackendError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if not 0.0 <= jitter <= 1.0:
+            raise BackendError(f"jitter must be in [0, 1], got {jitter}")
+        self.inner = get_backend(inner)
+        if isinstance(self.inner, ResilientBackend):
+            raise BackendError("refusing to nest ResilientBackend wrappers")
+        self.n_workers = self.inner.n_workers
+        self.label = f"resilient.{self.inner.label}"
+        self.deadline = deadline
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+        self._fork = isinstance(self.inner, ProcessBackend)
+        self._ctx = self.inner._ctx if self._fork else None
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+
+    # -- public surface ------------------------------------------------
+
+    def map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
+        return self._map_ranges(fn, self.partition(n))
+
+    def _map_ranges(self, fn: RangeFn, parts) -> list[Any]:
+        if not parts:
+            return []
+        results: list[Any] = [None] * len(parts)
+        errors: list[BaseException | None] = [None] * len(parts)
+        with _tm.span(
+            "resilience.map_ranges", backend=self.inner.label,
+            chunks=len(parts),
+        ):
+            if len(parts) == 1:
+                # Common serial-inner case: no supervisor thread needed
+                # around the supervisor logic itself.
+                self._chunk_with_retry(fn, 0, parts[0], results, errors)
+            else:
+                supervisors = [
+                    threading.Thread(
+                        target=self._chunk_with_retry,
+                        args=(fn, idx, part, results, errors),
+                        name=f"resilient-chunk-{idx}",
+                        daemon=True,
+                    )
+                    for idx, part in enumerate(parts)
+                ]
+                for sup in supervisors:
+                    sup.start()
+                for sup in supervisors:
+                    sup.join()
+        for err in errors:
+            if err is not None:
+                raise err
+        return results
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResilientBackend({self.inner!r}, deadline={self.deadline}, "
+            f"max_retries={self.max_retries})"
+        )
+
+    # -- supervision ---------------------------------------------------
+
+    def _chunk_with_retry(
+        self,
+        fn: RangeFn,
+        idx: int,
+        part: tuple[int, int],
+        results: list[Any],
+        errors: list[BaseException | None],
+    ) -> None:
+        """Attempt/retry loop for one chunk (runs on a supervisor thread).
+
+        Every exit path fills ``results[idx]`` or ``errors[idx]`` — a
+        supervisor must never die silently, or the caller would see a
+        ``None`` payload instead of a typed failure.
+        """
+        try:
+            self._chunk_attempts(fn, idx, part, results, errors)
+        except BaseException as exc:  # noqa: BLE001 - supervisor safety net
+            errors[idx] = exc
+
+    def _chunk_attempts(
+        self,
+        fn: RangeFn,
+        idx: int,
+        part: tuple[int, int],
+        results: list[Any],
+        errors: list[BaseException | None],
+    ) -> None:
+        lo, hi = part
+        plan = _faults.active_plan()
+        delay = self.backoff
+        last: BaseException | None = None
+        for attempt in range(self.max_retries + 1):
+            # Attempt number doubles as the fault-plan call index so that
+            # "fail on call 0, succeed on call 1" schedules are exact and
+            # independent of supervisor-thread interleaving.
+            spec = (
+                plan.match(self.inner.label, idx, attempt)
+                if plan is not None
+                else None
+            )
+            try:
+                result = self._attempt(fn, lo, hi, spec)
+                if _faults.is_corrupted(result):
+                    raise ResultCorruptionError(
+                        f"integrity check failed for range [{lo}, {hi})"
+                    )
+                results[idx] = result
+                if attempt > 0:
+                    _tm.incr("resilience.recovered_chunks")
+                return
+            except _RETRYABLE as exc:
+                last = exc
+                if _tm.enabled():
+                    _tm.incr("resilience.chunk_failures")
+                    _tm.incr(
+                        "resilience.chunk_failures."
+                        + type(exc).__name__.removesuffix("Error").lower()
+                    )
+                    _tm.event(
+                        "resilience.chunk_failure",
+                        backend=self.inner.label,
+                        chunk=idx, lo=lo, hi=hi, attempt=attempt,
+                        error=type(exc).__name__,
+                    )
+                if attempt < self.max_retries:
+                    _tm.incr("resilience.retries")
+                    time.sleep(self._next_backoff(delay))
+                    delay = min(
+                        delay * self.backoff_factor, self.max_backoff
+                    )
+            except BaseException as exc:  # kernel bug: do not retry
+                errors[idx] = exc
+                return
+        exhausted = RetryExhaustedError(
+            f"range [{lo}, {hi}) failed {self.max_retries + 1} attempt(s); "
+            f"last failure: {last}"
+        )
+        exhausted.__cause__ = last
+        _tm.incr("resilience.exhausted_chunks")
+        errors[idx] = exhausted
+
+    def _next_backoff(self, delay: float) -> float:
+        """Jittered sleep in ``[(1 - jitter) * delay, delay]``."""
+        if self.jitter == 0.0:
+            return delay
+        with self._rng_lock:
+            frac = self._rng.random()
+        return delay * (1.0 - self.jitter * frac)
+
+    def _attempt(self, fn: RangeFn, lo: int, hi: int, spec) -> Any:
+        if self._fork:
+            return self._attempt_fork(fn, lo, hi, spec)
+        return self._attempt_thread(fn, lo, hi, spec)
+
+    def _attempt_thread(self, fn: RangeFn, lo: int, hi: int, spec) -> Any:
+        """One attempt on a dedicated daemon thread, joined with timeout."""
+        box: dict[str, Any] = {}
+
+        def run() -> None:
+            try:
+                box["result"] = _faults.execute_with_fault(
+                    spec, fn, lo, hi, in_child=False
+                )
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                box["error"] = exc
+
+        worker = threading.Thread(
+            target=run, name=f"resilient-attempt-{lo}-{hi}", daemon=True
+        )
+        worker.start()
+        worker.join(self.deadline)
+        if worker.is_alive():
+            raise DeadlineExceededError(
+                f"range [{lo}, {hi}) exceeded the {self.deadline:.3g}s "
+                f"deadline (worker thread abandoned)"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def _attempt_fork(self, fn: RangeFn, lo: int, hi: int, spec) -> Any:
+        """One attempt in a forked child, killed on deadline expiry."""
+        recv, send = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_attempt_child, args=(fn, lo, hi, spec, send)
+        )
+        proc.start()
+        send.close()
+        try:
+            # poll() also wakes on EOF, so crashes surface immediately
+            # rather than after the full deadline.
+            if not recv.poll(self.deadline):
+                proc.kill()
+                proc.join()
+                raise DeadlineExceededError(
+                    f"range [{lo}, {hi}) exceeded the {self.deadline:.3g}s "
+                    f"deadline (worker pid {proc.pid} killed)"
+                )
+            try:
+                ok, payload = recv.recv()
+            except EOFError:
+                proc.join()
+                raise WorkerCrashError(
+                    f"worker for range [{lo}, {hi}) exited with status "
+                    f"{proc.exitcode} before returning a result"
+                ) from None
+        finally:
+            recv.close()
+        proc.join()
+        if not ok:
+            raise (
+                payload
+                if isinstance(payload, BaseException)
+                else BackendError(str(payload))
+            )
+        return payload

@@ -115,7 +115,12 @@ def convergence_study(
     theorem is about the limit matrix, so the later the snapshot the
     better the prediction.
     """
-    scaling = scale_sinkhorn_knopp(graph, iterations, track_history=True)
+    # A convergence study needs the full requested sweep budget even on
+    # support-deficient patterns (the observed rate IS the deliverable),
+    # so the degradation ladder must not cap it.
+    scaling = scale_sinkhorn_knopp(
+        graph, iterations, track_history=True, degradation=False
+    )
     return ConvergenceStudy(
         observed=observed_rate(scaling.history),
         predicted=theoretical_rate(graph, scaling),

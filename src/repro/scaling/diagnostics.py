@@ -66,7 +66,11 @@ def estimate_matchable_edges(
         families.
     """
     if scaling is None:
-        scaling = scale_sinkhorn_knopp(graph, iterations)
+        # The detector *wants* deep scaling on support-deficient patterns:
+        # the decay of unmatchable entries over many sweeps is exactly the
+        # signal being thresholded, so the degradation ladder (which caps
+        # iterations on such matrices) must not engage here.
+        scaling = scale_sinkhorn_knopp(graph, iterations, degradation=False)
     values = graph.scaled_values(scaling.dr, scaling.dc)
     row_means = np.zeros(graph.nrows, dtype=np.float64)
     sums = segment_sums(values, graph.row_ptr)

@@ -31,6 +31,14 @@ class ScalingResult:
         when a fixed iteration count was requested without a tolerance).
     history:
         Per-iteration error trace when the caller asked for one.
+    rung:
+        Which rung of the degradation ladder produced this result:
+        ``"full"`` (the requested computation, convergence attainable),
+        ``"capped"`` (the matrix provably lacks total support, so the
+        iteration budget was capped and only the Section 3.3 relaxed
+        guarantee applies), or ``"uniform"`` (pattern-uniform
+        ``dr = dc = 1`` fallback — no guarantee).  See
+        ``docs/resilience.md``.
     """
 
     dr: FloatArray
@@ -39,6 +47,7 @@ class ScalingResult:
     iterations: int
     converged: bool
     history: tuple[float, ...] = field(default=())
+    rung: str = "full"
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -51,3 +60,8 @@ class ScalingResult:
     @property
     def shape(self) -> tuple[int, int]:
         return (int(self.dr.shape[0]), int(self.dc.shape[0]))
+
+    @property
+    def degraded(self) -> bool:
+        """True iff a fallback rung (not ``"full"``) produced this result."""
+        return self.rung != "full"

@@ -20,15 +20,40 @@ gracefully to ``1 - e^{-α}``).
 ``iterations=0`` is meaningful and used throughout the paper's tables: it
 leaves ``dr = dc = 1``, which makes the heuristics pick neighbours
 uniformly at random (the "no guarantee" baseline of Figure 5).
+
+Degradation ladder
+------------------
+
+Sinkhorn–Knopp provably converges only on matrices with total support;
+anywhere else a tolerance loop just burns its full ``max_iterations``
+budget.  The support-aware guard detects structurally hopeless inputs —
+empty rows/columns cheaply, lack of total support via the
+Dulmage–Mendelsohn machinery behind a size cutoff — and falls down a
+declared ladder instead of thrashing:
+
+1. ``"full"`` — the requested computation (default rung).
+2. ``"capped"`` — deficiency detected: the iteration budget is capped at
+   ``capped_iterations`` and a :class:`~repro.errors.ConvergenceWarning`
+   carrying the achieved column-sum error is emitted; the Section 3.3
+   relaxed guarantee still applies to the heuristics.
+3. ``"uniform"`` — degenerate input (no nonzeros) or a non-finite
+   scaling: fall back to pattern-uniform ``dr = dc = 1``, which always
+   yields a valid (if guarantee-free) choice distribution.
+
+The rung used is recorded in :attr:`ScalingResult.rung`, so
+``OneSidedMatch``/``TwoSidedMatch`` can report the best attainable
+guarantee instead of failing (see ``docs/resilience.md``).
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
 from repro import telemetry as _tm
 from repro._typing import FloatArray
-from repro.errors import ScalingError
+from repro.errors import ConvergenceWarning, ScalingError
 from repro.graph.csr import BipartiteGraph
 from repro.parallel.backends import Backend, SerialBackend, get_backend
 from repro.parallel.reduction import segment_sums, segment_sums_parallel
@@ -45,6 +70,33 @@ def _reciprocal_or_one(sums: FloatArray) -> FloatArray:
     return out
 
 
+def _lacks_total_support(
+    graph: BipartiteGraph, support_check_cutoff: int
+) -> bool:
+    """Whether SK provably cannot converge on *graph*'s pattern.
+
+    Empty rows/columns are an O(n) necessary check; the full total-support
+    test (every edge on some perfect matching) needs a maximum matching,
+    so it only runs on square matrices up to *support_check_cutoff*
+    nonzeros.  Returns ``False`` when undecided — the ladder only demotes
+    on proof.
+    """
+    if (np.diff(graph.row_ptr) == 0).any() or (
+        np.diff(graph.col_ptr) == 0
+    ).any():
+        return True
+    if graph.nrows != graph.ncols:
+        # Rectangular patterns have no total support in the square sense;
+        # the paper scales them with the rectangular variant of SK, whose
+        # stationary point is r-by-c stochastic, so we do not demote here.
+        return False
+    if graph.nnz > support_check_cutoff:
+        return False
+    from repro.graph.dm import dulmage_mendelsohn
+
+    return not dulmage_mendelsohn(graph).total_support
+
+
 def scale_sinkhorn_knopp(
     graph: BipartiteGraph,
     iterations: int | None = None,
@@ -53,6 +105,9 @@ def scale_sinkhorn_knopp(
     max_iterations: int = 1000,
     backend: Backend | str | None = None,
     track_history: bool = False,
+    degradation: bool = True,
+    capped_iterations: int = 25,
+    support_check_cutoff: int = 10_000,
 ) -> ScalingResult:
     """Scale *graph*'s adjacency pattern toward doubly stochastic form.
 
@@ -72,11 +127,22 @@ def scale_sinkhorn_knopp(
         :func:`repro.parallel.get_backend`); serial by default.
     track_history:
         Record the error after every iteration in the result.
+    degradation:
+        Enable the support-aware degradation ladder (see the module
+        docstring).  With ``False`` the requested budget is always run
+        and ``rung`` stays ``"full"``.
+    capped_iterations:
+        Iteration budget on the ``"capped"`` rung.
+    support_check_cutoff:
+        Largest nonzero count at which the full total-support test (a
+        maximum-matching computation) is attempted; above it only the
+        O(n) empty-row/column check runs.
 
     Returns
     -------
     ScalingResult
-        Scaling vectors, final error, iteration count, convergence flag.
+        Scaling vectors, final error, iteration count, convergence flag,
+        and the degradation-ladder rung used.
     """
     if iterations is not None and tolerance is not None:
         raise ScalingError("pass either iterations or tolerance, not both")
@@ -111,6 +177,21 @@ def scale_sinkhorn_knopp(
         dr[:] = _reciprocal_or_one(sums)
 
     limit = iterations if iterations is not None else max_iterations
+    requested_limit = limit
+    rung = "full"
+    if degradation:
+        if graph.nnz == 0:
+            # Nothing to balance: pattern-uniform is the exact answer.
+            rung, limit = "uniform", 0
+        elif _lacks_total_support(
+            graph,
+            # The maximum-matching test is only worth its cost when it
+            # can actually save sweeps (or a doomed tolerance loop).
+            support_check_cutoff if limit > capped_iterations else 0,
+        ):
+            rung = "capped"
+            limit = min(limit, capped_iterations)
+
     done = 0
     converged = False
     with _tm.span(
@@ -135,8 +216,38 @@ def scale_sinkhorn_knopp(
                 _tm.event("scaling.sk.sweep", iteration=done, error=error)
         if tolerance is not None and error <= tolerance:
             converged = True
+        if not (
+            np.isfinite(error)
+            and np.isfinite(dr).all()
+            and np.isfinite(dc).all()
+        ):
+            # Last rung of the ladder: a non-finite scaling would poison
+            # the choice probabilities, so fall back to pattern-uniform.
+            rung = "uniform"
+            dr[:] = 1.0
+            dc[:] = 1.0
+            converged = False
+            error = column_sum_error(
+                graph, dr, dc, be if use_parallel else None
+            )
+        if rung == "capped" and not converged and (
+            limit < requested_limit or tolerance is not None
+        ):
+            warnings.warn(
+                ConvergenceWarning(
+                    f"matrix lacks total support; Sinkhorn-Knopp stopped "
+                    f"on the '{rung}' rung after {done} iteration(s) with "
+                    f"column-sum error {error:.6g}",
+                    achieved_error=error,
+                    rung=rung,
+                ),
+                stacklevel=2,
+            )
+        if rung != "full":
+            _tm.incr("scaling.sk.degraded")
+            _tm.event("scaling.sk.degraded", rung=rung, error=error)
         _tm.set_gauge("scaling.sk.error", error)
-        sp.set(iterations=done, error=error, converged=converged)
+        sp.set(iterations=done, error=error, converged=converged, rung=rung)
 
     return ScalingResult(
         dr=dr,
@@ -145,6 +256,7 @@ def scale_sinkhorn_knopp(
         iterations=done,
         converged=converged,
         history=tuple(history),
+        rung=rung,
     )
 
 

@@ -1,0 +1,50 @@
+"""Chaos-marked tests: the backend matrix under injected fault schedules.
+
+Run explicitly with ``pytest -m chaos`` (or ``make chaos-smoke``); the
+full human-facing sweep is ``python -m repro chaos`` / ``make chaos``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import run_chaos, standard_schedules
+from repro.resilience.chaos import ChaosOutcome
+
+pytestmark = pytest.mark.chaos
+
+
+def test_standard_schedules_cover_all_kinds():
+    schedules = standard_schedules()
+    assert set(schedules) == {
+        "none", "crash", "hang", "slow", "corrupt", "storm"
+    }
+    assert schedules["none"].specs == []
+
+
+def test_outcome_classification():
+    ok = ChaosOutcome("scale", "serial", "none", "ok", 0.1, 5.0)
+    degraded = ChaosOutcome(
+        "scale", "serial", "storm", "degraded:RetryExhaustedError", 0.1, 5.0
+    )
+    failed = ChaosOutcome(
+        "scale", "serial", "storm", "FAILED:untyped:EOFError", 0.1, 5.0
+    )
+    assert ok.passed and degraded.passed and not failed.passed
+
+
+def test_chaos_matrix_honours_contract():
+    """Every cell: bitwise-correct result or typed error, inside budget."""
+    report = run_chaos(n=250, deadline=0.25, seed=0)
+    assert report.passed, "\n" + report.render()
+    # The control schedule must not merely "not fail" — it must succeed.
+    controls = [o for o in report.outcomes if o.schedule == "none"]
+    assert controls and all(o.status == "ok" for o in controls)
+
+
+def test_chaos_serial_only_quick():
+    """A tiny single-backend sweep (the CI smoke cell)."""
+    report = run_chaos(n=120, backends=("serial",), deadline=0.2, seed=1)
+    assert report.passed, "\n" + report.render()
+    rendered = report.render()
+    assert "cells honoured the contract" in rendered

@@ -74,6 +74,81 @@ class TestMatrixMarket:
             read_matrix_market(path)
 
 
+class TestMatrixMarketBrokenCorpus:
+    """Every broken file is rejected with the offending line number."""
+
+    HEADER = "%%MatrixMarket matrix coordinate pattern general\n"
+
+    def _expect(self, tmp_path, content, lineno, fragment):
+        path = tmp_path / "broken.mtx"
+        path.write_text(content)
+        with pytest.raises(GraphStructureError) as err:
+            read_matrix_market(path)
+        assert f"broken.mtx:{lineno}:" in str(err.value)
+        assert fragment in str(err.value)
+
+    def test_empty_file(self, tmp_path):
+        self._expect(tmp_path, "", 1, "missing")
+
+    def test_garbage_header(self, tmp_path):
+        self._expect(tmp_path, "hello world\n1 1 1\n", 1, "header")
+
+    def test_unsupported_field(self, tmp_path):
+        self._expect(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate quantum general\n1 1 0\n",
+            1,
+            "field",
+        )
+
+    def test_unsupported_symmetry(self, tmp_path):
+        self._expect(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern hermitian\n1 1 0\n",
+            1,
+            "symmetry",
+        )
+
+    def test_missing_size_line(self, tmp_path):
+        self._expect(tmp_path, self.HEADER + "% only comments\n", 3, "size")
+
+    def test_short_size_line(self, tmp_path):
+        self._expect(tmp_path, self.HEADER + "3 3\n", 2, "size line")
+
+    def test_non_integer_size(self, tmp_path):
+        self._expect(tmp_path, self.HEADER + "3 x 2\n", 2, "non-integer")
+
+    def test_negative_size(self, tmp_path):
+        self._expect(tmp_path, self.HEADER + "3 -3 2\n", 2, "negative")
+
+    def test_truncated_entries_line_numbered(self, tmp_path):
+        self._expect(
+            tmp_path, self.HEADER + "3 3 2\n1 1\n", 4, "1 of 2 entries"
+        )
+
+    def test_short_entry(self, tmp_path):
+        self._expect(tmp_path, self.HEADER + "3 3 1\n2\n", 3, "row col")
+
+    def test_non_integer_entry(self, tmp_path):
+        self._expect(
+            tmp_path, self.HEADER + "3 3 1\n1 one\n", 3, "non-integer"
+        )
+
+    def test_row_out_of_range(self, tmp_path):
+        self._expect(tmp_path, self.HEADER + "3 3 1\n4 1\n", 3, "(4, 1)")
+
+    def test_col_out_of_range(self, tmp_path):
+        self._expect(tmp_path, self.HEADER + "3 3 1\n1 9\n", 3, "(1, 9)")
+
+    def test_zero_index_rejected(self, tmp_path):
+        # MatrixMarket is 1-based; a 0 coordinate is always out of range.
+        self._expect(tmp_path, self.HEADER + "3 3 1\n0 1\n", 3, "1-based")
+
+    def test_error_after_comment_block_counts_comments(self, tmp_path):
+        content = self.HEADER + "% a\n% b\n3 3 1\n5 5\n"
+        self._expect(tmp_path, content, 5, "(5, 5)")
+
+
 class TestNpz:
     def test_round_trip(self, tmp_path):
         g = sprand(100, 4.0, seed=1)

@@ -152,6 +152,27 @@ class TestBackends:
         with pytest.raises(BackendError):
             ThreadBackend(0)
 
+    def test_process_child_death_raises_typed_error(self):
+        """A worker killed mid-call must surface as a typed BackendError
+        naming the chunk range and exit status — never a bare EOFError."""
+        from repro.errors import WorkerCrashError
+
+        with ProcessBackend(2) as be:
+            with pytest.raises(WorkerCrashError) as err:
+                be.map_ranges(_die_if_first_range, 50)
+        message = str(err.value)
+        assert "[0, 25)" in message  # the dead worker's chunk
+        assert "-9" in message or "status" in message
+        assert isinstance(err.value, BackendError)
+
+    def test_process_backend_usable_after_child_death(self):
+        """One crashed call must not poison the backend for the next."""
+        with ProcessBackend(2) as be:
+            with pytest.raises(BackendError):
+                be.map_ranges(_die_if_first_range, 10)
+            out = be.map_ranges(_square_range, 6)
+        assert sum(out, []) == [i * i for i in range(6)]
+
 
 class TestSegmentSums:
     def test_basic(self):
@@ -308,3 +329,13 @@ class TestMachineModel:
 def _square_range(lo: int, hi: int) -> list:
     """Top-level helper so ProcessBackend can pickle it."""
     return [i * i for i in range(lo, hi)]
+
+
+def _die_if_first_range(lo: int, hi: int) -> list:
+    """Kill the worker handling the first chunk with an uncatchable signal."""
+    if lo == 0:
+        import os
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    return [i for i in range(lo, hi)]
