@@ -18,6 +18,7 @@ bench-regress:
 
 bench-regress-smoke:
 	$(PYTHON) benchmarks/regression.py --check --smoke
+	REPRO_BACKEND=shm $(PYTHON) benchmarks/regression.py --check --smoke
 	$(MAKE) chaos-smoke
 
 chaos:

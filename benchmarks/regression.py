@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -65,6 +66,15 @@ SIZES = {
     "onesided_quality": (1_500, 400),
     "twosided_quality": (1_500, 400),
     "resilient_scale_sk": (20_000, 2_000),
+    # Backend matrix: the same workloads through the fork-per-call
+    # process backend and the persistent zero-copy pool, at a size where
+    # the multi-chunk parallel path actually engages (the smoke size is
+    # a single chunk — overhead tracking only).
+    "proc_scale_sk": (120_000, 8_000),
+    "proc_e2e_twosided": (120_000, 8_000),
+    "shm_scale_sk": (120_000, 8_000),
+    "shm_onesided": (120_000, 8_000),
+    "shm_e2e_twosided": (120_000, 8_000),
 }
 
 
@@ -86,8 +96,15 @@ def _best_of(fn, repeats: int) -> float:
     return min(times)
 
 
-def run_workloads(smoke: bool) -> dict[str, dict]:
-    """Execute the fixed matrix; returns ``{name: result-dict}``."""
+def run_workloads(smoke: bool, backend_spec: str = "serial") -> dict[str, dict]:
+    """Execute the fixed matrix; returns ``{name: result-dict}``.
+
+    *backend_spec* (the ``REPRO_BACKEND`` environment variable) selects
+    the backend the generic scaling/matching cells run on; snapshots are
+    only ever compared against snapshots of the same backend.
+    """
+    from repro.parallel import get_backend
+
     idx = 1 if smoke else 0
     repeats = 2 if smoke else 3
     results: dict[str, dict] = {}
@@ -97,17 +114,21 @@ def run_workloads(smoke: bool) -> dict[str, dict]:
         results[name] = {"n": n, "seconds": seconds}
         print(f"  {name:<22} n={n:<7} {seconds * 1e3:9.2f} ms")
 
-    print("timing workloads:")
+    print(f"timing workloads (backend={backend_spec}):")
+    env_be = get_backend(backend_spec)
 
     n = SIZES["scale_sk"][idx]
     g = sprand(n, 4.0, seed=0)
-    record_timing("scale_sk", n, lambda: scale_sinkhorn_knopp(g, 5))
+    record_timing(
+        "scale_sk", n, lambda: scale_sinkhorn_knopp(g, 5, backend=env_be)
+    )
 
     n = SIZES["onesided"][idx]
     g = sprand(n, 4.0, seed=0)
     sc = scale_sinkhorn_knopp(g, 5)
     record_timing(
-        "onesided", n, lambda: one_sided_match(g, scaling=sc, seed=1)
+        "onesided", n,
+        lambda: one_sided_match(g, scaling=sc, seed=1, backend=env_be),
     )
 
     for name, engine in (
@@ -120,9 +141,10 @@ def run_workloads(smoke: bool) -> dict[str, dict]:
         record_timing(
             name, n,
             lambda g=g, sc=sc, engine=engine: two_sided_match(
-                g, scaling=sc, seed=1, engine=engine
+                g, scaling=sc, seed=1, engine=engine, backend=env_be
             ),
         )
+    env_be.close()
 
     for name, engine_fn in (
         ("ks_mt_serial", karp_sipser_mt),
@@ -149,6 +171,49 @@ def run_workloads(smoke: bool) -> dict[str, dict]:
         )
     finally:
         be.close()
+
+    # Backend matrix: identical SK / end-to-end workloads through the
+    # fork-per-call process backend and the persistent zero-copy pool.
+    # shm vs proc at equal n is the pool's speedup evidence; shm vs the
+    # serial scale_sk/twosided cells bounds its dispatch overhead (see
+    # docs/performance.md).  Best-of-N absorbs the one-time pool spawn.
+    from repro.parallel import ProcessBackend, SharedMemoryBackend
+
+    n = SIZES["proc_scale_sk"][idx]
+    g = sprand(n, 4.0, seed=0)
+    sc = scale_sinkhorn_knopp(g, 5)
+    proc_be = ProcessBackend()
+    try:
+        record_timing(
+            "proc_scale_sk", n,
+            lambda: scale_sinkhorn_knopp(g, 5, backend=proc_be),
+        )
+        record_timing(
+            "proc_e2e_twosided", n,
+            lambda: two_sided_match(
+                g, scaling=sc, seed=1, backend=proc_be, engine="parallel"
+            ),
+        )
+    finally:
+        proc_be.close()
+    shm_be = SharedMemoryBackend()
+    try:
+        record_timing(
+            "shm_scale_sk", n,
+            lambda: scale_sinkhorn_knopp(g, 5, backend=shm_be),
+        )
+        record_timing(
+            "shm_onesided", n,
+            lambda: one_sided_match(g, scaling=sc, seed=1, backend=shm_be),
+        )
+        record_timing(
+            "shm_e2e_twosided", n,
+            lambda: two_sided_match(
+                g, scaling=sc, seed=1, backend=shm_be, engine="parallel"
+            ),
+        )
+    finally:
+        shm_be.close()
 
     print("quality workloads:")
     trials = 3 if smoke else 5
@@ -187,27 +252,34 @@ def run_workloads(smoke: bool) -> dict[str, dict]:
     return results
 
 
-def make_snapshot(smoke: bool) -> dict:
+def make_snapshot(smoke: bool, backend_spec: str = "serial") -> dict:
     return {
         "schema": SCHEMA_VERSION,
         "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "smoke": smoke,
+        "backend": backend_spec,
         "repro_version": __version__,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
-        "results": run_workloads(smoke),
+        "results": run_workloads(smoke, backend_spec),
     }
 
 
-def latest_snapshot(out_dir: Path, smoke: bool) -> dict | None:
-    """The newest parseable snapshot of the same mode, or None."""
+def latest_snapshot(
+    out_dir: Path, smoke: bool, backend_spec: str = "serial"
+) -> dict | None:
+    """The newest parseable snapshot of the same mode/backend, or None."""
     for path in sorted(out_dir.glob("BENCH_*.json"), reverse=True):
         try:
             snap = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             continue
-        if snap.get("schema") == SCHEMA_VERSION and snap.get("smoke") == smoke:
+        if (
+            snap.get("schema") == SCHEMA_VERSION
+            and snap.get("smoke") == smoke
+            and snap.get("backend", "serial") == backend_spec
+        ):
             snap["_path"] = str(path)
             return snap
     return None
@@ -280,11 +352,16 @@ def main(argv: list[str] | None = None) -> int:
 
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
-    previous = latest_snapshot(out_dir, args.smoke) if args.check else None
+    backend_spec = os.environ.get("REPRO_BACKEND", "serial")
+    previous = (
+        latest_snapshot(out_dir, args.smoke, backend_spec)
+        if args.check
+        else None
+    )
 
     mode = "smoke" if args.smoke else "full"
-    print(f"running {mode} workload matrix ...")
-    snapshot = make_snapshot(args.smoke)
+    print(f"running {mode} workload matrix (REPRO_BACKEND={backend_spec}) ...")
+    snapshot = make_snapshot(args.smoke, backend_spec)
 
     if not args.no_write:
         stamp = snapshot["date"].replace(":", "").replace("-", "")

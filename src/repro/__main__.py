@@ -77,11 +77,17 @@ def cmd_sprank(args: argparse.Namespace) -> int:
 
 
 def cmd_scale(args: argparse.Namespace) -> int:
+    from repro.parallel import get_backend
     from repro.scaling import scale_ruiz, scale_sinkhorn_knopp
 
     g = _load(args.matrix)
-    scale = scale_sinkhorn_knopp if args.method == "sk" else scale_ruiz
-    res = scale(g, args.iterations, track_history=True)
+    with get_backend(args.backend) as be:
+        if args.method == "sk":
+            res = scale_sinkhorn_knopp(
+                g, args.iterations, backend=be, track_history=True
+            )
+        else:
+            res = scale_ruiz(g, args.iterations, track_history=True)
     print(f"method     : {args.method}")
     print(f"iterations : {res.iterations}")
     print(f"final error: {res.error:.6g}")
@@ -105,19 +111,28 @@ def cmd_match(args: argparse.Namespace) -> int:
     )
     from repro.matching.heuristics.greedy import greedy_edge_matching
 
+    from repro.parallel import get_backend
+
     g = _load(args.matrix)
+    be = get_backend(args.backend)
     t0 = time.perf_counter()
     if args.best_of > 1 and args.method in ("one-sided", "two-sided"):
         from repro.core import best_of
+        from repro.scaling import scale_sinkhorn_knopp
 
         matching = best_of(
             g, args.best_of, method=args.method,
-            iterations=args.iterations, seed=args.seed,
+            scaling=scale_sinkhorn_knopp(g, args.iterations, backend=be),
+            seed=args.seed,
         ).matching
     elif args.method == "one-sided":
-        matching = one_sided_match(g, args.iterations, seed=args.seed).matching
+        matching = one_sided_match(
+            g, args.iterations, seed=args.seed, backend=be
+        ).matching
     elif args.method == "two-sided":
-        matching = two_sided_match(g, args.iterations, seed=args.seed).matching
+        matching = two_sided_match(
+            g, args.iterations, seed=args.seed, backend=be
+        ).matching
     elif args.method == "karp-sipser":
         matching = karp_sipser(g, seed=args.seed)
     elif args.method == "karp-sipser-plus":
@@ -133,6 +148,7 @@ def cmd_match(args: argparse.Namespace) -> int:
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown method {args.method}")
     dt = time.perf_counter() - t0
+    be.close()
     matching.validate(g)
     print(f"method      : {args.method}")
     print(f"cardinality : {matching.cardinality}")
@@ -169,16 +185,19 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     if args.jsonl:
         jsonl = JsonLinesSink(args.jsonl)
         sinks.append(jsonl)
-    with telemetry.session(*sinks) as registry:
+    from repro.parallel import get_backend
+
+    with telemetry.session(*sinks) as registry, \
+            get_backend(args.backend) as be:
         for rep in range(args.repeat):
             seed = args.seed + rep
             if args.method == "one-sided":
                 result = one_sided_match(
-                    g, args.iterations, seed=seed, backend=args.backend
+                    g, args.iterations, seed=seed, backend=be
                 )
             else:
                 result = two_sided_match(
-                    g, args.iterations, seed=seed, backend=args.backend,
+                    g, args.iterations, seed=seed, backend=be,
                     engine=args.engine,
                 )
         report = render_report(registry.snapshot())
@@ -197,7 +216,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     backends = (
         ("serial",)
         if args.smoke
-        else ("serial", "threads:2", "processes:2")
+        else ("serial", "threads:2", "processes:2", "shm:2")
     )
     n = min(args.n, 200) if args.smoke else args.n
     report = run_chaos(
@@ -280,6 +299,10 @@ def main(argv: list[str] | None = None) -> int:
     p_scale.add_argument("matrix")
     p_scale.add_argument("--iterations", type=int, default=10)
     p_scale.add_argument("--method", choices=["sk", "ruiz"], default="sk")
+    p_scale.add_argument(
+        "--backend", default=None,
+        help="parallel backend spec (e.g. threads:4, shm:2); sk only",
+    )
     p_scale.add_argument("--out", default=None)
     p_scale.set_defaults(fn=cmd_scale)
 
@@ -295,6 +318,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_match.add_argument("--iterations", type=int, default=5)
     p_match.add_argument("--seed", type=int, default=0)
+    p_match.add_argument(
+        "--backend", default=None,
+        help="parallel backend spec (e.g. threads:4, shm:2); "
+             "one-/two-sided only",
+    )
     p_match.add_argument(
         "--best-of", type=int, default=1, dest="best_of",
         help="run the randomized heuristic K times and keep the best",
@@ -322,12 +350,12 @@ def main(argv: list[str] | None = None) -> int:
     p_tel.add_argument("--seed", type=int, default=0)
     p_tel.add_argument(
         "--engine",
-        choices=["serial", "vectorized", "simulated", "threaded"],
+        choices=["serial", "vectorized", "parallel", "simulated", "threaded"],
         default="serial",
     )
     p_tel.add_argument(
         "--backend", default=None,
-        help="parallel backend spec (e.g. threads:4, processes:2)",
+        help="parallel backend spec (e.g. threads:4, processes:2, shm:2)",
     )
     p_tel.add_argument("--repeat", type=int, default=1)
     p_tel.add_argument(

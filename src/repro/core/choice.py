@@ -8,16 +8,19 @@ Every row ``i`` picks a column ``j ∈ A_i*`` with probability
 and symmetrically for columns.  Within one row the factor ``dr[i]`` is
 constant, so the weights reduce to the gathered opposite-side vector —
 which lets the whole selection be three vectorised passes (gather, prefix
-sum, binary search), with no per-edge Python work:
+sum, binary search), with no per-edge Python work.
 
-1. ``w = dc[col_ind]`` — per-edge weights in CSR order;
-2. ``cum = cumsum(w)`` — global prefix sums (per-row segments are slices);
-3. for each row draw ``u ~ U(0,1]`` and binary-search the target
-   ``base_i + u * rowsum_i`` inside the row's slice.
+The passes run as registered kernels (:mod:`repro.parallel.kernels`):
+each chunk of rows gathers only its own edges' weights, prefix-sums them
+locally, and binary-searches its rows' targets.  The uniform draws are
+generated once in the parent, and the chunk grid is fixed per problem
+size, so the picks are bitwise identical on every backend and worker
+count.  This is exactly the per-thread procedure the paper describes
+("choose a random number r from (0, Σ s_ik] then find the smallest j
+...") executed chunk-by-chunk.
 
-This is exactly the per-thread procedure the paper describes ("choose a
-random number r from (0, Σ s_ik] then find the smallest j ...") executed
-for all rows at once; a *backend* can split the row axis across workers.
+:class:`ChoiceSampler` precomputes the gathered per-edge weights once and
+samples repeatedly — the ensemble runner's fast path.
 """
 
 from __future__ import annotations
@@ -28,9 +31,15 @@ from repro._typing import FloatArray, IndexArray, SeedLike, rng_from
 from repro.errors import ShapeError
 from repro.graph.csr import BipartiteGraph
 from repro.matching.matching import NIL
-from repro.parallel.backends import Backend, SerialBackend, get_backend
+from repro.parallel.backends import Backend, get_backend
+from repro.parallel.kernels import run_kernel
 
-__all__ = ["scaled_row_choices", "scaled_col_choices", "choices_from_weights"]
+__all__ = [
+    "scaled_row_choices",
+    "scaled_col_choices",
+    "choices_from_weights",
+    "ChoiceSampler",
+]
 
 
 def choices_from_weights(
@@ -47,6 +56,9 @@ def choices_from_weights(
     ``ind[ptr[i]:ptr[i+1]]`` drawn with probability proportional to the
     matching slice of *weights*; :data:`NIL` for empty segments.
     """
+    ptr = np.asarray(ptr)
+    ind = np.asarray(ind)
+    weights = np.asarray(weights)
     n = ptr.shape[0] - 1
     if ind.shape != weights.shape:
         raise ShapeError("ind and weights must be parallel arrays")
@@ -55,29 +67,100 @@ def choices_from_weights(
     # Uniform draws first so results are identical across backends: the
     # random stream is consumed in one deterministic vectorised call.
     draws = 1.0 - rng.random(n)  # in (0, 1]
+    out = np.empty(n, dtype=np.int64)
+    run_kernel(
+        "choice_flat", n,
+        {"ptr": ptr, "ind": ind, "weights": weights, "draws": draws,
+         "out": out},
+        backend=backend,
+    )
+    return out
 
-    cum = np.cumsum(weights)
-    prefix = np.concatenate([[0.0], cum])
 
-    # Workers return their slice of picks (no shared-array writes) so the
-    # kernel also runs on process backends; every pick depends only on the
-    # global prefix sums and the row's own draw, so the result is bitwise
-    # identical for any backend and worker count.
-    def work(lo: int, hi: int) -> IndexArray:
-        base = prefix[ptr[lo:hi]]
-        totals = prefix[ptr[lo + 1 : hi + 1]] - base
-        targets = base + draws[lo:hi] * totals
-        pos = np.searchsorted(cum, targets, side="left")
-        # Guard against floating-point drift at segment boundaries.
-        pos = np.clip(pos, ptr[lo:hi], ptr[lo + 1 : hi + 1] - 1)
-        picked = ind[pos]
-        picked[totals <= 0.0] = NIL
-        empty = ptr[lo:hi] == ptr[lo + 1 : hi + 1]
-        picked[empty] = NIL
-        return picked
+class ChoiceSampler:
+    """Reusable weighted 1-out sampler over a fixed CSR-like structure.
 
-    be = backend or SerialBackend()
-    return np.concatenate(be.map_ranges(work, n))
+    Gathers nothing per call beyond the fresh uniform draws: the per-edge
+    weights are fixed at construction, so ``best_of`` and other repeated
+    samplers pay the O(nnz) weight gather once instead of once per run.
+    Sampling consumes exactly one ``rng.random(n)`` call, matching
+    :func:`choices_from_weights`, so the two produce identical picks from
+    identical generator states.
+    """
+
+    def __init__(
+        self, ptr: IndexArray, ind: IndexArray, weights: FloatArray
+    ) -> None:
+        self.ptr = np.asarray(ptr)
+        self.ind = np.asarray(ind)
+        self.weights = np.asarray(weights)
+        if self.ind.shape != self.weights.shape:
+            raise ShapeError("ind and weights must be parallel arrays")
+        self.n = self.ptr.shape[0] - 1
+
+    @classmethod
+    def for_rows(
+        cls, graph: BipartiteGraph, dr: FloatArray, dc: FloatArray
+    ) -> "ChoiceSampler":
+        """Sampler drawing one column per row of the scaled *graph*."""
+        dc = np.asarray(dc, dtype=np.float64)
+        if dc.shape != (graph.ncols,):
+            raise ShapeError(
+                f"dc must have shape ({graph.ncols},), got {dc.shape}"
+            )
+        return cls(graph.row_ptr, graph.col_ind, dc[graph.col_ind])
+
+    @classmethod
+    def for_cols(
+        cls, graph: BipartiteGraph, dr: FloatArray, dc: FloatArray
+    ) -> "ChoiceSampler":
+        """Sampler drawing one row per column of the scaled *graph*."""
+        dr = np.asarray(dr, dtype=np.float64)
+        if dr.shape != (graph.nrows,):
+            raise ShapeError(
+                f"dr must have shape ({graph.nrows},), got {dr.shape}"
+            )
+        return cls(graph.col_ptr, graph.row_ind, dr[graph.row_ind])
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        *,
+        backend: Backend | str | None = None,
+    ) -> IndexArray:
+        """One weighted pick per segment (:data:`NIL` where empty)."""
+        if self.ind.shape[0] == 0 or self.n == 0:
+            return np.full(self.n, NIL, dtype=np.int64)
+        draws = 1.0 - rng.random(self.n)
+        out = np.empty(self.n, dtype=np.int64)
+        run_kernel(
+            "choice_flat", self.n,
+            {"ptr": self.ptr, "ind": self.ind, "weights": self.weights,
+             "draws": draws, "out": out},
+            backend=get_backend(backend),
+        )
+        return out
+
+
+def _scaled_choices(
+    ptr: IndexArray,
+    ind: IndexArray,
+    opp: FloatArray,
+    n: int,
+    rng: np.random.Generator,
+    backend: Backend,
+) -> IndexArray:
+    """Fused-gather pick: weights ``opp[ind[...]]`` never materialised."""
+    if ind.shape[0] == 0 or n == 0:
+        return np.full(n, NIL, dtype=np.int64)
+    draws = 1.0 - rng.random(n)
+    out = np.empty(n, dtype=np.int64)
+    run_kernel(
+        "choice_scaled", n,
+        {"ptr": ptr, "ind": ind, "opp": opp, "draws": draws, "out": out},
+        backend=backend,
+    )
+    return out
 
 
 def scaled_row_choices(
@@ -96,10 +179,9 @@ def scaled_row_choices(
     dc = np.asarray(dc, dtype=np.float64)
     if dc.shape != (graph.ncols,):
         raise ShapeError(f"dc must have shape ({graph.ncols},), got {dc.shape}")
-    weights = dc[graph.col_ind]
-    return choices_from_weights(
-        graph.row_ptr, graph.col_ind, weights, rng,
-        backend=get_backend(backend),
+    return _scaled_choices(
+        graph.row_ptr, graph.col_ind, dc, graph.nrows, rng,
+        get_backend(backend),
     )
 
 
@@ -116,8 +198,7 @@ def scaled_col_choices(
     dr = np.asarray(dr, dtype=np.float64)
     if dr.shape != (graph.nrows,):
         raise ShapeError(f"dr must have shape ({graph.nrows},), got {dr.shape}")
-    weights = dr[graph.row_ind]
-    return choices_from_weights(
-        graph.col_ptr, graph.row_ind, weights, rng,
-        backend=get_backend(backend),
+    return _scaled_choices(
+        graph.col_ptr, graph.row_ind, dr, graph.ncols, rng,
+        get_backend(backend),
     )

@@ -8,17 +8,19 @@ parallel and sharply concentrates the quality (the tables' tiny
 variances are exactly why small k already helps).
 
 The scaling is computed once and shared across the runs (it is
-deterministic); only the random choices differ.
+deterministic); so are the gathered per-edge scaled values the samplers
+draw from (one O(nnz) gather total, via
+:class:`~repro.core.choice.ChoiceSampler`) — only the uniform draws
+differ between repetitions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Literal
-
-import numpy as np
+from typing import Literal
 
 from repro._typing import SeedLike, rng_from
+from repro.core.choice import ChoiceSampler
 from repro.errors import MatchingError
 from repro.graph.csr import BipartiteGraph
 from repro.matching.matching import Matching
@@ -80,31 +82,44 @@ def best_of(
     """
     if k < 1:
         raise MatchingError(f"k must be >= 1, got {k}")
+    if method not in ("one-sided", "two-sided"):
+        raise MatchingError(
+            f"method must be 'one-sided' or 'two-sided', got {method!r}"
+        )
     rng = rng_from(seed)
     if scaling is None:
         scaling = scale_sinkhorn_knopp(graph, iterations)
 
-    if method == "one-sided":
-        from repro.core.onesided import one_sided_match
-
-        runner: Callable[..., object] = one_sided_match
-    elif method == "two-sided":
-        from repro.core.twosided import two_sided_match
-
-        runner = two_sided_match
-    else:
-        raise MatchingError(
-            f"method must be 'one-sided' or 'two-sided', got {method!r}"
-        )
+    # The per-edge scaled values are the same for every repetition, so
+    # gather them once; each run then only pays its uniform draws, the
+    # binary searches, and the matching extraction.  The samplers consume
+    # the random stream exactly as the per-run heuristics would, so
+    # results match run-by-run calls with the same master seed.
+    row_sampler = ChoiceSampler.for_rows(graph, scaling.dr, scaling.dc)
+    col_sampler = (
+        ChoiceSampler.for_cols(graph, scaling.dr, scaling.dc)
+        if method == "two-sided"
+        else None
+    )
 
     best_matching: Matching | None = None
     cards: list[int] = []
     for _ in range(k):
-        result = runner(graph, scaling=scaling, seed=rng)
-        card = result.matching.cardinality
+        row_choice = row_sampler.sample(rng)
+        if col_sampler is None:
+            from repro.core.onesided import cmatch_from_choices
+
+            cmatch = cmatch_from_choices(row_choice, graph.ncols)
+            matching = Matching.from_col_match(cmatch, graph.nrows)
+        else:
+            from repro.core.karp_sipser_mt import karp_sipser_mt
+
+            col_choice = col_sampler.sample(rng)
+            matching = karp_sipser_mt(row_choice, col_choice)
+        card = matching.cardinality
         cards.append(card)
         if best_matching is None or card > best_matching.cardinality:
-            best_matching = result.matching
+            best_matching = matching
     assert best_matching is not None
     return EnsembleResult(
         matching=best_matching,

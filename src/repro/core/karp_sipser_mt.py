@@ -51,6 +51,7 @@ __all__ = [
     "KarpSipserMTStats",
     "karp_sipser_mt",
     "karp_sipser_mt_vectorized",
+    "karp_sipser_mt_parallel",
     "karp_sipser_mt_simulated",
     "karp_sipser_mt_threaded",
     "choice_graph",
@@ -362,6 +363,105 @@ def karp_sipser_mt_vectorized(
                 ),
             )
             _tm.incr("ks_mt.vectorized.rounds", rounds)
+            sp.set(rounds=rounds, cardinality=total_pairs)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Backend-parallel engine
+# ----------------------------------------------------------------------
+def karp_sipser_mt_parallel(
+    row_choice: IndexArray,
+    col_choice: IndexArray,
+    *,
+    backend=None,
+) -> Matching:
+    """Round-based Algorithm 4 with the scans on an execution backend.
+
+    Same rounds as :func:`karp_sipser_mt_vectorized`, but the per-round
+    candidate scan (Phase 1) and the residual-column scan (Phase 2) run
+    as registered kernels (``ks_phase1_scan`` / ``ks_phase2_scan``) —
+    the expensive full-array reads — while the cheap commits (conflict
+    scatter, in-count decrements, the actual match writes) stay in the
+    parent between rounds.  The kernels only write their own slice of a
+    mask array, so rounds are race-free by construction, and the result
+    is bitwise identical to the vectorized engine on every backend.
+    """
+    from repro.parallel.backends import get_backend
+    from repro.parallel.kernels import run_kernel
+
+    be = get_backend(backend)
+    choice, nrows, ncols = unify_choices(row_choice, col_choice)
+    n = nrows + ncols
+    with _tm.span(
+        "karp_sipser_mt.parallel", n=n, backend=be.label
+    ) as sp:
+        rounds = 0
+        match = np.full(n, NIL, dtype=np.int64)
+
+        valid = choice != NIL
+        in_count = np.zeros(n, dtype=np.int64)
+        np.add.at(in_count, choice[valid], 1)
+        alive = valid.copy()
+        cand = np.empty(n, dtype=bool)
+
+        while True:
+            run_kernel(
+                "ks_phase1_scan", n,
+                {"alive": alive, "in_count": in_count, "match": match,
+                 "choice": choice, "cand": cand},
+                backend=be,
+            )
+            candidates = np.flatnonzero(cand)
+            if candidates.size == 0:
+                break
+            rounds += 1
+            targets = choice[candidates]
+            # Scatter resolves conflicts: last writer per target survives
+            # (same resolution as the vectorized engine).
+            winner_of = np.full(n, NIL, dtype=np.int64)
+            winner_of[targets] = candidates
+            winners = winner_of[targets] == candidates
+            w = candidates[winners]
+            t = targets[winners]
+            match[w] = t
+            match[t] = w
+            alive[candidates] = False
+            alive[w] = False
+            t_next = choice[t]
+            t_has_next = t_next != NIL
+            np.subtract.at(in_count, t_next[t_has_next], 1)
+
+        if _tm.enabled():
+            phase1_pairs = int(np.count_nonzero(match != NIL)) // 2
+
+        if ncols:
+            ok = np.empty(ncols, dtype=bool)
+            run_kernel(
+                "ks_phase2_scan", ncols,
+                {"choice": choice, "match": match, "ok": ok},
+                scalars={"nrows": nrows},
+                backend=be,
+            )
+            cu = nrows + np.flatnonzero(ok)
+            cv = choice[cu]
+            winner_of = np.full(n, NIL, dtype=np.int64)
+            winner_of[cv] = cu
+            keep = winner_of[cv] == cu
+            match[cu[keep]] = cv[keep]
+            match[cv[keep]] = cu[keep]
+
+        result = matching_from_unified(match, nrows, ncols)
+        if _tm.enabled():
+            total_pairs = int(np.count_nonzero(match != NIL)) // 2
+            _record_stats(
+                "parallel",
+                KarpSipserMTStats(
+                    phase1_pairs, total_pairs - phase1_pairs,
+                    chains=-1, longest_chain=-1,
+                ),
+            )
+            _tm.incr("ks_mt.parallel.rounds", rounds)
             sp.set(rounds=rounds, cardinality=total_pairs)
     return result
 

@@ -29,6 +29,7 @@ from repro.core.choice import scaled_col_choices, scaled_row_choices
 from repro.core.karp_sipser_mt import (
     KarpSipserMTStats,
     karp_sipser_mt,
+    karp_sipser_mt_parallel,
     karp_sipser_mt_simulated,
     karp_sipser_mt_threaded,
     karp_sipser_mt_vectorized,
@@ -94,7 +95,9 @@ def two_sided_match(
     engine:
         Karp–Sipser engine for the choice subgraph: ``"serial"``
         (reference), ``"vectorized"`` (round-based numpy — the fast path
-        for large instances), ``"simulated"`` (*n_threads* simulated
+        for large instances), ``"parallel"`` (the vectorized rounds with
+        the phase scans on *backend* — bitwise identical to
+        ``"vectorized"``), ``"simulated"`` (*n_threads* simulated
         threads under *sim_policy* interleaving — the concurrency-
         verification path), or ``"threaded"`` (real Python threads with
         locked atomics).
@@ -130,6 +133,10 @@ def two_sided_match(
             )
         elif engine == "vectorized":
             matching = karp_sipser_mt_vectorized(row_choice, col_choice)
+        elif engine == "parallel":
+            matching = karp_sipser_mt_parallel(
+                row_choice, col_choice, backend=be
+            )
         elif engine == "simulated":
             matching, stats = karp_sipser_mt_simulated(
                 row_choice,
@@ -145,8 +152,8 @@ def two_sided_match(
             )
         else:
             raise ShapeError(
-                f"engine must be 'serial', 'vectorized', 'simulated' or "
-                f"'threaded', got {engine!r}"
+                f"engine must be 'serial', 'vectorized', 'parallel', "
+                f"'simulated' or 'threaded', got {engine!r}"
             )
 
         if _tm.enabled():

@@ -26,10 +26,19 @@ from repro.parallel.backends import (
     SerialBackend,
     ThreadBackend,
     ProcessBackend,
+    default_worker_count,
     get_backend,
+)
+from repro.parallel.kernels import (
+    KERNELS,
+    Kernel,
+    kernel_chunk_override,
+    register_kernel,
+    run_kernel,
 )
 from repro.parallel.machine import MachineModel, ScheduleKind
 from repro.parallel.partition import chunk_ranges, static_partition
+from repro.parallel.shm import SharedMemoryBackend, WorkerCrashError
 from repro.parallel.simthread import SimScheduler, SchedulePolicy, run_threads
 from repro.parallel.mpi_sim import SimComm, run_ranks
 
@@ -39,7 +48,15 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "SharedMemoryBackend",
+    "WorkerCrashError",
+    "default_worker_count",
     "get_backend",
+    "KERNELS",
+    "Kernel",
+    "kernel_chunk_override",
+    "register_kernel",
+    "run_kernel",
     "MachineModel",
     "ScheduleKind",
     "chunk_ranges",

@@ -55,11 +55,26 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "default_worker_count",
     "get_backend",
 ]
 
 RangeFn = Callable[[int, int], Any]
 Parts = Sequence[tuple[int, int]]
+
+
+def default_worker_count() -> int:
+    """Worker count honouring CPU affinity masks.
+
+    CPU-pinned containers and CI runners often expose many cores through
+    ``os.cpu_count()`` while the process is only allowed to run on a few;
+    sizing pools by the raw count oversubscribes the allowed CPUs.  Use the
+    affinity mask where the platform has one, the plain count elsewhere.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _record_chunks(label: str, durations: Sequence[float]) -> None:
@@ -100,6 +115,13 @@ class Backend(abc.ABC):
     n_workers: int = 1
     #: Short name used in telemetry metric paths and fault addressing.
     label: str = "backend"
+    #: Whether workers see (and may write) the caller's arrays directly.
+    #: False for process-isolated backends, whose kernels must *return*
+    #: results instead of mutating closed-over arrays.
+    shares_memory: bool = True
+    #: Whether the backend executes registered kernels natively over
+    #: published shared-memory segments (see :mod:`repro.parallel.kernels`).
+    supports_kernels: bool = False
     #: Whether injected faults run inside a forked child (crash = exit).
     _faults_in_child: bool = False
 
@@ -111,7 +133,14 @@ class Backend(abc.ABC):
     def map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
         """Call ``fn`` on each range of a static partition of ``range(n)``
         and return the per-range results in partition order."""
-        parts = self.partition(n)
+        return self.map_chunks(fn, self.partition(n))
+
+    def map_chunks(self, fn: RangeFn, parts: Parts) -> list[Any]:
+        """Call ``fn`` on each given ``(lo, hi)`` range and return per-range
+        results in order.  Same fault-injection and telemetry altitude as
+        :meth:`map_ranges`, but the caller supplies the chunk grid — this is
+        how the kernel layer runs one *fixed* decomposition (independent of
+        worker count) on every backend."""
         plan = _faults.active_plan()
         if plan is not None:
             fn = _faulty_range_fn(
@@ -168,7 +197,7 @@ class ThreadBackend(Backend):
     label = "threads"
 
     def __init__(self, n_workers: int | None = None) -> None:
-        self.n_workers = (os.cpu_count() or 1) if n_workers is None else n_workers
+        self.n_workers = default_worker_count() if n_workers is None else n_workers
         if self.n_workers < 1:
             raise BackendError(f"n_workers must be >= 1, got {self.n_workers}")
         self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
@@ -224,12 +253,13 @@ class ProcessBackend(Backend):
     """
 
     label = "processes"
+    shares_memory = False
     _faults_in_child = True
 
     def __init__(self, n_workers: int | None = None) -> None:
         import multiprocessing as mp
 
-        self.n_workers = (os.cpu_count() or 1) if n_workers is None else n_workers
+        self.n_workers = default_worker_count() if n_workers is None else n_workers
         if self.n_workers < 1:
             raise BackendError(f"n_workers must be >= 1, got {self.n_workers}")
         try:
@@ -237,8 +267,7 @@ class ProcessBackend(Backend):
         except ValueError as exc:  # pragma: no cover - non-POSIX
             raise BackendError("ProcessBackend requires fork support") from exc
 
-    def map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
-        parts = self.partition(n)
+    def map_chunks(self, fn: RangeFn, parts: Parts) -> list[Any]:
         plan = _faults.active_plan()
         if plan is not None:
             fn = _faulty_range_fn(fn, plan, self.label, parts, in_child=True)
@@ -301,9 +330,10 @@ def get_backend(spec: "Backend | str | None") -> Backend:
 
     Accepts an existing :class:`Backend`, ``None`` (serial), or a string:
     ``"serial"``, ``"threads"``, ``"threads:4"``, ``"processes"``,
-    ``"processes:2"``, or ``"resilient:<inner spec>"`` (e.g.
-    ``"resilient:threads:4"``) for a default-configured
-    :class:`~repro.resilience.ResilientBackend` wrapper.
+    ``"processes:2"``, ``"shm"``, ``"shm:4"`` (persistent zero-copy worker
+    pool, :class:`~repro.parallel.shm.SharedMemoryBackend`), or
+    ``"resilient:<inner spec>"`` (e.g. ``"resilient:threads:4"``) for a
+    default-configured :class:`~repro.resilience.ResilientBackend` wrapper.
     """
     if spec is None:
         return SerialBackend()
@@ -323,4 +353,8 @@ def get_backend(spec: "Backend | str | None") -> Backend:
         return ThreadBackend(workers)
     if name == "processes":
         return ProcessBackend(workers)
+    if name == "shm":
+        from repro.parallel.shm import SharedMemoryBackend
+
+        return SharedMemoryBackend(workers)
     raise BackendError(f"unknown backend {name!r}")

@@ -1,0 +1,373 @@
+"""Registered data-parallel kernels shared by every execution backend.
+
+The hot loops of the library — the Sinkhorn–Knopp column/row sweeps, the
+scaled 1-out choice sampling, and the ``KarpSipserMT`` phase scans — are
+*registered kernels*: named module-level functions with the signature
+``fn(lo, hi, views)`` that read whole arrays from *views* and write only
+the ``[lo, hi)`` slice of their declared output arrays (plus a small
+per-chunk return value).  Registering them buys three things:
+
+* every backend runs the *same* function over the *same* chunk grid, so
+  results are bitwise identical across serial, threads, processes, and
+  the shared-memory pool by construction;
+* the :class:`~repro.parallel.shm.SharedMemoryBackend` can ship a kernel
+  *by name* to its persistent workers — the task message is a name plus
+  segment bindings and a range, never the arrays themselves;
+* process-isolated backends can still participate: the dispatcher has
+  their workers return the output slices and reassembles in the parent.
+
+Chunk grid
+----------
+
+``kernel_grid`` decomposes ``range(n)`` into chunks that depend only on
+``n`` and the kernel's registered granularity — never on the backend or
+its worker count.  Chunk-local arithmetic (e.g. the choice kernels'
+prefix sums) therefore produces identical floating-point results on any
+backend; dynamic load balance comes from *scheduling* the fixed chunks,
+not from reshaping them.
+
+Kernel contract
+---------------
+
+* outputs must not alias inputs — retries and corrupt-result recovery
+  re-execute a chunk and must be idempotent;
+* a kernel may read any element of any input view (gathers are fine) but
+  may write only ``out[lo:hi]`` slices of its declared outputs;
+* the per-chunk return value should be a scalar or a small tuple — on
+  the shared-memory pool it crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.errors import BackendError
+from repro.matching.matching import NIL
+from repro.parallel.backends import Backend, get_backend
+from repro.parallel.partition import chunk_ranges
+from repro.parallel.reduction import segment_sums
+from repro.resilience import faults as _faults
+
+__all__ = [
+    "Kernel",
+    "KERNELS",
+    "register_kernel",
+    "kernel_grid",
+    "kernel_chunk_override",
+    "run_kernel",
+]
+
+#: Below this chunk size the per-chunk dispatch overhead dominates the
+#: numpy work, so small inputs run as a single chunk.
+DEFAULT_MIN_CHUNK = 8192
+#: Upper bound on the number of chunks per call — ~4x oversubscription
+#: for a typical 8-worker pool, which is what the dynamic chunk queue
+#: needs to absorb skewed-degree stragglers.
+DEFAULT_TARGET_CHUNKS = 32
+
+RangeKernel = Callable[[int, int, Mapping[str, Any]], Any]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A registered kernel: the function plus its dispatch metadata."""
+
+    name: str
+    fn: RangeKernel
+    #: View names whose ``[lo, hi)`` slice the kernel writes.
+    outputs: tuple[str, ...] = ()
+    min_chunk: int = DEFAULT_MIN_CHUNK
+    target_chunks: int = DEFAULT_TARGET_CHUNKS
+
+
+#: The global registry, keyed by kernel name.  Populated at import time —
+#: shared-memory workers fork with this registry and look kernels up by
+#: name, so kernels must be registered before the worker pool spawns.
+KERNELS: dict[str, Kernel] = {}
+
+
+def register_kernel(
+    name: str,
+    *,
+    outputs: tuple[str, ...] = (),
+    min_chunk: int = DEFAULT_MIN_CHUNK,
+    target_chunks: int = DEFAULT_TARGET_CHUNKS,
+) -> Callable[[RangeKernel], RangeKernel]:
+    """Decorator registering a ``fn(lo, hi, views)`` kernel under *name*."""
+
+    def deco(fn: RangeKernel) -> RangeKernel:
+        if name in KERNELS:
+            raise BackendError(f"kernel {name!r} is already registered")
+        KERNELS[name] = Kernel(
+            name=name, fn=fn, outputs=tuple(outputs),
+            min_chunk=min_chunk, target_chunks=target_chunks,
+        )
+        return fn
+
+    return deco
+
+
+#: Test hook: a forced chunk size (see :func:`kernel_chunk_override`).
+_CHUNK_OVERRIDE: int | None = None
+
+
+@contextlib.contextmanager
+def kernel_chunk_override(chunk: int) -> Iterator[None]:
+    """Force every kernel grid to chunk size *chunk* inside the block.
+
+    Exists so equivalence tests can exercise multi-chunk execution on
+    graphs far below :data:`DEFAULT_MIN_CHUNK`.  All backends compared
+    inside one block see the same grid, so bitwise identity still holds.
+    """
+    global _CHUNK_OVERRIDE
+    previous = _CHUNK_OVERRIDE
+    _CHUNK_OVERRIDE = chunk
+    try:
+        yield
+    finally:
+        _CHUNK_OVERRIDE = previous
+
+
+def kernel_grid(n: int, kern: Kernel) -> list[tuple[int, int]]:
+    """The fixed chunk decomposition for a size-*n* run of *kern*.
+
+    Depends only on ``(n, kernel)`` — never on the backend or worker
+    count — which is what makes chunk-local floating-point arithmetic
+    backend-invariant.
+    """
+    if n <= 0:
+        return []
+    chunk = _CHUNK_OVERRIDE
+    if chunk is None:
+        chunk = max(kern.min_chunk, -(-n // kern.target_chunks))
+    return chunk_ranges(n, chunk)
+
+
+def run_kernel(
+    name: str,
+    n: int,
+    arrays: dict[str, np.ndarray],
+    *,
+    backend: Backend | str | None = None,
+    scalars: Mapping[str, Any] | None = None,
+) -> list[Any]:
+    """Run registered kernel *name* over ``range(n)`` on *backend*.
+
+    *arrays* maps view names to numpy arrays (inputs and outputs alike);
+    *scalars* adds plain values to the views.  Output arrays are written
+    in place; the list of per-chunk return values comes back in grid
+    order.  Dispatch:
+
+    * a backend with ``supports_kernels`` (the shared-memory pool) ships
+      ``(kernel name, segment bindings, range)`` tasks to its persistent
+      workers — zero array traffic;
+    * a ``shares_memory`` backend (serial/threads) runs the kernel
+      in-process, writing outputs directly;
+    * anything else (process-isolated workers) returns each chunk's
+      output slices through its result channel and the parent
+      reassembles them here.
+    """
+    kern = KERNELS.get(name)
+    if kern is None:
+        raise BackendError(f"no kernel registered under {name!r}")
+    be = get_backend(backend)
+    parts = kernel_grid(n, kern)
+    if not parts:
+        return []
+    if be.supports_kernels:
+        return be.run_kernel(kern, parts, arrays, dict(scalars or {}))
+
+    views: dict[str, Any] = dict(arrays)
+    if scalars:
+        views.update(scalars)
+    if be.shares_memory:
+        return be.map_chunks(lambda lo, hi: kern.fn(lo, hi, views), parts)
+
+    # Process-isolated workers mutate copy-on-write pages the parent never
+    # sees, so have each chunk return its output slices for reassembly.
+    def isolated(lo: int, hi: int) -> tuple[Any, dict[str, np.ndarray]]:
+        ret = kern.fn(lo, hi, views)
+        return ret, {nm: views[nm][lo:hi] for nm in kern.outputs}
+
+    rets: list[Any] = []
+    for payload, (lo, hi) in zip(be.map_chunks(isolated, parts), parts):
+        if _faults.is_corrupted(payload):
+            rets.append(payload)
+            continue
+        ret, slices = payload
+        for nm, piece in slices.items():
+            arrays[nm][lo:hi] = piece
+        rets.append(ret)
+    return rets
+
+
+# ----------------------------------------------------------------------
+# Shared numeric helpers
+# ----------------------------------------------------------------------
+def _reciprocal_or_one(sums: FloatArray) -> FloatArray:
+    """``1/sums`` with empty (zero-sum) lines pinned to factor 1."""
+    out = np.ones_like(sums)
+    np.divide(1.0, sums, out=out, where=sums > 0.0)
+    return out
+
+
+def _segment_pick(
+    out: np.ndarray,
+    lo: int,
+    hi: int,
+    ptr: np.ndarray,
+    ind_slice: np.ndarray,
+    weights: np.ndarray,
+    base_offset: int,
+    draws: np.ndarray,
+) -> None:
+    """One weighted pick per segment in ``[lo, hi)`` from chunk-local data.
+
+    *ind_slice* and *weights* cover edges ``ptr[lo]:ptr[hi]`` only;
+    *base_offset* is ``ptr[lo]``.  The prefix sums are chunk-local, so the
+    result depends on the chunk grid — which :func:`kernel_grid` fixes
+    per ``(n, kernel)``, keeping picks backend-invariant.
+    """
+    starts = ptr[lo:hi] - base_offset
+    ends = ptr[lo + 1 : hi + 1] - base_offset
+    cum = np.cumsum(weights)
+    prefix = np.concatenate([[0.0], cum])
+    base = prefix[starts]
+    totals = prefix[ends] - base
+    targets = base + draws[lo:hi] * totals
+    pos = np.searchsorted(cum, targets, side="left")
+    # Guard against floating-point drift at segment boundaries.
+    pos = np.clip(pos, starts, ends - 1)
+    picked = ind_slice[pos]
+    picked[totals <= 0.0] = NIL
+    picked[starts == ends] = NIL
+    out[lo:hi] = picked
+
+
+# ----------------------------------------------------------------------
+# Sinkhorn–Knopp sweeps
+# ----------------------------------------------------------------------
+@register_kernel("sk_sweep", outputs=("out",))
+def _sk_sweep(lo: int, hi: int, v: Mapping[str, Any]) -> None:
+    """One SK half-sweep for segments ``[lo, hi)``.
+
+    Fuses the gather of the opposite-side factors with the segment sums
+    (only the chunk's own edges are touched) and the reciprocal:
+    ``out[i] = 1 / sum(opp[ind[ptr[i]:ptr[i+1]]])``.
+    """
+    ptr = v["ptr"]
+    s = ptr[lo]
+    w = v["opp"][v["ind"][s : ptr[hi]]]
+    sums = segment_sums(w, ptr[lo : hi + 1] - s)
+    v["out"][lo:hi] = _reciprocal_or_one(sums)
+
+
+@register_kernel("sk_sweep_err", outputs=("out",))
+def _sk_sweep_err(lo: int, hi: int, v: Mapping[str, Any]) -> float:
+    """Fused SK half-sweep plus convergence error for segments ``[lo, hi)``.
+
+    Computes the segment sums once and uses them twice: the chunk's
+    column-sum error against the *current* factors ``mine`` (returned),
+    and the *next* factors written to ``out``.  This halves the gather
+    traffic of a measure-then-sweep iteration.
+    """
+    ptr = v["ptr"]
+    s = ptr[lo]
+    w = v["opp"][v["ind"][s : ptr[hi]]]
+    sums = segment_sums(w, ptr[lo : hi + 1] - s)
+    nonempty = ptr[lo + 1 : hi + 1] > ptr[lo:hi]
+    if nonempty.any():
+        scaled = sums[nonempty] * v["mine"][lo:hi][nonempty]
+        err = float(np.abs(scaled - 1.0).max())
+    else:
+        err = 0.0
+    v["out"][lo:hi] = _reciprocal_or_one(sums)
+    return err
+
+
+# ----------------------------------------------------------------------
+# Scaled 1-out choice sampling
+# ----------------------------------------------------------------------
+@register_kernel("choice_scaled", outputs=("out",))
+def _choice_scaled(lo: int, hi: int, v: Mapping[str, Any]) -> None:
+    """Weighted pick per segment with weights gathered in-kernel.
+
+    ``out[i]`` is drawn from ``ind[ptr[i]:ptr[i+1]]`` with probability
+    proportional to ``opp[ind[...]]`` — the per-edge scaled values are
+    never materialised globally.  ``draws[i]`` in ``(0, 1]`` supplies the
+    randomness (generated once in the parent, so the random stream is
+    consumed identically on every backend).
+    """
+    ptr = v["ptr"]
+    s = ptr[lo]
+    ind_slice = v["ind"][s : ptr[hi]]
+    _segment_pick(
+        v["out"], lo, hi, ptr, ind_slice, v["opp"][ind_slice], s, v["draws"]
+    )
+
+
+@register_kernel("choice_flat", outputs=("out",))
+def _choice_flat(lo: int, hi: int, v: Mapping[str, Any]) -> None:
+    """Weighted pick per segment from pre-gathered per-edge *weights*.
+
+    The ensemble runner gathers the scaled values once and reuses them
+    across repetitions; generic CSR-like structures (e.g. the undirected
+    reduction) use this variant too.
+    """
+    ptr = v["ptr"]
+    s = ptr[lo]
+    e = ptr[hi]
+    _segment_pick(
+        v["out"], lo, hi, ptr, v["ind"][s:e], v["weights"][s:e], s,
+        v["draws"],
+    )
+
+
+# ----------------------------------------------------------------------
+# KarpSipserMT phase scans
+# ----------------------------------------------------------------------
+@register_kernel("ks_phase1_scan", outputs=("cand",))
+def _ks_phase1_scan(lo: int, hi: int, v: Mapping[str, Any]) -> None:
+    """Mark this range's usable out-one vertices into ``cand[lo:hi]``.
+
+    A vertex is a candidate when it is alive, nothing unmatched points at
+    it, it is unmatched, and its chosen target is unmatched.  Reads are
+    scattered (``match`` at the targets) but writes stay in the slice, so
+    rounds are race-free; the commit (conflict scatter, in-count
+    decrements) happens in the parent between rounds.
+    """
+    cand = v["cand"]
+    cand[lo:hi] = False
+    match = v["match"]
+    idx = np.flatnonzero(
+        v["alive"][lo:hi]
+        & (v["in_count"][lo:hi] == 0)
+        & (match[lo:hi] == NIL)
+    )
+    if idx.size:
+        idx = idx + lo
+        idx = idx[match[v["choice"][idx]] == NIL]
+        cand[idx] = True
+
+
+@register_kernel("ks_phase2_scan", outputs=("ok",))
+def _ks_phase2_scan(lo: int, hi: int, v: Mapping[str, Any]) -> None:
+    """Mark residual columns ``[lo, hi)`` whose choice edge is matchable.
+
+    Phase 2 of Algorithm 4: after Phase 1 the column-choice edges of the
+    residual graph form a maximum matching of it (Lemma 3), so the scan
+    is conflict-free on valid inputs.  Column ``j`` is unified vertex
+    ``nrows + j``.
+    """
+    nrows = v["nrows"]
+    match = v["match"]
+    u = np.arange(nrows + lo, nrows + hi, dtype=np.int64)
+    t = v["choice"][u]
+    m = (t != NIL) & (match[u] == NIL)
+    m[m] &= match[t[m]] == NIL
+    v["ok"][lo:hi] = m

@@ -35,6 +35,11 @@ def segment_sums(values: FloatArray, ptr: IndexArray) -> FloatArray:
     if values.shape[0] == 0:
         return out
     nonempty = ptr[1:] > ptr[:-1]
+    if nonempty.all():
+        # Fast path (the common case on cleaned graphs): every ptr[:-1]
+        # entry is a valid start of its own segment, so reduceat applies
+        # directly — no mask allocation, no scatter.
+        return np.add.reduceat(values, ptr[:-1])
     if not nonempty.any():
         return out
     # reduceat only at the starts of non-empty segments: consecutive

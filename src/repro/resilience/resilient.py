@@ -29,6 +29,13 @@ immediately — retrying a deterministic bug only hides it.
 Telemetry: every fault, failure, retry, and recovery increments a
 ``resilience.*`` counter and emits a span event, so a chaos run's story
 is reconstructable from the event trace alone.
+
+Composing with :class:`~repro.parallel.SharedMemoryBackend`
+(``"resilient:shm"``): attempts run on supervisor-owned threads rather
+than the inner pool's pre-forked workers (a retry closure cannot be
+shipped to a worker that only executes registered kernels), so the
+wrapper provides the retry/deadline contract while kernels still write
+their slices into the caller's arrays in place.
 """
 
 from __future__ import annotations
@@ -140,6 +147,11 @@ class ResilientBackend(Backend):
         self.jitter = jitter
         self._fork = isinstance(self.inner, ProcessBackend)
         self._ctx = self.inner._ctx if self._fork else None
+        # Thread attempts run the kernel closure in this process, so
+        # in-place writes land in the caller's arrays; forked attempts
+        # keep side effects in the child.  The kernel dispatcher
+        # (:func:`repro.parallel.kernels.run_kernel`) keys off this.
+        self.shares_memory = not self._fork
         self._rng = random.Random(seed)
         self._rng_lock = threading.Lock()
 
@@ -147,6 +159,12 @@ class ResilientBackend(Backend):
 
     def map_ranges(self, fn: RangeFn, n: int) -> list[Any]:
         return self._map_ranges(fn, self.partition(n))
+
+    def map_chunks(self, fn: RangeFn, parts) -> list[Any]:
+        # Override the base implementation: the supervisor loop does its
+        # own per-attempt fault matching, so the base class's one-shot
+        # fault wrapping must not apply on top of it.
+        return self._map_ranges(fn, list(parts))
 
     def _map_ranges(self, fn: RangeFn, parts) -> list[Any]:
         if not parts:

@@ -55,19 +55,12 @@ from repro import telemetry as _tm
 from repro._typing import FloatArray
 from repro.errors import ConvergenceWarning, ScalingError
 from repro.graph.csr import BipartiteGraph
-from repro.parallel.backends import Backend, SerialBackend, get_backend
-from repro.parallel.reduction import segment_sums, segment_sums_parallel
+from repro.parallel.backends import Backend, get_backend
+from repro.parallel.kernels import _reciprocal_or_one, run_kernel
 from repro.scaling.convergence import column_sum_error
 from repro.scaling.result import ScalingResult
 
 __all__ = ["scale_sinkhorn_knopp", "sinkhorn_knopp_work_profile"]
-
-
-def _reciprocal_or_one(sums: FloatArray) -> FloatArray:
-    """``1/sums`` with empty (zero-sum) lines pinned to factor 1."""
-    out = np.ones_like(sums)
-    np.divide(1.0, sums, out=out, where=sums > 0.0)
-    return out
 
 
 def _lacks_total_support(
@@ -154,27 +147,41 @@ def scale_sinkhorn_knopp(
         raise ScalingError(f"tolerance must be positive, got {tolerance}")
 
     be = get_backend(backend)
-    use_parallel = not isinstance(be, SerialBackend)
 
     dr = np.ones(graph.nrows, dtype=np.float64)
     dc = np.ones(graph.ncols, dtype=np.float64)
+    # Double buffer for the fused sweep: each fused call measures the
+    # error of the *current* dc and writes the next column factors here;
+    # they are committed (by swap) only if the iteration proceeds.
+    dc_next = np.empty_like(dc)
     history: list[float] = []
 
-    def col_sweep() -> None:
-        gathered = dr[graph.row_ind]
-        if use_parallel:
-            sums = segment_sums_parallel(gathered, graph.col_ptr, be)
-        else:
-            sums = segment_sums(gathered, graph.col_ptr)
-        dc[:] = _reciprocal_or_one(sums)
+    def col_sweep_with_error() -> float:
+        """One fused column pass: the convergence error of the current
+        ``(dr, dc)`` and, as a side effect, the next ``dc`` in
+        ``dc_next``.  One gather+reduce serves both, which cuts a full
+        SK iteration from three O(nnz) passes to two."""
+        errs = run_kernel(
+            "sk_sweep_err", graph.ncols,
+            {
+                "ptr": graph.col_ptr, "ind": graph.row_ind,
+                "opp": dr, "mine": dc, "out": dc_next,
+            },
+            backend=be,
+        )
+        # np.max propagates NaN (unlike builtin max), which the
+        # non-finite fallback below relies on.
+        return float(np.max(errs)) if errs else 0.0
 
     def row_sweep() -> None:
-        gathered = dc[graph.col_ind]
-        if use_parallel:
-            sums = segment_sums_parallel(gathered, graph.row_ptr, be)
-        else:
-            sums = segment_sums(gathered, graph.row_ptr)
-        dr[:] = _reciprocal_or_one(sums)
+        run_kernel(
+            "sk_sweep", graph.nrows,
+            {
+                "ptr": graph.row_ptr, "ind": graph.col_ind,
+                "opp": dc, "out": dr,
+            },
+            backend=be,
+        )
 
     limit = iterations if iterations is not None else max_iterations
     requested_limit = limit
@@ -198,17 +205,15 @@ def scale_sinkhorn_knopp(
         "scaling.sinkhorn_knopp",
         nrows=graph.nrows, ncols=graph.ncols, nnz=graph.nnz,
     ) as sp:
-        error = column_sum_error(graph, dr, dc, be if use_parallel else None)
+        error = col_sweep_with_error()
         for _ in range(limit):
             if tolerance is not None and error <= tolerance:
                 converged = True
                 break
-            col_sweep()
+            dc, dc_next = dc_next, dc  # commit the fused column sweep
             row_sweep()
             done += 1
-            error = column_sum_error(
-                graph, dr, dc, be if use_parallel else None
-            )
+            error = col_sweep_with_error()
             if track_history:
                 history.append(error)
             if _tm.enabled():
@@ -227,9 +232,7 @@ def scale_sinkhorn_knopp(
             dr[:] = 1.0
             dc[:] = 1.0
             converged = False
-            error = column_sum_error(
-                graph, dr, dc, be if use_parallel else None
-            )
+            error = column_sum_error(graph, dr, dc)
         if rung == "capped" and not converged and (
             limit < requested_limit or tolerance is not None
         ):
