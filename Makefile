@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-regress bench-regress-smoke chaos chaos-smoke experiments verify examples clean
+.PHONY: install test bench bench-regress bench-regress-smoke chaos chaos-smoke serve serve-soak serve-smoke experiments verify examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -26,6 +26,16 @@ chaos:
 
 chaos-smoke:
 	timeout 300 $(PYTHON) -m repro chaos --smoke
+
+serve:
+	$(PYTHON) -m repro serve
+
+serve-soak:
+	timeout 600 $(PYTHON) -m repro serve --soak 200 --overload 2 --chaos
+
+serve-smoke:
+	$(PYTHON) -m pytest -m serve -q
+	REPRO_BACKEND=shm timeout 300 $(PYTHON) -m repro serve --soak 200 --overload 2
 
 experiments:
 	$(PYTHON) -m repro.experiments all --out results.json

@@ -75,6 +75,11 @@ SIZES = {
     "shm_scale_sk": (120_000, 8_000),
     "shm_onesided": (120_000, 8_000),
     "shm_e2e_twosided": (120_000, 8_000),
+    # Serving layer: fixed-load soak through a live MatchingServer
+    # (wall + p99 of accepted requests) and the shed-rate cell under
+    # deliberate overload of a tiny admission queue.
+    "serve_soak": (3_000, 800),
+    "serve_shed": (1_000, 400),
 }
 
 
@@ -214,6 +219,78 @@ def run_workloads(smoke: bool, backend_spec: str = "serial") -> dict[str, dict]:
         )
     finally:
         shm_be.close()
+
+    # Serving layer.  serve_soak/serve_p99 run a fixed, non-shedding load
+    # (clients == workers) through a live MatchingServer — the soak's
+    # wall clock is the gated timing.  serve_p99 (a single worst-case
+    # sample at millisecond scale, dominated by scheduler jitter) and
+    # serve_shed (shedding is configuration-dependent by design) are
+    # informational — no "seconds" key, so they never gate.
+    from repro.serve import ServerConfig, run_soak
+
+    n = SIZES["serve_soak"][idx]
+    requests = 40 if smoke else 200
+    soak = run_soak(
+        requests,
+        backend=backend_spec,
+        n=n,
+        degree=4,
+        iterations=2,
+        deadline=10.0,
+        overload=1.0,
+        seed=0,
+        config=ServerConfig(max_queue=64, default_deadline=10.0),
+    )
+    if not soak.passed:
+        raise AssertionError(
+            "serve soak violated the service contract:\n" + soak.render()
+        )
+    results["serve_soak"] = {
+        "n": n,
+        "seconds": soak.elapsed,
+        "requests": requests,
+        "throughput": soak.throughput,
+    }
+    results["serve_p99"] = {"n": n, "p99_seconds": soak.percentile(0.99)}
+    print(
+        f"  {'serve_soak':<22} n={n:<7} {soak.elapsed * 1e3:9.2f} ms "
+        f"({soak.throughput:.1f} req/s)"
+    )
+    print(
+        f"  {'serve_p99':<22} n={n:<7} "
+        f"{soak.percentile(0.99) * 1e3:9.2f} ms"
+    )
+
+    n = SIZES["serve_shed"][idx]
+    shed_requests = 40 if smoke else 120
+    shed_soak = run_soak(
+        shed_requests,
+        backend=backend_spec,
+        n=n,
+        degree=4,
+        iterations=1,
+        deadline=10.0,
+        overload=4.0,  # 4 clients vs 1 worker + 1 queue slot = 2x capacity
+        seed=0,
+        config=ServerConfig(
+            max_queue=1, n_workers=1, default_deadline=10.0
+        ),
+    )
+    if not shed_soak.passed:
+        raise AssertionError(
+            "serve shed soak violated the service contract:\n"
+            + shed_soak.render()
+        )
+    results["serve_shed"] = {
+        "n": n,
+        "requests": shed_requests,
+        "shed": shed_soak.shed,
+        "shed_rate": shed_soak.shed_rate,
+    }
+    print(
+        f"  {'serve_shed':<22} n={n:<7} shed={shed_soak.shed}/"
+        f"{shed_requests} ({shed_soak.shed_rate:.0%})"
+    )
 
     print("quality workloads:")
     trials = 3 if smoke else 5

@@ -11,6 +11,8 @@ Subcommands::
     python -m repro telemetry <file.mtx> [--method two-sided] [--trace]
                               [--jsonl trace.jsonl]
     python -m repro chaos    [--n 600] [--deadline 0.3] [--smoke]
+    python -m repro serve    [--backend shm:4] [--soak 200] [--overload 2]
+                             [--chaos]
 
 Matrices are MatrixMarket coordinate files (``.mtx``) or the library's
 ``.npz`` cache format (auto-detected by extension).
@@ -230,6 +232,49 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the matching service: JSON-lines daemon or soak mode.
+
+    Without ``--soak`` this reads JSON-lines requests from stdin until
+    EOF (see ``repro.serve.daemon``).  With ``--soak N`` it hammers an
+    in-process server with N requests at ``--overload`` times capacity
+    and exits 1 if the service contract is violated; ``--chaos`` adds a
+    fault storm underneath.  ``--backend`` defaults from the
+    ``REPRO_BACKEND`` environment variable (serial when unset).
+    """
+    import os
+
+    from repro.serve import ServerConfig, run_soak, serve_forever
+
+    backend = args.backend
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND") or None
+    if args.soak is None:
+        return serve_forever(backend)
+    config = ServerConfig(
+        default_deadline=args.deadline,
+        chunk_deadline=max(0.2, args.deadline / 2),
+        max_queue=args.max_queue,
+    )
+    fault_plan = None
+    if args.chaos:
+        from repro.resilience.chaos import standard_schedules
+
+        fault_plan = standard_schedules()["storm"]
+    report = run_soak(
+        args.soak,
+        backend=backend,
+        n=args.n,
+        deadline=args.deadline,
+        overload=args.overload,
+        seed=args.seed,
+        config=config,
+        fault_plan=fault_plan,
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def cmd_dm(args: argparse.Namespace) -> int:
     from repro.graph.dm import CoarseDM, dulmage_mendelsohn
 
@@ -382,6 +427,36 @@ def main(argv: list[str] | None = None) -> int:
         help="small serial-only sweep (the CI smoke configuration)",
     )
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="matching service: JSON-lines daemon, or --soak N overload test",
+    )
+    p_serve.add_argument(
+        "--backend", default=None,
+        help="backend spec (e.g. shm:4); default: $REPRO_BACKEND or serial",
+    )
+    p_serve.add_argument(
+        "--soak", type=int, default=None, metavar="N",
+        help="soak mode: submit N requests at --overload x capacity, "
+             "audit the service contract, exit 1 on violation",
+    )
+    p_serve.add_argument(
+        "--overload", type=float, default=2.0,
+        help="client threads as a multiple of serving capacity (soak mode)",
+    )
+    p_serve.add_argument(
+        "--chaos", action="store_true",
+        help="inject the storm fault schedule during the soak",
+    )
+    p_serve.add_argument("--n", type=int, default=1500,
+                         help="soak graph size")
+    p_serve.add_argument("--deadline", type=float, default=1.0,
+                         help="per-request budget in seconds")
+    p_serve.add_argument("--max-queue", type=int, default=16,
+                         dest="max_queue")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_gen = sub.add_parser("generate", help="generate a test matrix")
     p_gen.add_argument("kind")

@@ -88,6 +88,7 @@ def one_sided_match(
     seed: SeedLike = None,
     backend: Backend | str | None = None,
     side: str = "row",
+    deadline: float | None = None,
 ) -> OneSidedResult:
     """Run OneSidedMatch on *graph*.
 
@@ -109,6 +110,14 @@ def one_sided_match(
         ``"row"`` (default, the paper's formulation: rows choose columns)
         or ``"column"`` — useful on rectangular matrices where the smaller
         side should do the choosing.
+    deadline:
+        Total wall-clock budget in seconds for this call.  Installs a
+        :func:`~repro.resilience.request_deadline`, which a
+        :class:`~repro.resilience.ResilientBackend` *backend* enforces
+        on every chunk attempt and retry backoff (typed
+        :class:`~repro.errors.DeadlineExceededError` on exhaustion).
+        With other backends the budget is advisory.  Nested inside an
+        ambient budget the tighter one wins.
 
     Returns
     -------
@@ -116,9 +125,13 @@ def one_sided_match(
         The matching (valid on any input), the scaling used, and the raw
         choices.
     """
+    from repro.resilience.deadline import request_deadline
+
     be = get_backend(backend)
     rng = rng_from(seed)
-    with _tm.span("core.one_sided_match", side=side) as sp:
+    with request_deadline(deadline), _tm.span(
+        "core.one_sided_match", side=side
+    ) as sp:
         if scaling is None:
             scaling = scale_sinkhorn_knopp(graph, iterations, backend=be)
         with _tm.span("choices"):

@@ -77,6 +77,7 @@ def two_sided_match(
     engine: str = "serial",
     n_threads: int = 4,
     sim_policy: SchedulePolicy | str = SchedulePolicy.RANDOM,
+    deadline: float | None = None,
 ) -> TwoSidedResult:
     """Run TwoSidedMatch on *graph*.
 
@@ -105,6 +106,13 @@ def two_sided_match(
         Thread count for the non-serial engines.
     sim_policy:
         Interleaving policy for the simulated engine.
+    deadline:
+        Total wall-clock budget in seconds for this call, enforced per
+        chunk attempt and retry backoff when *backend* is a
+        :class:`~repro.resilience.ResilientBackend` (typed
+        :class:`~repro.errors.DeadlineExceededError` on exhaustion);
+        advisory otherwise.  Nested inside an ambient budget the
+        tighter one wins.
 
     Returns
     -------
@@ -112,9 +120,13 @@ def two_sided_match(
         A matching that is maximum *on the choice subgraph* (for every
         engine and schedule), the scaling, and the raw choices.
     """
+    from repro.resilience.deadline import request_deadline
+
     be = get_backend(backend)
     rng = rng_from(seed)
-    with _tm.span("core.two_sided_match", engine=engine) as sp:
+    with request_deadline(deadline), _tm.span(
+        "core.two_sided_match", engine=engine
+    ) as sp:
         if scaling is None:
             scaling = scale_sinkhorn_knopp(graph, iterations, backend=be)
 

@@ -20,6 +20,10 @@ __all__ = [
     "DeadlineExceededError",
     "ResultCorruptionError",
     "RetryExhaustedError",
+    "ServiceError",
+    "OverloadedError",
+    "CircuitOpenError",
+    "ServerClosedError",
     "ExperimentError",
     "TelemetryError",
 ]
@@ -117,6 +121,39 @@ class RetryExhaustedError(BackendError):
     The final underlying failure (crash, deadline, corruption) is chained
     as ``__cause__``.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for matching-service rejections (:mod:`repro.serve`).
+
+    Every way the server declines or abandons a request is a subclass of
+    this (or of :class:`BackendError` for execution failures), so a
+    client can always distinguish "the service protected itself" from
+    "your request was wrong".
+    """
+
+
+class OverloadedError(ServiceError):
+    """The server shed the request because its admission queue is full.
+
+    Load shedding is deliberate: a bounded queue plus typed rejection is
+    what keeps accepted requests inside their deadline budgets under
+    sustained overload.  Clients should back off and retry.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """The server's circuit breaker is open; the request failed fast.
+
+    Raised after consecutive worker crashes or deadline misses opened the
+    breaker.  The underlying pool respawns in the background; once the
+    cooldown elapses, half-open probe requests test the path and close
+    the breaker again.
+    """
+
+
+class ServerClosedError(ServiceError):
+    """The server is draining or stopped and accepts no new requests."""
 
 
 class ExperimentError(ReproError):

@@ -171,6 +171,27 @@ class Backend(abc.ABC):
     def close(self) -> None:
         """Release worker resources (no-op by default)."""
 
+    def drain(self, timeout: float | None = None) -> bool:
+        """Finish in-flight work, then release resources.
+
+        The in-process backends have no asynchronous in-flight state —
+        every map call returns before its caller does — so the default is
+        simply :meth:`close`.  Pool backends override this to let queued
+        chunks complete before the pool stops.  Returns ``True`` when the
+        backend drained (and closed) within *timeout*.
+        """
+        self.close()
+        return True
+
+    def healthy(self) -> bool:
+        """Liveness probe: ``False`` once workers are known dead.
+
+        In-process backends are healthy by definition; pool backends
+        override this to report worker liveness without touching the
+        work queues.
+        """
+        return True
+
     def __enter__(self) -> "Backend":
         return self
 

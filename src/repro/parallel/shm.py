@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import atexit
 import pickle
+import threading
 import time
 from multiprocessing import resource_tracker
 from multiprocessing.shared_memory import SharedMemory
@@ -237,6 +238,14 @@ class SharedMemoryBackend(Backend):
         self._result_q: Any = None
         self._call_counter = 0
         self._fallback_pool = None
+        # One kernel call at a time: the task/result queues cannot
+        # multiplex acks of concurrent calls (a second caller would steal
+        # or drop the first one's), so concurrent callers — e.g. several
+        # serving workers sharing one pool — queue here instead.  The
+        # same lock is the drain barrier: ``drain()`` acquires it, so it
+        # only proceeds once in-flight chunks have been collected.
+        self._call_lock = threading.Lock()
+        self._draining = False
         #: Serialized byte size of each task of the most recent kernel
         #: call, and the raw task tuples — the no-array-pickling
         #: regression test reads these.
@@ -256,6 +265,24 @@ class SharedMemoryBackend(Backend):
         """Execute *kern* over *parts* on the pool; returns per-chunk
         return values in grid order.  Called via
         :func:`repro.parallel.kernels.run_kernel`."""
+        if self._draining:
+            raise BackendError(
+                "SharedMemoryBackend is draining; no new kernel calls"
+            )
+        with self._call_lock:
+            return self._run_kernel_locked(kern, parts, arrays, scalars)
+
+    def _run_kernel_locked(
+        self,
+        kern: Kernel,
+        parts: Parts,
+        arrays: dict[str, np.ndarray],
+        scalars: Mapping[str, Any],
+    ) -> list[Any]:
+        if self._draining:
+            raise BackendError(
+                "SharedMemoryBackend is draining; no new kernel calls"
+            )
         self._ensure_pool()
         plan = _faults.active_plan()
         specs = (
@@ -427,6 +454,32 @@ class SharedMemoryBackend(Backend):
         self._procs = []
         self._task_q = None
         self._result_q = None
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Finish the in-flight kernel call, then close the backend.
+
+        Sets the draining flag (new kernel calls are rejected with a
+        typed :class:`~repro.errors.BackendError`), waits for the current
+        call — all its queued chunks included — to be collected, then
+        stops the pool and unlinks every segment.  Returns ``True`` when
+        that completed within *timeout* (``None`` = wait forever);
+        ``False`` leaves the backend draining but open, so the caller can
+        retry or force :meth:`close`.
+        """
+        self._draining = True
+        if not self._call_lock.acquire(
+            timeout=-1 if timeout is None else timeout
+        ):
+            return False
+        try:
+            self.close()
+        finally:
+            self._call_lock.release()
+        return True
+
+    def healthy(self) -> bool:
+        """True while the pool can serve: not spawned yet, or all alive."""
+        return not self._procs or all(p.is_alive() for p in self._procs)
 
     def close(self) -> None:
         """Stop the pool and unlink every published segment."""

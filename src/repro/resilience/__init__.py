@@ -45,6 +45,9 @@ __all__ = [
     "execute_with_fault",
     "CORRUPTED",
     "is_corrupted",
+    "Deadline",
+    "request_deadline",
+    "current_deadline",
     "ResilientBackend",
     "ChaosOutcome",
     "ChaosReport",
@@ -61,6 +64,9 @@ _EXPORTS = {
     "execute_with_fault": "repro.resilience.faults",
     "CORRUPTED": "repro.resilience.faults",
     "is_corrupted": "repro.resilience.faults",
+    "Deadline": "repro.resilience.deadline",
+    "request_deadline": "repro.resilience.deadline",
+    "current_deadline": "repro.resilience.deadline",
     "ResilientBackend": "repro.resilience.resilient",
     "ChaosOutcome": "repro.resilience.chaos",
     "ChaosReport": "repro.resilience.chaos",

@@ -20,6 +20,7 @@ Entry points: :func:`run_chaos` (used by the ``chaos``-marked tests),
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
@@ -204,6 +205,16 @@ def run_chaos(
       ``OneSidedMatch``; a returned matching must validate against the
       graph and, on the total-support instance used, reach the Theorem 1
       floor minus *quality_eps*.
+
+    With the ``storm`` schedule a third workload runs per backend:
+
+    * ``serve``: a short soak through a live
+      :class:`~repro.serve.MatchingServer` over the cell's resilient
+      backend — concurrent clients, every request must end in a matching
+      that validates and states a guarantee no higher than its rung's
+      floor, **or** a typed ``ReproError`` (shedding and breaker
+      rejections included); a lost request or untyped failure violates
+      the contract.
     """
     from repro.core.onesided import one_sided_match
     from repro.graph.generators import sprand, union_of_permutations
@@ -248,6 +259,86 @@ def run_chaos(
             )
         return f"quality={quality:.4f}"
 
+    def serve_cell(backend: ResilientBackend) -> str:
+        from repro.errors import ReproError
+        from repro.serve import (
+            RUNG_GUARANTEES,
+            MatchingServer,
+            MatchRequest,
+            ServerConfig,
+        )
+
+        n_requests, n_clients = 16, 4
+        config = ServerConfig(
+            max_queue=8,
+            n_workers=2,
+            default_deadline=budget / 2,
+            breaker_threshold=3,
+            breaker_cooldown=0.1,
+        )
+        counts = {"ok": 0, "typed": 0}
+        problems: list[str] = []
+        next_slot = iter(range(n_requests))
+        lock = threading.Lock()
+        server = MatchingServer(backend, config=config)
+
+        def client() -> None:
+            while True:
+                with lock:
+                    slot = next(next_slot, None)
+                if slot is None:
+                    return
+                request = MatchRequest(
+                    support_graph, sk_iterations, seed=seed + slot
+                )
+                try:
+                    response = server.submit(request, timeout=budget)
+                except ReproError:
+                    with lock:
+                        counts["typed"] += 1
+                    continue
+                except BaseException as exc:  # noqa: BLE001 - audited
+                    with lock:
+                        problems.append(
+                            f"untyped {type(exc).__name__}: {exc}"
+                        )
+                    continue
+                try:
+                    response.matching.validate(support_graph)
+                    if (
+                        response.guarantee
+                        > RUNG_GUARANTEES[response.rung] + 1e-9
+                    ):
+                        raise AssertionError(
+                            f"guarantee {response.guarantee:.3f} above "
+                            f"rung {response.rung!r} floor"
+                        )
+                except Exception as exc:  # noqa: BLE001 - audited
+                    with lock:
+                        problems.append(str(exc))
+                    continue
+                with lock:
+                    counts["ok"] += 1
+
+        try:
+            threads = [
+                threading.Thread(target=client) for _ in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            server.drain(timeout=budget)
+        total = counts["ok"] + counts["typed"] + len(problems)
+        if problems:
+            raise AssertionError("; ".join(problems[:3]))
+        if total != n_requests:
+            raise AssertionError(
+                f"lost requests: {n_requests} submitted, {total} outcomes"
+            )
+        return f"ok={counts['ok']} typed={counts['typed']}"
+
     outcomes: list[ChaosOutcome] = []
     for backend_spec in backends:
         def make_backend(spec: str = backend_spec) -> ResilientBackend:
@@ -268,6 +359,12 @@ def run_chaos(
                 _run_cell(
                     "match", backend_spec, "storm", schedules["storm"],
                     match_cell, make_backend, budget * 2,
+                )
+            )
+            outcomes.append(
+                _run_cell(
+                    "serve", backend_spec, "storm", schedules["storm"],
+                    serve_cell, make_backend, budget * 3,
                 )
             )
     report = ChaosReport(outcomes=tuple(outcomes))

@@ -1,0 +1,120 @@
+"""Request-level deadline budgets.
+
+A :class:`Deadline` is an absolute point on the monotonic clock that an
+entire *request* — scaling sweeps, choice sampling, Karp–Sipser phases,
+every retry of every chunk — must not outlive.  It complements the
+per-chunk ``deadline`` of :class:`~repro.resilience.ResilientBackend`:
+the per-chunk deadline bounds one *attempt*, the budget bounds the sum of
+all attempts, so ``max_retries`` retries can never stretch a call past
+what the caller was promised.
+
+Budgets are installed with :func:`request_deadline` and read with
+:func:`current_deadline`.  Installation is **thread-local**: the serving
+layer stamps a budget on the thread executing a request, and the nested
+match/scale/backend calls on that thread pick it up without any argument
+threading.  :class:`~repro.resilience.ResilientBackend` captures the
+installed budget once per ``map_ranges`` call and carries it onto its
+supervisor threads explicitly, so chunk retries see the caller's budget
+even though they run elsewhere.
+
+When no budget is installed (the default) every consultation is one
+thread-local attribute read — the same "free when off" bar as fault
+injection and telemetry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Iterator
+
+from repro.errors import BackendError, DeadlineExceededError
+
+__all__ = ["Deadline", "request_deadline", "current_deadline"]
+
+
+class Deadline:
+    """A wall-clock budget anchored to the monotonic clock.
+
+    Construct with :meth:`after` (the normal case) or from an absolute
+    ``expires_at`` monotonic timestamp.  Instances are immutable and
+    safe to share across threads.
+    """
+
+    __slots__ = ("expires_at", "budget")
+
+    def __init__(self, expires_at: float, budget: float) -> None:
+        #: Absolute ``time.monotonic()`` expiry point.
+        self.expires_at = expires_at
+        #: The original budget in seconds (for messages/telemetry).
+        self.budget = budget
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline *seconds* from now."""
+        if seconds <= 0:
+            raise BackendError(
+                f"deadline budget must be positive, got {seconds}"
+            )
+        return cls(time.monotonic() + seconds, seconds)
+
+    def remaining(self) -> float:
+        """Seconds left before expiry, floored at 0.0."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        return time.monotonic() >= self.expires_at
+
+    def ensure(self, what: str = "request") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceededError` if expired."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{what} exhausted its {self.budget:.3g}s deadline budget"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Deadline(budget={self.budget:.3g}s, "
+            f"remaining={self.remaining():.3g}s)"
+        )
+
+
+class _Local(threading.local):
+    deadline: Deadline | None = None
+
+
+_local = _Local()
+
+
+def current_deadline() -> Deadline | None:
+    """The budget installed on the calling thread, or ``None``."""
+    return _local.deadline
+
+
+@contextlib.contextmanager
+def request_deadline(
+    budget: "Deadline | float | None",
+) -> Iterator[Deadline | None]:
+    """Install a request budget on the calling thread for a ``with`` block.
+
+    *budget* may be a :class:`Deadline`, a positive float (seconds from
+    now), or ``None`` (no-op — call sites can pass an optional budget
+    through unconditionally).  Nested installs keep the *tighter* (earlier)
+    expiry: an inner layer may shrink the budget but never extend what an
+    outer caller promised.
+    """
+    if budget is None:
+        yield _local.deadline
+        return
+    deadline = budget if isinstance(budget, Deadline) else Deadline.after(budget)
+    previous = _local.deadline
+    if previous is not None and previous.expires_at < deadline.expires_at:
+        deadline = previous
+    _local.deadline = deadline
+    try:
+        yield deadline
+    finally:
+        _local.deadline = previous

@@ -26,6 +26,14 @@ backoff and deterministic seeded jitter; exhaustion raises
 chained.  Any other exception is a kernel error and propagates
 immediately — retrying a deterministic bug only hides it.
 
+Request-level budgets: when the caller installed a
+:func:`~repro.resilience.request_deadline` budget, each attempt's
+deadline is capped to the budget's remaining time and the retry loop
+refuses to back off past it, so the *total* time spent on a chunk —
+every attempt plus every backoff sleep — stays inside what the caller
+was promised.  Exhausting the budget raises a typed
+:class:`~repro.errors.DeadlineExceededError` chaining the last failure.
+
 Telemetry: every fault, failure, retry, and recovery increments a
 ``resilience.*`` counter and emits a span event, so a chaos run's story
 is reconstructable from the event trace alone.
@@ -60,6 +68,7 @@ from repro.parallel.backends import (
     get_backend,
 )
 from repro.resilience import faults as _faults
+from repro.resilience.deadline import Deadline, current_deadline
 
 __all__ = ["ResilientBackend"]
 
@@ -169,6 +178,10 @@ class ResilientBackend(Backend):
     def _map_ranges(self, fn: RangeFn, parts) -> list[Any]:
         if not parts:
             return []
+        # Capture the caller's request budget here, on the calling thread:
+        # supervisor threads have their own (empty) thread-local state, so
+        # the budget must travel explicitly.
+        budget = current_deadline()
         results: list[Any] = [None] * len(parts)
         errors: list[BaseException | None] = [None] * len(parts)
         with _tm.span(
@@ -178,12 +191,13 @@ class ResilientBackend(Backend):
             if len(parts) == 1:
                 # Common serial-inner case: no supervisor thread needed
                 # around the supervisor logic itself.
-                self._chunk_with_retry(fn, 0, parts[0], results, errors)
+                self._chunk_with_retry(fn, 0, parts[0], results, errors,
+                                       budget)
             else:
                 supervisors = [
                     threading.Thread(
                         target=self._chunk_with_retry,
-                        args=(fn, idx, part, results, errors),
+                        args=(fn, idx, part, results, errors, budget),
                         name=f"resilient-chunk-{idx}",
                         daemon=True,
                     )
@@ -201,6 +215,12 @@ class ResilientBackend(Backend):
     def close(self) -> None:
         self.inner.close()
 
+    def drain(self, timeout: float | None = None) -> bool:
+        return self.inner.drain(timeout)
+
+    def healthy(self) -> bool:
+        return self.inner.healthy()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ResilientBackend({self.inner!r}, deadline={self.deadline}, "
@@ -216,6 +236,7 @@ class ResilientBackend(Backend):
         part: tuple[int, int],
         results: list[Any],
         errors: list[BaseException | None],
+        budget: Deadline | None = None,
     ) -> None:
         """Attempt/retry loop for one chunk (runs on a supervisor thread).
 
@@ -224,9 +245,22 @@ class ResilientBackend(Backend):
         ``None`` payload instead of a typed failure.
         """
         try:
-            self._chunk_attempts(fn, idx, part, results, errors)
+            self._chunk_attempts(fn, idx, part, results, errors, budget)
         except BaseException as exc:  # noqa: BLE001 - supervisor safety net
             errors[idx] = exc
+
+    def _budget_error(
+        self, lo: int, hi: int, budget: Deadline,
+        last: BaseException | None,
+    ) -> DeadlineExceededError:
+        exc = DeadlineExceededError(
+            f"range [{lo}, {hi}) exhausted the request's "
+            f"{budget.budget:.3g}s deadline budget"
+            + (f" (last failure: {last})" if last is not None else "")
+        )
+        exc.__cause__ = last
+        _tm.incr("resilience.budget_exhausted")
+        return exc
 
     def _chunk_attempts(
         self,
@@ -235,12 +269,22 @@ class ResilientBackend(Backend):
         part: tuple[int, int],
         results: list[Any],
         errors: list[BaseException | None],
+        budget: Deadline | None = None,
     ) -> None:
         lo, hi = part
         plan = _faults.active_plan()
         delay = self.backoff
         last: BaseException | None = None
         for attempt in range(self.max_retries + 1):
+            # The request budget bounds the *sum* of attempts: a chunk
+            # whose retries would outlive it fails typed instead.
+            deadline = self.deadline
+            if budget is not None:
+                remaining = budget.remaining()
+                if remaining <= 0.0:
+                    errors[idx] = self._budget_error(lo, hi, budget, last)
+                    return
+                deadline = min(deadline, remaining)
             # Attempt number doubles as the fault-plan call index so that
             # "fail on call 0, succeed on call 1" schedules are exact and
             # independent of supervisor-thread interleaving.
@@ -250,7 +294,7 @@ class ResilientBackend(Backend):
                 else None
             )
             try:
-                result = self._attempt(fn, lo, hi, spec)
+                result = self._attempt(fn, lo, hi, spec, deadline)
                 if _faults.is_corrupted(result):
                     raise ResultCorruptionError(
                         f"integrity check failed for range [{lo}, {hi})"
@@ -274,8 +318,16 @@ class ResilientBackend(Backend):
                         error=type(exc).__name__,
                     )
                 if attempt < self.max_retries:
+                    sleep = self._next_backoff(delay)
+                    if budget is not None and budget.remaining() <= sleep:
+                        # No room left for the backoff, let alone another
+                        # attempt — fail typed now rather than oversleep.
+                        errors[idx] = self._budget_error(
+                            lo, hi, budget, last
+                        )
+                        return
                     _tm.incr("resilience.retries")
-                    time.sleep(self._next_backoff(delay))
+                    time.sleep(sleep)
                     delay = min(
                         delay * self.backoff_factor, self.max_backoff
                     )
@@ -298,12 +350,18 @@ class ResilientBackend(Backend):
             frac = self._rng.random()
         return delay * (1.0 - self.jitter * frac)
 
-    def _attempt(self, fn: RangeFn, lo: int, hi: int, spec) -> Any:
+    def _attempt(
+        self, fn: RangeFn, lo: int, hi: int, spec, deadline: float | None = None
+    ) -> Any:
+        if deadline is None:
+            deadline = self.deadline
         if self._fork:
-            return self._attempt_fork(fn, lo, hi, spec)
-        return self._attempt_thread(fn, lo, hi, spec)
+            return self._attempt_fork(fn, lo, hi, spec, deadline)
+        return self._attempt_thread(fn, lo, hi, spec, deadline)
 
-    def _attempt_thread(self, fn: RangeFn, lo: int, hi: int, spec) -> Any:
+    def _attempt_thread(
+        self, fn: RangeFn, lo: int, hi: int, spec, deadline: float
+    ) -> Any:
         """One attempt on a dedicated daemon thread, joined with timeout."""
         box: dict[str, Any] = {}
 
@@ -319,17 +377,19 @@ class ResilientBackend(Backend):
             target=run, name=f"resilient-attempt-{lo}-{hi}", daemon=True
         )
         worker.start()
-        worker.join(self.deadline)
+        worker.join(deadline)
         if worker.is_alive():
             raise DeadlineExceededError(
-                f"range [{lo}, {hi}) exceeded the {self.deadline:.3g}s "
+                f"range [{lo}, {hi}) exceeded the {deadline:.3g}s "
                 f"deadline (worker thread abandoned)"
             )
         if "error" in box:
             raise box["error"]
         return box["result"]
 
-    def _attempt_fork(self, fn: RangeFn, lo: int, hi: int, spec) -> Any:
+    def _attempt_fork(
+        self, fn: RangeFn, lo: int, hi: int, spec, deadline: float
+    ) -> Any:
         """One attempt in a forked child, killed on deadline expiry."""
         recv, send = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
@@ -340,11 +400,11 @@ class ResilientBackend(Backend):
         try:
             # poll() also wakes on EOF, so crashes surface immediately
             # rather than after the full deadline.
-            if not recv.poll(self.deadline):
+            if not recv.poll(deadline):
                 proc.kill()
                 proc.join()
                 raise DeadlineExceededError(
-                    f"range [{lo}, {hi}) exceeded the {self.deadline:.3g}s "
+                    f"range [{lo}, {hi}) exceeded the {deadline:.3g}s "
                     f"deadline (worker pid {proc.pid} killed)"
                 )
             try:

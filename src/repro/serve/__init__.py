@@ -1,0 +1,48 @@
+"""``repro.serve`` — a long-running, overload-safe matching service.
+
+The serving layer composes the robustness substrate (resilient backends,
+fault injection, deadline budgets, telemetry) into a request path with a
+stated contract: every submitted request ends in a valid matching *with
+a quality guarantee for the rung it was served at*, or a typed error —
+within its deadline budget, under overload, and across worker crashes.
+
+Entry points:
+
+* :class:`MatchingServer` — in-process server (``submit`` /
+  ``submit_async``, ``health``/``ready`` probes, ``drain``).
+* :func:`run_soak` — overload/chaos soak harness with contract audit.
+* :func:`serve_forever` — stdin/stdout JSON-lines daemon
+  (``python -m repro serve``).
+
+See ``docs/serving.md`` for the architecture.
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.daemon import serve_forever
+from repro.serve.server import (
+    RUNG_GUARANTEES,
+    RUNGS,
+    MatchingServer,
+    MatchRequest,
+    MatchResponse,
+    ServerConfig,
+    rung_for_pressure,
+)
+from repro.serve.soak import SoakReport, run_soak
+
+__all__ = [
+    "AdmissionQueue",
+    "BreakerState",
+    "CircuitBreaker",
+    "MatchRequest",
+    "MatchResponse",
+    "MatchingServer",
+    "RUNGS",
+    "RUNG_GUARANTEES",
+    "ServerConfig",
+    "SoakReport",
+    "rung_for_pressure",
+    "run_soak",
+    "serve_forever",
+]

@@ -1,0 +1,94 @@
+"""Admission control: a bounded request queue with typed load shedding.
+
+The queue is the server's only buffer, and it is *bounded on purpose*:
+under sustained overload an unbounded queue converts every request into a
+deadline miss (queueing delay grows without limit), while a bounded queue
+plus typed :class:`~repro.errors.OverloadedError` rejection keeps the
+queueing delay of every *accepted* request below
+``capacity × service time`` — which is what lets the server promise that
+accepted requests finish inside their deadline budgets.
+
+Shedding happens at submission time on the caller's thread, so a rejected
+client learns immediately (fail fast) and the serving workers never spend
+cycles on a request that was doomed at arrival.
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import Any
+
+from repro import telemetry as _tm
+from repro.errors import OverloadedError
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Bounded FIFO with typed rejection and a queue-depth gauge.
+
+    ``offer`` never blocks: a full queue raises
+    :class:`~repro.errors.OverloadedError` (counted in
+    ``serve.shed.overloaded``).  ``take`` is the worker side; the
+    ``serve.queue_depth`` gauge tracks the depth on every transition.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise OverloadedError(
+                f"queue capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._q: "queue.Queue[Any]" = queue.Queue(maxsize=capacity)
+
+    @property
+    def depth(self) -> int:
+        """Current number of queued items (approximate under concurrency)."""
+        return self._q.qsize()
+
+    @property
+    def fill(self) -> float:
+        """Queue depth as a fraction of capacity, in ``[0, 1]``."""
+        return min(1.0, self.depth / self.capacity)
+
+    def offer(self, item: Any) -> None:
+        """Enqueue *item* or shed it with a typed error, never block."""
+        try:
+            self._q.put_nowait(item)
+        except queue.Full:
+            _tm.incr("serve.shed.overloaded")
+            raise OverloadedError(
+                f"admission queue is full ({self.capacity} queued); "
+                f"request shed — back off and retry"
+            ) from None
+        if _tm.enabled():
+            _tm.set_gauge("serve.queue_depth", self.depth)
+
+    def take(self, timeout: float) -> Any | None:
+        """Dequeue the oldest item, or ``None`` after *timeout* seconds."""
+        try:
+            item = self._q.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        if _tm.enabled():
+            _tm.set_gauge("serve.queue_depth", self.depth)
+        return item
+
+    def drain_pending(self) -> list[Any]:
+        """Remove and return everything currently queued (shutdown path)."""
+        items: list[Any] = []
+        while True:
+            try:
+                items.append(self._q.get_nowait())
+            except queue.Empty:
+                break
+        if items and _tm.enabled():
+            _tm.set_gauge("serve.queue_depth", self.depth)
+        return items
+
+    def put_sentinel(self, sentinel: Any) -> None:
+        """Blocking put used only for worker-stop sentinels at shutdown."""
+        self._q.put(sentinel)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AdmissionQueue(depth={self.depth}/{self.capacity})"

@@ -1,0 +1,183 @@
+"""Circuit breaker: fail fast while the execution substrate recovers.
+
+A crashed shared-memory pool takes a moment to respawn, and a backend
+drowning in deadline misses will miss the next deadline too.  Letting
+requests pile onto a failing substrate turns one fault into a queue full
+of slow failures; the breaker converts them into *immediate* typed
+:class:`~repro.errors.CircuitOpenError` rejections instead.
+
+States (the classic three):
+
+``closed``
+    Normal operation.  Consecutive failures are counted; reaching
+    ``threshold`` trips the breaker.
+``open``
+    Every admission fails fast.  After ``cooldown`` seconds the next
+    admission transitions to half-open.
+``half_open``
+    Up to ``probes`` requests are admitted as probes; everyone else
+    still fails fast.  A probe success closes the breaker (the pool
+    respawned, the path works); a probe failure re-opens it and restarts
+    the cooldown.
+
+Transitions are counted in ``serve.breaker.*`` and emitted as
+``serve.breaker`` events, so an operator can reconstruct the open/close
+history from the telemetry trace alone.  The clock is injectable for
+deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from enum import Enum
+from typing import Callable
+
+from repro import telemetry as _tm
+from repro.errors import BackendError, CircuitOpenError
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(str, Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probes.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive failures that trip the breaker open.
+    cooldown:
+        Seconds the breaker stays open before admitting probes.
+    probes:
+        Concurrent probe requests allowed while half-open.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 1.0,
+        probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise BackendError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 0:
+            raise BackendError(f"cooldown must be >= 0, got {cooldown}")
+        if probes < 1:
+            raise BackendError(f"probes must be >= 1, got {probes}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.probes = probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_out = 0
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state (performs the timed open → half-open move)."""
+        with self._lock:
+            self._tick()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def _tick(self) -> None:
+        """Open → half-open once the cooldown elapsed (lock held)."""
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._transition(BreakerState.HALF_OPEN)
+            self._probes_out = 0
+
+    def _transition(self, state: BreakerState) -> None:
+        self._state = state
+        _tm.incr(f"serve.breaker.{state.value}")
+        _tm.event(
+            "serve.breaker", state=state.value, failures=self._failures
+        )
+
+    # -- admission -----------------------------------------------------
+
+    def admit(self) -> bool:
+        """Admit one request, returning ``True`` iff it is a probe.
+
+        Raises :class:`~repro.errors.CircuitOpenError` while open (or
+        while every half-open probe slot is taken).
+        """
+        with self._lock:
+            self._tick()
+            if self._state is BreakerState.CLOSED:
+                return False
+            if self._state is BreakerState.OPEN:
+                retry_in = max(
+                    0.0, self.cooldown - (self._clock() - self._opened_at)
+                )
+                raise CircuitOpenError(
+                    f"circuit breaker open after {self._failures} "
+                    f"consecutive failure(s); probes admitted in "
+                    f"{retry_in:.3g}s"
+                )
+            if self._probes_out >= self.probes:
+                raise CircuitOpenError(
+                    "circuit breaker half-open and all probe slots are "
+                    "taken; retry shortly"
+                )
+            self._probes_out += 1
+            return True
+
+    def release_probe(self) -> None:
+        """Return an unused probe slot (the probe was shed pre-execution)."""
+        with self._lock:
+            self._probes_out = max(0, self._probes_out - 1)
+
+    # -- outcome reporting ---------------------------------------------
+
+    def record_success(self, probe: bool = False) -> None:
+        """A request completed; a probe success closes the breaker."""
+        with self._lock:
+            self._failures = 0
+            if probe:
+                self._probes_out = max(0, self._probes_out - 1)
+            if self._state is not BreakerState.CLOSED and (
+                probe or self._state is BreakerState.HALF_OPEN
+            ):
+                self._transition(BreakerState.CLOSED)
+
+    def record_failure(self, probe: bool = False) -> None:
+        """A request failed on the substrate; may trip or re-open."""
+        with self._lock:
+            self._failures += 1
+            if probe:
+                self._probes_out = max(0, self._probes_out - 1)
+            if self._state is BreakerState.HALF_OPEN or probe:
+                self._opened_at = self._clock()
+                self._transition(BreakerState.OPEN)
+            elif (
+                self._state is BreakerState.CLOSED
+                and self._failures >= self.threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition(BreakerState.OPEN)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(state={self.state.value}, "
+            f"failures={self._failures}/{self.threshold})"
+        )

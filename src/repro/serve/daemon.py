@@ -1,0 +1,191 @@
+"""JSON-lines daemon: ``python -m repro serve`` over stdin/stdout.
+
+One request per input line, one JSON response per line, in request
+order (each tagged with the request's ``id``).  The protocol is
+deliberately tiny — it exists so the service can be driven from any
+language or from a shell pipe, not to be a real RPC layer; in-process
+callers wanting concurrency use :class:`~repro.serve.MatchingServer`
+directly via ``submit_async``.
+
+Requests (``op`` selects the operation)::
+
+    {"id": 1, "op": "match", "graph": {...}, "iterations": 5,
+     "seed": 7, "method": "auto", "deadline": 2.0}
+    {"id": 2, "op": "health"}
+    {"id": 3, "op": "shutdown"}
+
+Graph specs (``graph``) are cached by their JSON key, so a client can
+re-submit the same spec without rebuilding it server-side:
+
+* ``{"kind": "sprand", "n": 1000, "degree": 4.0, "seed": 0}``
+* ``{"kind": "union", "n": 1000, "k": 3, "seed": 0}``
+* ``{"path": "matrix.mtx"}`` — Matrix Market or ``.npz`` via
+  :mod:`repro.graph.io`
+* ``{"nrows": 2, "ncols": 2, "rows": [0, 1], "cols": [1, 0]}`` — COO
+
+Responses are ``{"id", "ok": true, ...}`` on success or
+``{"id", "ok": false, "error": "<TypedErrorClass>", "message": ...}``.
+Match responses carry the matching's column-for-each-row array plus the
+rung / guarantee / degradation provenance.  EOF on stdin (or a
+``shutdown`` op) drains the server gracefully.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, IO
+
+from repro.errors import ReproError, ServiceError
+from repro.graph.csr import BipartiteGraph
+from repro.parallel.backends import Backend
+from repro.serve.server import MatchingServer, MatchRequest, ServerConfig
+
+__all__ = ["serve_forever", "build_graph"]
+
+
+def build_graph(spec: Any, cache: dict[str, BipartiteGraph] | None = None) -> BipartiteGraph:
+    """Materialise a graph from a daemon *spec* (see module docstring)."""
+    if not isinstance(spec, dict):
+        raise ServiceError(
+            f"graph spec must be an object, got {type(spec).__name__}"
+        )
+    key = json.dumps(spec, sort_keys=True)
+    if cache is not None and key in cache:
+        return cache[key]
+    if "path" in spec:
+        path = str(spec["path"])
+        if path.endswith(".npz"):
+            from repro.graph.io import load_npz
+
+            graph = load_npz(path)
+        else:
+            from repro.graph.io import read_matrix_market
+
+            graph = read_matrix_market(path)
+    elif spec.get("kind") == "sprand":
+        from repro.graph.generators import sprand
+
+        graph = sprand(
+            int(spec["n"]),
+            float(spec.get("degree", 4.0)),
+            seed=spec.get("seed"),
+        )
+    elif spec.get("kind") == "union":
+        from repro.graph.generators import union_of_permutations
+
+        graph = union_of_permutations(
+            int(spec["n"]), int(spec.get("k", 3)), seed=spec.get("seed")
+        )
+    elif "rows" in spec and "cols" in spec:
+        from repro.graph.build import from_edges
+
+        graph = from_edges(
+            int(spec["nrows"]),
+            int(spec["ncols"]),
+            spec["rows"],
+            spec["cols"],
+        )
+    else:
+        raise ServiceError(
+            "graph spec needs 'path', 'kind' in {'sprand', 'union'}, or "
+            "COO 'rows'/'cols'"
+        )
+    if cache is not None:
+        cache[key] = graph
+    return cache[key] if cache is not None else graph
+
+
+def _error_response(request_id: Any, exc: BaseException) -> dict[str, Any]:
+    if not isinstance(exc, ReproError):
+        # Contract: the daemon never emits untyped failures.
+        exc = ServiceError(f"internal daemon error: {exc!r}")
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+
+
+def _handle_match(
+    server: MatchingServer,
+    msg: dict[str, Any],
+    cache: dict[str, BipartiteGraph],
+) -> dict[str, Any]:
+    graph = build_graph(msg.get("graph"), cache)
+    request = MatchRequest(
+        graph,
+        iterations=int(msg.get("iterations", 5)),
+        seed=msg.get("seed"),
+        method=str(msg.get("method", "auto")),
+        deadline=msg.get("deadline"),
+    )
+    response = server.submit(request)
+    return {
+        "id": msg.get("id"),
+        "ok": True,
+        "cardinality": response.cardinality,
+        "rung": response.rung,
+        "guarantee": response.guarantee,
+        "scaling_rung": response.scaling_rung,
+        "degraded": response.degraded,
+        "elapsed": response.elapsed,
+        "queue_wait": response.queue_wait,
+        "row_match": response.matching.row_match.tolist(),
+    }
+
+
+def serve_forever(
+    backend: Backend | str | None = None,
+    *,
+    config: ServerConfig | None = None,
+    stdin: IO[str] | None = None,
+    stdout: IO[str] | None = None,
+) -> int:
+    """Run the JSON-lines daemon until EOF or a ``shutdown`` op.
+
+    Returns a process exit code (0 on clean shutdown).  *stdin* /
+    *stdout* default to the process streams; tests pass ``io.StringIO``.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    cache: dict[str, BipartiteGraph] = {}
+
+    def emit(payload: dict[str, Any]) -> None:
+        stdout.write(json.dumps(payload) + "\n")
+        stdout.flush()
+
+    with MatchingServer(backend, config=config) as server:
+        for line in stdin:
+            line = line.strip()
+            if not line:
+                continue
+            request_id: Any = None
+            try:
+                msg = json.loads(line)
+                if not isinstance(msg, dict):
+                    raise ServiceError("request must be a JSON object")
+                request_id = msg.get("id")
+                op = msg.get("op", "match")
+                if op == "match":
+                    emit(_handle_match(server, msg, cache))
+                elif op == "health":
+                    emit({"id": request_id, "ok": True, **server.health()})
+                elif op == "shutdown":
+                    emit({"id": request_id, "ok": True, "status": "draining"})
+                    break
+                else:
+                    raise ServiceError(
+                        f"unknown op {op!r}; expected 'match', 'health', "
+                        f"or 'shutdown'"
+                    )
+            except json.JSONDecodeError as exc:
+                emit(_error_response(request_id, ServiceError(
+                    f"request is not valid JSON: {exc}"
+                )))
+            except BaseException as exc:  # noqa: BLE001 - typed in response
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    break
+                emit(_error_response(request_id, exc))
+    return 0

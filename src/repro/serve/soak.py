@@ -1,0 +1,267 @@
+"""Soak harness: hammer a live :class:`MatchingServer` and audit it.
+
+The soak drives the server the way the chaos matrix drives backends: a
+swarm of client threads submits back-to-back at a configurable multiple
+of serving capacity, optionally with a fault plan injected underneath,
+and every single outcome is audited against the service contract:
+
+* every request ends in a valid-for-its-rung matching **or** a typed
+  ``ReproError`` — untyped exceptions are contract violations;
+* no request is lost — outcomes are counted against submissions;
+* accepted requests respect their deadline budgets (p99 bound with a
+  scheduling-slack allowance);
+* the run terminates — a hung request would hang the soak, which the
+  caller bounds with a hard timeout (CI uses ``timeout(1)``).
+
+``python -m repro serve --soak N`` runs this and exits non-zero on any
+violation, so the soak doubles as the CI overload test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import CircuitOpenError, OverloadedError, ReproError
+from repro.graph.generators import union_of_permutations
+from repro.parallel.backends import Backend
+from repro.resilience.faults import FaultPlan, injected_faults
+from repro.serve.server import (
+    RUNG_GUARANTEES,
+    MatchingServer,
+    MatchRequest,
+    ServerConfig,
+)
+
+__all__ = ["SoakReport", "run_soak"]
+
+#: Scheduling slack added on top of the deadline when auditing latency:
+#: the budget bounds server-side work, but the client thread also pays
+#: queue-notify and GIL wakeup costs that are not the server's doing.
+_LATENCY_SLACK = 0.25
+
+
+@dataclass
+class SoakReport:
+    """Outcome audit of one soak run."""
+
+    requests: int
+    clients: int
+    overload: float
+    deadline: float
+    elapsed: float
+    #: Outcome class -> count.  Classes: ``ok:<rung>`` for successes and
+    #: the typed error class name for failures.
+    outcomes: Counter = field(default_factory=Counter)
+    #: Accepted-request latencies (seconds), successes only.
+    latencies: list[float] = field(default_factory=list)
+    #: Contract violations; an empty list means the soak passed.
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    @property
+    def completed(self) -> int:
+        return sum(
+            count
+            for outcome, count in self.outcomes.items()
+            if outcome.startswith("ok:")
+        )
+
+    @property
+    def shed(self) -> int:
+        return sum(
+            count
+            for outcome, count in self.outcomes.items()
+            if outcome in ("OverloadedError", "CircuitOpenError")
+        )
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of wall clock."""
+        return self.completed / self.elapsed if self.elapsed > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile over completed requests (0 when none)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    def render(self) -> str:
+        lines = [
+            f"soak: {self.requests} requests, {self.clients} clients "
+            f"({self.overload:g}x capacity), deadline {self.deadline:g}s, "
+            f"{self.elapsed:.2f}s wall",
+            f"  completed {self.completed}  shed {self.shed} "
+            f"({self.shed_rate:.0%})  throughput {self.throughput:.1f}/s  "
+            f"p50 {self.percentile(0.50) * 1e3:.1f}ms  "
+            f"p99 {self.percentile(0.99) * 1e3:.1f}ms",
+        ]
+        for outcome, count in sorted(self.outcomes.items()):
+            lines.append(f"    {outcome:28s} {count}")
+        if self.violations:
+            lines.append("  VIOLATIONS:")
+            lines.extend(f"    - {v}" for v in self.violations)
+        else:
+            lines.append("  contract held: typed-or-correct, none lost")
+        return "\n".join(lines)
+
+
+def run_soak(
+    requests: int = 200,
+    *,
+    backend: Backend | str | None = None,
+    n: int = 1500,
+    degree: int = 4,
+    iterations: int = 2,
+    deadline: float = 1.0,
+    overload: float = 2.0,
+    seed: int = 0,
+    config: ServerConfig | None = None,
+    fault_plan: FaultPlan | None = None,
+) -> SoakReport:
+    """Soak a :class:`MatchingServer` and audit every outcome.
+
+    Spawns ``round(n_workers * overload)`` client threads that submit
+    back-to-back until *requests* submissions have been made, then
+    drains the server.  With ``overload > 1`` the admission queue must
+    shed — typed ``OverloadedError`` outcomes are expected and counted,
+    not violations.  *fault_plan* (a
+    :class:`~repro.resilience.FaultPlan`) is installed around the whole
+    run to exercise the breaker and the degradation ladder.
+    """
+    cfg = config or ServerConfig(
+        default_deadline=deadline,
+        chunk_deadline=max(0.2, deadline / 2),
+        max_retries=2,
+        max_queue=16,
+    )
+    graph = union_of_permutations(n, degree, seed=seed)
+    report_lock = threading.Lock()
+    submitted = 0
+    submit_lock = threading.Lock()
+
+    server = MatchingServer(backend, config=cfg)
+    report = SoakReport(
+        requests=requests,
+        clients=max(1, round(server.n_workers * overload)),
+        overload=overload,
+        deadline=deadline,
+        elapsed=0.0,
+    )
+
+    def take_slot() -> int | None:
+        nonlocal submitted
+        with submit_lock:
+            if submitted >= requests:
+                return None
+            submitted += 1
+            return submitted
+
+    def client(client_idx: int) -> None:
+        while True:
+            slot = take_slot()
+            if slot is None:
+                return
+            request = MatchRequest(
+                graph,
+                iterations=iterations,
+                seed=seed + slot,
+                deadline=deadline,
+            )
+            started = time.monotonic()
+            try:
+                response = server.submit(
+                    request, timeout=deadline * 4 + 10.0
+                )
+            except (OverloadedError, CircuitOpenError) as exc:
+                with report_lock:
+                    report.outcomes[type(exc).__name__] += 1
+                time.sleep(0.005)  # shed → back off like a real client
+                continue
+            except ReproError as exc:
+                with report_lock:
+                    report.outcomes[type(exc).__name__] += 1
+                continue
+            except BaseException as exc:  # noqa: BLE001 - audited
+                with report_lock:
+                    report.outcomes[f"UNTYPED:{type(exc).__name__}"] += 1
+                    report.violations.append(
+                        f"request {slot} raised untyped "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                continue
+            latency = time.monotonic() - started
+            problems: list[str] = []
+            try:
+                response.matching.validate(graph)
+            except ReproError as exc:
+                problems.append(
+                    f"request {slot} returned an invalid matching at "
+                    f"rung {response.rung}: {exc}"
+                )
+            if response.guarantee > RUNG_GUARANTEES[response.rung] + 1e-9:
+                problems.append(
+                    f"request {slot} overstated its guarantee: "
+                    f"{response.guarantee:.3f} > rung floor "
+                    f"{RUNG_GUARANTEES[response.rung]:.3f}"
+                )
+            with report_lock:
+                report.outcomes[f"ok:{response.rung}"] += 1
+                report.latencies.append(latency)
+                report.violations.extend(problems)
+
+    started = time.monotonic()
+    try:
+        with injected_faults(fault_plan) if fault_plan else _noop():
+            threads = [
+                threading.Thread(
+                    target=client, args=(i,), name=f"soak-client-{i}"
+                )
+                for i in range(report.clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+    finally:
+        server.drain(timeout=deadline * 4 + 10.0)
+    report.elapsed = time.monotonic() - started
+
+    # -- audit ---------------------------------------------------------
+    total = sum(report.outcomes.values())
+    if total != requests:
+        report.violations.append(
+            f"lost requests: {requests} submitted, {total} outcomes"
+        )
+    if fault_plan is None and report.completed == 0:
+        report.violations.append(
+            "zero requests completed on a healthy substrate"
+        )
+    if report.latencies:
+        p99 = report.percentile(0.99)
+        bound = deadline * 1.25 + _LATENCY_SLACK
+        if p99 > bound:
+            report.violations.append(
+                f"p99 latency {p99:.3f}s exceeds budget bound "
+                f"{bound:.3f}s (deadline {deadline:g}s)"
+            )
+    return report
+
+
+class _noop:
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None

@@ -48,3 +48,23 @@ def test_chaos_serial_only_quick():
     assert report.passed, "\n" + report.render()
     rendered = report.render()
     assert "cells honoured the contract" in rendered
+
+
+def test_chaos_serve_row_runs_and_holds_contract():
+    """The serve workload: a live MatchingServer soaked under the storm
+    schedule must resolve every request typed-or-correct, losing none."""
+    report = run_chaos(n=150, backends=("serial",), deadline=0.2, seed=2)
+    serve_rows = [o for o in report.outcomes if o.workload == "serve"]
+    assert len(serve_rows) == 1
+    row = serve_rows[0]
+    assert row.schedule == "storm"
+    assert row.passed, f"{row.status} [{row.detail}]"
+
+
+def test_chaos_serve_row_absent_without_storm():
+    schedules = {"none": standard_schedules()["none"]}
+    report = run_chaos(
+        n=100, backends=("serial",), schedules=schedules, deadline=0.2,
+        seed=3,
+    )
+    assert all(o.workload == "scale" for o in report.outcomes)

@@ -22,14 +22,17 @@ from repro.parallel import (
 )
 from repro.resilience import (
     CORRUPTED,
+    Deadline,
     FaultKind,
     FaultPlan,
     FaultSpec,
     ResilientBackend,
     active_plan,
+    current_deadline,
     execute_with_fault,
     injected_faults,
     is_corrupted,
+    request_deadline,
 )
 
 
@@ -328,3 +331,106 @@ class TestCorruptionMarker:
     def test_is_corrupted_rejects_lookalikes(self):
         assert not is_corrupted("<CORRUPTED>")
         assert not is_corrupted(None)
+
+
+class TestRequestBudget:
+    """The request-level deadline budget on top of per-chunk deadlines.
+
+    Regression: the wrapper used to enforce *per-chunk* deadlines only,
+    so a slow-faulted chunk with retries could legally burn
+    ``(deadline + backoff) x (max_retries + 1)`` — far beyond what the
+    caller was promised.  With a request budget installed, the sum of
+    attempts (and backoff sleeps) is capped.
+    """
+
+    def test_deadline_class_basics(self):
+        d = Deadline.after(5.0)
+        assert 0.0 < d.remaining() <= 5.0
+        assert not d.expired
+        d.ensure("unit test")  # does not raise
+        with pytest.raises(BackendError):
+            Deadline.after(0.0)
+        expired = Deadline.after(1e-9)
+        import time as _time
+
+        _time.sleep(0.01)
+        assert expired.expired and expired.remaining() == 0.0
+        with pytest.raises(DeadlineExceededError):
+            expired.ensure("unit test")
+
+    def test_nested_budgets_keep_the_tighter(self):
+        with request_deadline(30.0) as outer:
+            with request_deadline(0.5) as inner:
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+            with request_deadline(60.0):
+                # looser nested budget must not extend the outer one
+                assert current_deadline() is outer
+        assert current_deadline() is None
+
+    def test_no_budget_is_a_noop(self):
+        with request_deadline(None):
+            assert current_deadline() is None
+
+    def test_slow_faults_with_retries_respect_request_budget(self):
+        # Every attempt straggles well past the chunk deadline; with 3
+        # retries the per-chunk ceiling alone would allow ~4 x 0.1s of
+        # attempts plus backoff.  The 0.15s request budget must cut that
+        # short with a typed error.
+        reg = telemetry.enable()
+        plan = FaultPlan([FaultSpec("slow", seconds=0.3)])
+        be = ResilientBackend(
+            "serial", deadline=0.1, max_retries=3, backoff=0.01,
+            max_backoff=0.02,
+        )
+        import time as _time
+
+        t0 = _time.perf_counter()
+        try:
+            with injected_faults(plan), request_deadline(0.15):
+                with pytest.raises(DeadlineExceededError, match="budget"):
+                    be.map_ranges(_identity_range, 6)
+        finally:
+            be.close()
+        elapsed = _time.perf_counter() - t0
+        # budget + one attempt-granularity overshoot + scheduling slack
+        assert elapsed < 0.15 + 0.1 + 0.25, f"took {elapsed:.3f}s"
+        assert reg.counter("resilience.budget_exhausted").value >= 1
+
+    def test_generous_budget_does_not_interfere(self):
+        plan = FaultPlan([FaultSpec("slow", seconds=0.02, max_hits=2)])
+        be = ResilientBackend("serial", deadline=1.0, backoff=0.01)
+        try:
+            with injected_faults(plan), request_deadline(30.0):
+                out = be.map_ranges(_identity_range, 8)
+        finally:
+            be.close()
+        np.testing.assert_array_equal(out[0], np.arange(8))
+
+    def test_budget_travels_to_supervisor_threads(self):
+        # Multiple chunks -> supervisor threads; the budget is captured
+        # on the calling thread and must still bound every chunk.
+        plan = FaultPlan([FaultSpec("hang", seconds=5.0)])
+        be = ResilientBackend(
+            "threads:2", deadline=0.1, max_retries=5, backoff=0.01
+        )
+        import time as _time
+
+        t0 = _time.perf_counter()
+        try:
+            with injected_faults(plan), request_deadline(0.2):
+                with pytest.raises(DeadlineExceededError):
+                    be.map_ranges(_identity_range, 20)
+        finally:
+            be.close()
+        assert _time.perf_counter() - t0 < 1.5
+
+    def test_core_entry_points_accept_deadline(self):
+        from repro.core import one_sided_match, two_sided_match
+        from repro.graph.generators import union_of_permutations
+
+        g = union_of_permutations(64, 3, seed=2)
+        res1 = one_sided_match(g, 2, seed=0, deadline=30.0)
+        res1.matching.validate(g)
+        res2 = two_sided_match(g, 2, seed=0, deadline=30.0)
+        res2.matching.validate(g)

@@ -272,3 +272,97 @@ class TestShmPool:
             SharedMemoryBackend(0)
         with pytest.raises(BackendError):
             SharedMemoryBackend(1, max_segments=2)
+
+
+class TestShutdownAndDrain:
+    """Pool shutdown: segments unlinked, in-flight work completed."""
+
+    def test_close_unlinks_every_segment(self):
+        from multiprocessing.shared_memory import SharedMemory
+
+        from repro.parallel.shm import _OPEN_BACKENDS
+
+        backend = SharedMemoryBackend(2)
+        graph = sprand(500, 4.0, seed=1)
+        scale_sinkhorn_knopp(graph, 2, backend=backend)
+        names = [seg.shm.name for seg in backend._segments.values()]
+        assert names, "the scale run should have published segments"
+        backend.close()
+        assert backend._segments == {}
+        assert backend not in _OPEN_BACKENDS
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                SharedMemory(name=name)
+
+    def test_close_is_idempotent(self):
+        backend = SharedMemoryBackend(2)
+        graph = sprand(200, 3.0, seed=2)
+        scale_sinkhorn_knopp(graph, 1, backend=backend)
+        backend.close()
+        backend.close()
+        assert backend._segments == {}
+
+    def test_healthy_reflects_pool_state(self):
+        backend = SharedMemoryBackend(2)
+        try:
+            assert backend.healthy()  # not spawned yet
+            graph = sprand(200, 3.0, seed=2)
+            scale_sinkhorn_knopp(graph, 1, backend=backend)
+            assert backend.healthy()
+            backend._procs[0].kill()
+            backend._procs[0].join()
+            assert not backend.healthy()
+        finally:
+            backend.close()
+
+    def test_drain_completes_inflight_chunks_then_closes(self):
+        import threading
+        import time
+
+        backend = SharedMemoryBackend(2)
+        graph = sprand(2000, 4.0, seed=3)
+        scaling = scale_sinkhorn_knopp(graph, 2)  # serial, fault-free
+        reference = scaled_row_choices(
+            graph, scaling.dr, scaling.dc, np.random.default_rng(7)
+        )
+        plan = FaultPlan(
+            [FaultSpec("slow", seconds=0.2, backend="shm")], seed=0
+        )
+        box = {}
+
+        def call():
+            try:
+                box["out"] = scaled_row_choices(
+                    graph, scaling.dr, scaling.dc,
+                    np.random.default_rng(7), backend=backend,
+                )
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                box["error"] = exc
+
+        try:
+            with injected_faults(plan), kernel_chunk_override(500):
+                worker = threading.Thread(target=call)
+                worker.start()
+                time.sleep(0.15)  # the slow-faulted call is in flight
+                # a zero-timeout drain cannot finish while the call runs,
+                # but must flip the backend into draining mode
+                assert backend.drain(timeout=0.01) is False
+                assert backend.drain(timeout=30.0) is True
+                worker.join(timeout=30.0)
+                assert not worker.is_alive()
+            # the in-flight call was completed, not aborted...
+            assert "error" not in box, f"call failed: {box.get('error')!r}"
+            np.testing.assert_array_equal(box["out"], reference)
+            # ...the pool is gone, and new calls are rejected typed
+            assert backend._segments == {}
+            with pytest.raises(BackendError, match="draining"):
+                run_kernel(
+                    "choice_scaled", graph.nrows,
+                    {"ptr": graph.row_ptr, "ind": graph.col_ind,
+                     "opp": scaling.dc,
+                     "draws": np.random.default_rng(1).random(graph.nrows),
+                     "out": np.empty(graph.nrows, dtype=np.int64)},
+                    backend=backend,
+                )
+        finally:
+            backend.close()
