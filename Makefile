@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-regress bench-regress-smoke chaos chaos-smoke serve serve-soak serve-smoke experiments verify examples clean
+.PHONY: install test bench bench-regress bench-regress-smoke chaos chaos-smoke serve serve-soak serve-smoke stream stream-smoke experiments verify examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -36,6 +36,13 @@ serve-soak:
 serve-smoke:
 	$(PYTHON) -m pytest -m serve -q
 	REPRO_BACKEND=shm timeout 300 $(PYTHON) -m repro serve --soak 200 --overload 2
+
+stream:
+	$(PYTHON) -m repro stream
+
+stream-smoke:
+	$(PYTHON) -m pytest -m stream -q
+	timeout 300 $(PYTHON) -m repro stream --smoke
 
 experiments:
 	$(PYTHON) -m repro.experiments all --out results.json

@@ -80,6 +80,11 @@ SIZES = {
     # deliberate overload of a tiny admission queue.
     "serve_soak": (3_000, 800),
     "serve_shed": (1_000, 400),
+    # Streaming layer: per-batch update→incremental-rematch cost under
+    # 1% edge churn (gated), plus the speedup over a cold rematch of the
+    # same epoch (informational — it is a ratio of two measured times,
+    # so the gated cell alone pins the regression surface).
+    "stream_update": (120_000, 8_000),
 }
 
 
@@ -290,6 +295,48 @@ def run_workloads(smoke: bool, backend_spec: str = "serial") -> dict[str, dict]:
     print(
         f"  {'serve_shed':<22} n={n:<7} shed={shed_soak.shed}/"
         f"{shed_requests} ({shed_soak.shed_rate:.0%})"
+    )
+
+    # Streaming layer: drive a dynamic graph through churn batches and
+    # time the incremental path against cold rematches of the identical
+    # epochs.  The guarantee-equality contract is asserted, not merely
+    # reported — a run where the incremental certificate diverges from
+    # the cold one is a correctness failure, not a perf number.
+    from repro.stream import run_churn
+
+    n = SIZES["stream_update"][idx]
+    churn = run_churn(
+        n,
+        churn_fraction=0.01,
+        batches=2 if smoke else 3,
+        target_quality=0.60,
+        seed=0,
+        backend=backend_spec,
+    )
+    if not churn.guarantees_match:
+        raise AssertionError(
+            "stream churn: incremental guarantee diverged from cold rematch"
+        )
+    results["stream_update"] = {
+        "n": n,
+        "seconds": churn.update_seconds + churn.incremental_seconds,
+        "churn_fraction": churn.churn_fraction,
+        "batches": churn.batches,
+    }
+    results["stream_speedup"] = {
+        "n": n,
+        "speedup": churn.speedup,
+        "cold_seconds": churn.cold_seconds,
+        "guarantee": churn.guarantee,
+        "guarantees_match": churn.guarantees_match,
+    }
+    print(
+        f"  {'stream_update':<22} n={n:<7} "
+        f"{(churn.update_seconds + churn.incremental_seconds) * 1e3:9.2f} ms"
+    )
+    print(
+        f"  {'stream_speedup':<22} n={n:<7} {churn.speedup:9.2f}x "
+        f"(cold {churn.cold_seconds * 1e3:.2f} ms)"
     )
 
     print("quality workloads:")

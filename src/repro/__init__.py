@@ -28,6 +28,9 @@ Public API highlights
 * :mod:`repro.resilience` — fault injection, the deadline/retry
   :class:`~repro.resilience.ResilientBackend`, and the chaos harness
   (``python -m repro chaos``; ``docs/resilience.md``).
+* :mod:`repro.stream` — dynamic bipartite graphs with epoch-stamped
+  snapshots, warm-started quality re-certification, and incremental
+  matching repair (``python -m repro stream``; ``docs/streaming.md``).
 """
 
 from repro.constants import (
@@ -46,6 +49,7 @@ from repro.errors import (
     RetryExhaustedError,
     ScalingError,
     ShapeError,
+    StreamError,
     TelemetryError,
     ValidationError,
     WorkerCrashError,
@@ -92,6 +96,7 @@ __all__ = [
     "DeadlineExceededError",
     "ResultCorruptionError",
     "RetryExhaustedError",
+    "StreamError",
     "TelemetryError",
     # telemetry
     "telemetry",

@@ -12,7 +12,10 @@ Subcommands::
                               [--jsonl trace.jsonl]
     python -m repro chaos    [--n 600] [--deadline 0.3] [--smoke]
     python -m repro serve    [--backend shm:4] [--soak 200] [--overload 2]
-                             [--chaos]
+                             [--chaos] [--graph-cache-cap 32]
+                             [--max-streams 8]
+    python -m repro stream   [--n 10000] [--churn 0.01] [--batches 3]
+                             [--target 0.6] [--smoke]
 
 Matrices are MatrixMarket coordinate files (``.mtx``) or the library's
 ``.npz`` cache format (auto-detected by extension).
@@ -250,7 +253,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if backend is None:
         backend = os.environ.get("REPRO_BACKEND") or None
     if args.soak is None:
-        return serve_forever(backend)
+        return serve_forever(
+            backend,
+            graph_cache_cap=args.graph_cache_cap,
+            max_streams=args.max_streams,
+        )
     config = ServerConfig(
         default_deadline=args.deadline,
         chunk_deadline=max(0.2, args.deadline / 2),
@@ -273,6 +280,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     print(report.render())
     return 0 if report.passed else 1
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Run the dynamic-graph churn demo and print the timing report.
+
+    Exercises the ``repro.stream`` layer end to end: build a graph,
+    churn its edges in batches, repair the matching incrementally, and
+    compare against cold from-scratch rematches of the same epochs.
+    Exits 1 if any batch's incremental guarantee disagreed with the
+    cold one (that equality is the subsystem's core contract).
+    """
+    from repro.stream import run_churn
+
+    n = min(args.n, 4000) if args.smoke else args.n
+    report = run_churn(
+        n,
+        churn_fraction=args.churn,
+        batches=args.batches,
+        target_quality=args.target,
+        seed=args.seed,
+        backend=args.backend,
+        compare_cold=not args.no_cold,
+    )
+    print(f"n               : {report.n} (degree {report.degree} perms "
+          f"+ extras)")
+    print(f"churn           : {report.churn_fraction:.2%} of edges x "
+          f"{report.batches} batches")
+    print(f"update          : {report.update_seconds * 1e3:8.1f} ms/batch")
+    print(f"incremental     : "
+          f"{report.incremental_seconds * 1e3:8.1f} ms/batch")
+    if not args.no_cold:
+        print(f"cold rematch    : {report.cold_seconds * 1e3:8.1f} ms/batch")
+        print(f"speedup         : {report.speedup:8.2f}x "
+              f"(cold / (update + incremental))")
+        print(f"guarantees match: {report.guarantees_match}")
+    print(f"guarantee       : {report.guarantee:.4f}")
+    print(f"cardinality     : {report.cardinality}")
+    return 0 if (args.no_cold or report.guarantees_match) else 1
 
 
 def cmd_dm(args: argparse.Namespace) -> int:
@@ -456,7 +501,40 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--max-queue", type=int, default=16,
                          dest="max_queue")
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--graph-cache-cap", type=int, default=32, dest="graph_cache_cap",
+        help="LRU cap on the daemon's spec->graph cache",
+    )
+    p_serve.add_argument(
+        "--max-streams", type=int, default=8, dest="max_streams",
+        help="max concurrently open dynamic-graph handles (daemon mode)",
+    )
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="dynamic-graph churn demo: incremental vs cold rematch",
+    )
+    p_stream.add_argument("--n", type=int, default=10_000)
+    p_stream.add_argument("--churn", type=float, default=0.01,
+                          help="fraction of edges replaced per batch")
+    p_stream.add_argument("--batches", type=int, default=3)
+    p_stream.add_argument("--target", type=float, default=0.60,
+                          help="expected-quality target to certify")
+    p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.add_argument(
+        "--backend", default=None,
+        help="parallel backend spec (e.g. threads:4, shm:2)",
+    )
+    p_stream.add_argument(
+        "--no-cold", action="store_true", dest="no_cold",
+        help="skip the cold-rematch comparison (just time the updates)",
+    )
+    p_stream.add_argument(
+        "--smoke", action="store_true",
+        help="cap n at 4000 (the CI smoke configuration)",
+    )
+    p_stream.set_defaults(fn=cmd_stream)
 
     p_gen = sub.add_parser("generate", help="generate a test matrix")
     p_gen.add_argument("kind")

@@ -21,6 +21,7 @@ __all__ = [
     "ResultCorruptionError",
     "RetryExhaustedError",
     "ServiceError",
+    "StreamError",
     "OverloadedError",
     "CircuitOpenError",
     "ServerClosedError",
@@ -131,6 +132,11 @@ class ServiceError(ReproError):
     client can always distinguish "the service protected itself" from
     "your request was wrong".
     """
+
+
+class StreamError(ReproError):
+    """A streaming operation is invalid (stale epoch, unknown or
+    exhausted stream handle, ...).  See :mod:`repro.stream`."""
 
 
 class OverloadedError(ServiceError):

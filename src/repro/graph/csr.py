@@ -261,11 +261,13 @@ class BipartiteGraph:
         degs = np.diff(self.row_ptr)[rows]
         new_ptr = np.zeros(rows.shape[0] + 1, dtype=np.int64)
         np.cumsum(degs, out=new_ptr[1:])
-        new_ind = np.empty(int(new_ptr[-1]), dtype=np.int64)
-        for out_i, i in enumerate(rows):
-            new_ind[new_ptr[out_i] : new_ptr[out_i + 1]] = self.row_neighbors(
-                int(i)
-            )
+        # Vectorised range concatenation: for each selected row, the flat
+        # positions row_ptr[i] .. row_ptr[i]+deg-1, with no Python loop.
+        total = int(new_ptr[-1])
+        flat = np.arange(total, dtype=np.int64) + np.repeat(
+            self.row_ptr[rows] - new_ptr[:-1], degs
+        )
+        new_ind = self.col_ind[flat]
         return BipartiteGraph(
             rows.shape[0], self.ncols, new_ptr, new_ind, validate=False
         )

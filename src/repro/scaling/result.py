@@ -39,6 +39,11 @@ class ScalingResult:
         guarantee applies), or ``"uniform"`` (pattern-uniform
         ``dr = dc = 1`` fallback — no guarantee).  See
         ``docs/resilience.md``.
+    warm_started:
+        Whether the sweep started from caller-provided ``(dr, dc)``
+        factors (the ``initial=`` kwarg) instead of all-ones.  Warm
+        starts from a near-fixed-point converge in a handful of sweeps —
+        the streaming layer's rescaling path (``docs/streaming.md``).
     """
 
     dr: FloatArray
@@ -48,6 +53,7 @@ class ScalingResult:
     converged: bool
     history: tuple[float, ...] = field(default=())
     rung: str = "full"
+    warm_started: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(

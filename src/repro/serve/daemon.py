@@ -14,8 +14,23 @@ Requests (``op`` selects the operation)::
     {"id": 2, "op": "health"}
     {"id": 3, "op": "shutdown"}
 
-Graph specs (``graph``) are cached by their JSON key, so a client can
-re-submit the same spec without rebuilding it server-side:
+Streaming requests work against a *handle* to a server-side
+:class:`~repro.stream.DynamicBipartiteGraph` (see ``docs/streaming.md``)::
+
+    {"id": 4, "op": "stream_open", "graph": {...}, "target_quality": 0.6}
+    {"id": 5, "op": "update", "handle": "s1",
+     "add": {"rows": [0], "cols": [1]}, "remove": {"rows": [2], "cols": [0]}}
+    {"id": 6, "op": "rematch", "handle": "s1", "expect_epoch": 2}
+    {"id": 7, "op": "stream_close", "handle": "s1"}
+
+``update``/``rematch`` also answer to ``stream_update``/``stream_rematch``.
+``expect_epoch`` (optional) makes ``rematch`` fail with a typed
+``StreamError`` when the graph has moved past the epoch the client
+thinks it is at, instead of silently answering for a newer state.
+
+Graph specs (``graph``) are cached by their JSON key (LRU-bounded — see
+*graph_cache_cap*), so a client can re-submit the same spec without
+rebuilding it server-side:
 
 * ``{"kind": "sprand", "n": 1000, "degree": 4.0, "seed": 0}``
 * ``{"kind": "union", "n": 1000, "k": 3, "seed": 0}``
@@ -34,17 +49,94 @@ from __future__ import annotations
 
 import json
 import sys
+from collections import OrderedDict
 from typing import Any, IO
 
-from repro.errors import ReproError, ServiceError
+import numpy as np
+
+from repro import telemetry as _tm
+from repro.errors import ReproError, ServiceError, StreamError
 from repro.graph.csr import BipartiteGraph
 from repro.parallel.backends import Backend
 from repro.serve.server import MatchingServer, MatchRequest, ServerConfig
 
-__all__ = ["serve_forever", "build_graph"]
+__all__ = ["serve_forever", "build_graph", "GraphCache"]
 
 
-def build_graph(spec: Any, cache: dict[str, BipartiteGraph] | None = None) -> BipartiteGraph:
+class GraphCache:
+    """LRU-bounded spec-key → graph cache for the daemon.
+
+    The previous unbounded ``dict`` leaked memory in a long-running
+    daemon fed many distinct specs; this keeps at most *cap* graphs,
+    evicting the least recently *used* (hits refresh recency).  The
+    mapping surface (``in`` / ``[]``) matches what :func:`build_graph`
+    needs, so a plain dict still works there too.
+    """
+
+    def __init__(self, cap: int = 32) -> None:
+        if cap < 1:
+            raise ServiceError(f"graph cache cap must be >= 1, got {cap}")
+        self.cap = int(cap)
+        self.evictions = 0
+        self._data: OrderedDict[str, BipartiteGraph] = OrderedDict()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, key: str) -> BipartiteGraph:
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def __setitem__(self, key: str, graph: BipartiteGraph) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = graph
+        while len(self._data) > self.cap:
+            self._data.popitem(last=False)
+            self.evictions += 1
+            if _tm.enabled():
+                _tm.incr("serve.graph_cache.evictions")
+
+
+def _coo_indices(value: Any, field: str) -> np.ndarray:
+    """Validate one COO index field into an int64 array (typed errors)."""
+    try:
+        arr = np.asarray(value)
+    except Exception:
+        raise ServiceError(
+            f"COO field {field!r} is not array-like"
+        ) from None
+    if arr.ndim != 1:
+        raise ServiceError(
+            f"COO field {field!r} must be a flat list, got shape"
+            f" {arr.shape}"
+        )
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        raise ServiceError(
+            f"COO field {field!r} must contain integers only, got"
+            f" dtype {arr.dtype}"
+        )
+    return arr.astype(np.int64)
+
+
+def _coo_dim(spec: dict, field: str) -> int:
+    if field not in spec:
+        raise ServiceError(f"COO graph spec is missing {field!r}")
+    value = spec[field]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServiceError(
+            f"COO field {field!r} must be an integer, got"
+            f" {type(value).__name__}"
+        )
+    return value
+
+
+def build_graph(
+    spec: Any, cache: "GraphCache | dict[str, BipartiteGraph] | None" = None
+) -> BipartiteGraph:
     """Materialise a graph from a daemon *spec* (see module docstring)."""
     if not isinstance(spec, dict):
         raise ServiceError(
@@ -80,12 +172,16 @@ def build_graph(spec: Any, cache: dict[str, BipartiteGraph] | None = None) -> Bi
     elif "rows" in spec and "cols" in spec:
         from repro.graph.build import from_edges
 
-        graph = from_edges(
-            int(spec["nrows"]),
-            int(spec["ncols"]),
-            spec["rows"],
-            spec["cols"],
-        )
+        nrows = _coo_dim(spec, "nrows")
+        ncols = _coo_dim(spec, "ncols")
+        rows = _coo_indices(spec["rows"], "rows")
+        cols = _coo_indices(spec["cols"], "cols")
+        if rows.shape[0] != cols.shape[0]:
+            raise ServiceError(
+                f"COO fields 'rows' and 'cols' differ in length:"
+                f" {rows.shape[0]} vs {cols.shape[0]}"
+            )
+        graph = from_edges(nrows, ncols, rows, cols)
     else:
         raise ServiceError(
             "graph spec needs 'path', 'kind' in {'sprand', 'union'}, or "
@@ -136,21 +232,143 @@ def _handle_match(
     }
 
 
+class _StreamRegistry:
+    """Server-side handles to dynamic graphs and their matchers."""
+
+    def __init__(self, max_streams: int, backend: Backend | str | None) -> None:
+        self.max_streams = int(max_streams)
+        self.backend = backend
+        self._sessions: dict[str, tuple[Any, Any]] = {}
+        self._next = 0
+
+    def open(self, msg: dict[str, Any], cache: Any) -> dict[str, Any]:
+        from repro.stream.dynamic import DynamicBipartiteGraph
+        from repro.stream.matcher import StreamMatcher
+
+        if len(self._sessions) >= self.max_streams:
+            raise StreamError(
+                f"stream limit reached ({self.max_streams} open);"
+                f" close a handle first"
+            )
+        base = build_graph(msg.get("graph"), cache)
+        graph = DynamicBipartiteGraph(base)
+        matcher = StreamMatcher(
+            graph,
+            float(msg.get("target_quality", 0.55)),
+            seed=msg.get("seed"),
+            backend=self.backend,
+            topup=bool(msg.get("topup", False)),
+        )
+        self._next += 1
+        handle = f"s{self._next}"
+        self._sessions[handle] = (graph, matcher)
+        if _tm.enabled():
+            _tm.incr("serve.stream.opens")
+            _tm.set_gauge("serve.stream.open_handles", len(self._sessions))
+        return {
+            "handle": handle,
+            "epoch": graph.epoch,
+            "nrows": graph.nrows,
+            "ncols": graph.ncols,
+            "nnz": graph.nnz,
+        }
+
+    def get(self, msg: dict[str, Any]) -> tuple[Any, Any]:
+        handle = msg.get("handle")
+        if handle not in self._sessions:
+            raise StreamError(f"unknown stream handle {handle!r}")
+        return self._sessions[handle]
+
+    def update(self, msg: dict[str, Any]) -> dict[str, Any]:
+        graph, _ = self.get(msg)
+        added = removed = 0
+        remove = msg.get("remove")
+        if remove is not None:
+            removed = graph.remove_edges(
+                _coo_indices(remove.get("rows", ()), "remove.rows"),
+                _coo_indices(remove.get("cols", ()), "remove.cols"),
+                strict=bool(msg.get("strict", True)),
+            )
+        add = msg.get("add")
+        if add is not None:
+            added = graph.add_edges(
+                _coo_indices(add.get("rows", ()), "add.rows"),
+                _coo_indices(add.get("cols", ()), "add.cols"),
+            )
+        grow = msg.get("grow")
+        if grow is not None:
+            graph.grow(
+                int(grow.get("nrows", graph.nrows)),
+                int(grow.get("ncols", graph.ncols)),
+            )
+        if _tm.enabled():
+            _tm.incr("serve.stream.updates")
+        return {
+            "epoch": graph.epoch,
+            "added": added,
+            "removed": removed,
+            "nnz": graph.nnz,
+        }
+
+    def rematch(self, msg: dict[str, Any]) -> dict[str, Any]:
+        graph, matcher = self.get(msg)
+        expect = msg.get("expect_epoch")
+        if expect is not None and int(expect) != graph.epoch:
+            raise StreamError(
+                f"stale epoch: client expected {int(expect)}, graph is at"
+                f" {graph.epoch}"
+            )
+        result = matcher.rematch(cold=bool(msg.get("cold", False)))
+        if _tm.enabled():
+            _tm.incr("serve.stream.rematches")
+        payload = {
+            "epoch": result.epoch,
+            "mode": result.mode,
+            "cardinality": result.cardinality,
+            "certified_quality": result.quality.certified_quality,
+            "min_column_sum": result.quality.min_column_sum,
+            "guarantee": result.guarantee,
+            "resampled_rows": result.resampled_rows,
+            "resampled_cols": result.resampled_cols,
+            "repaired_rows": result.repaired_rows,
+            "repaired_cols": result.repaired_cols,
+            "topup_gain": result.topup_gain,
+        }
+        if msg.get("include_matching"):
+            payload["row_match"] = result.matching.row_match.tolist()
+        return payload
+
+    def close(self, msg: dict[str, Any]) -> dict[str, Any]:
+        handle = msg.get("handle")
+        if handle not in self._sessions:
+            raise StreamError(f"unknown stream handle {handle!r}")
+        del self._sessions[handle]
+        if _tm.enabled():
+            _tm.incr("serve.stream.closes")
+            _tm.set_gauge("serve.stream.open_handles", len(self._sessions))
+        return {"handle": handle, "closed": True}
+
+
 def serve_forever(
     backend: Backend | str | None = None,
     *,
     config: ServerConfig | None = None,
     stdin: IO[str] | None = None,
     stdout: IO[str] | None = None,
+    graph_cache_cap: int = 32,
+    max_streams: int = 8,
 ) -> int:
     """Run the JSON-lines daemon until EOF or a ``shutdown`` op.
 
     Returns a process exit code (0 on clean shutdown).  *stdin* /
     *stdout* default to the process streams; tests pass ``io.StringIO``.
+    *graph_cache_cap* bounds the spec→graph LRU cache; *max_streams*
+    bounds the number of concurrently open dynamic-graph handles.
     """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
-    cache: dict[str, BipartiteGraph] = {}
+    cache = GraphCache(graph_cache_cap)
+    streams = _StreamRegistry(max_streams, backend)
 
     def emit(payload: dict[str, Any]) -> None:
         stdout.write(json.dumps(payload) + "\n")
@@ -170,6 +388,18 @@ def serve_forever(
                 op = msg.get("op", "match")
                 if op == "match":
                     emit(_handle_match(server, msg, cache))
+                elif op == "stream_open":
+                    emit({"id": request_id, "ok": True,
+                          **streams.open(msg, cache)})
+                elif op in ("update", "stream_update"):
+                    emit({"id": request_id, "ok": True,
+                          **streams.update(msg)})
+                elif op in ("rematch", "stream_rematch"):
+                    emit({"id": request_id, "ok": True,
+                          **streams.rematch(msg)})
+                elif op == "stream_close":
+                    emit({"id": request_id, "ok": True,
+                          **streams.close(msg)})
                 elif op == "health":
                     emit({"id": request_id, "ok": True, **server.health()})
                 elif op == "shutdown":
@@ -177,8 +407,9 @@ def serve_forever(
                     break
                 else:
                     raise ServiceError(
-                        f"unknown op {op!r}; expected 'match', 'health', "
-                        f"or 'shutdown'"
+                        f"unknown op {op!r}; expected 'match', 'stream_open',"
+                        f" 'update', 'rematch', 'stream_close', 'health', or"
+                        f" 'shutdown'"
                     )
             except json.JSONDecodeError as exc:
                 emit(_error_response(request_id, ServiceError(

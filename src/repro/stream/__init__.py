@@ -1,0 +1,25 @@
+"""``repro.stream`` — dynamic graphs with incremental matching repair.
+
+The streaming layer for evolving workloads (see ``docs/streaming.md``):
+
+* :class:`DynamicBipartiteGraph` — a versioned, editable edge set with
+  epoch-stamped lazy CSR snapshots and a bounded dirty-vertex journal;
+* :class:`StreamMatcher` — maintains a quality-certified matching under
+  edits via warm-started rescaling, dirty-vertex choice resampling and
+  per-component Karp–Sipser repair, with an optional exact top-up;
+* :func:`run_churn` — the churn benchmark used by the CLI and the
+  regression harness.
+"""
+
+from repro.stream.bench import ChurnReport, run_churn
+from repro.stream.dynamic import DirtySet, DynamicBipartiteGraph
+from repro.stream.matcher import StreamMatcher, StreamMatchResult
+
+__all__ = [
+    "DynamicBipartiteGraph",
+    "DirtySet",
+    "StreamMatcher",
+    "StreamMatchResult",
+    "ChurnReport",
+    "run_churn",
+]

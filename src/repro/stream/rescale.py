@@ -1,0 +1,257 @@
+"""Localized quality re-certification after an edit batch.
+
+A full Sinkhorn–Knopp sweep costs O(nnz) and, after random churn, most
+of it is wasted: the previous epoch's ``(dr, dc)`` already put every
+*untouched* column comfortably above the certification level α — only
+columns incident to the edits (or sharing a row with them) can have
+dropped below it.  Worse, the sweeps needed to fix one freshly deficient
+column are the same from a warm start as from a cold one, so plain
+warm-started global sweeps save little (see ``docs/streaming.md``).
+
+:func:`local_rebalance` fixes the deficient columns directly:
+
+1. obtain all column sums of the row-normalised pick probabilities —
+   either one O(nnz) pass (no sort; the CSC mirror is already
+   column-grouped), or, when the caller hands back the previous epoch's
+   maintained ``(rowtot, colsum)`` state, a dirty-neighbourhood refresh
+   that skips the global pass entirely;
+2. multiplicatively boost ``dc`` on the deficient columns to the level
+   α·*slack*;
+3. refresh the row totals of exactly the rows adjacent to the boosted
+   columns, then re-measure exactly the columns adjacent to those rows
+   (the only sums that can have moved);
+4. repeat until no column is deficient or the round budget is spent.
+
+Each round touches O(edges incident to the boosted neighbourhood)
+instead of O(nnz): row totals and column sums are *delta-tracked*
+(scatter-adds over exactly the edges whose contribution moved), and the
+loop typically ends in a handful of rounds because a boost spreads its
+side effects over high-degree rows.  Delta tracking drifts by a few
+ulps per round, so before certifying, every row and column the loop
+touched is re-measured from the final factors by a fresh gather — the
+reported minimum and the carried state equal what a full pass would
+produce.  When the loop fails to certify the target, the caller falls
+back to warm-started global sweeps
+(:func:`~repro.scaling.scale_for_quality` with ``initial=``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import telemetry as _tm
+from repro._typing import FloatArray
+from repro.constants import ONE_SIDED_GUARANTEE, one_sided_guarantee_relaxed
+from repro.graph.csr import BipartiteGraph
+from repro.parallel.reduction import segment_sums
+from repro.scaling.adaptive import QualityScaling, alpha_for_quality
+from repro.scaling.result import ScalingResult
+
+__all__ = ["local_rebalance", "measure_state"]
+
+
+def _gather_segments(ptr, ind, idxs):
+    """Concatenate CSR segments ``ind[ptr[i]:ptr[i+1]]`` for ``i ∈ idxs``.
+
+    Returns ``(values, sub_ptr)`` — the concatenated entries and the
+    segment boundaries — using vectorised range arithmetic only.
+    """
+    degs = ptr[idxs + 1] - ptr[idxs]
+    sub_ptr = np.zeros(idxs.shape[0] + 1, dtype=np.int64)
+    np.cumsum(degs, out=sub_ptr[1:])
+    total = int(sub_ptr[-1])
+    flat = np.arange(total, dtype=np.int64) + np.repeat(
+        ptr[idxs] - sub_ptr[:-1], degs
+    )
+    return ind[flat], sub_ptr
+
+
+def _column_prob_sums(
+    graph: BipartiteGraph, dc: FloatArray, inv_rowtot: FloatArray
+) -> FloatArray:
+    """All column sums of the row-normalised pick probabilities, O(nnz)."""
+    numer = np.repeat(dc, np.diff(graph.col_ptr))
+    probs = numer * inv_rowtot[graph.row_ind]
+    return segment_sums(probs, graph.col_ptr)
+
+
+def measure_state(
+    graph: BipartiteGraph, dc: FloatArray
+) -> tuple[FloatArray, FloatArray]:
+    """Exact ``(rowtot, colsum)`` of *dc* on *graph* (one O(nnz) pass).
+
+    ``rowtot[i]`` is the sum of ``dc`` over row *i*'s columns and
+    ``colsum[j]`` the column sum of the row-normalised pick
+    probabilities — the two vectors :func:`local_rebalance` maintains.
+    """
+    rowtot = segment_sums(dc[graph.col_ind], graph.row_ptr)
+    inv_rowtot = np.zeros_like(rowtot)
+    np.divide(1.0, rowtot, out=inv_rowtot, where=rowtot > 0)
+    return rowtot, _column_prob_sums(graph, dc, inv_rowtot)
+
+
+def local_rebalance(
+    graph: BipartiteGraph,
+    dc: FloatArray,
+    target_quality: float,
+    *,
+    max_rounds: int = 30,
+    slack: float = 1.1,
+    state: tuple[FloatArray, FloatArray] | None = None,
+    dirty_rows: FloatArray | None = None,
+    dirty_cols: FloatArray | None = None,
+) -> tuple[QualityScaling, tuple[FloatArray, FloatArray]]:
+    """Repair a near-certifying column scaling to the target level locally.
+
+    Only ``dc`` matters for the Section 3.3 certificate (row factors
+    cancel in the row-normalised pick probabilities); the returned
+    ``dr`` is the exact row-normaliser ``1 / rowtot`` of the final
+    ``dc``, so the pair is row-stochastic by construction.
+
+    *state* is the previous epoch's ``(rowtot, colsum)`` pair (sized for
+    *graph*, ownership transfers — the arrays are updated in place).
+    With it, the initial O(nnz) measurement shrinks to the dirty
+    neighbourhood: only rows in *dirty_rows* changed their totals, and
+    only columns adjacent to them (plus *dirty_cols*) can have moved
+    their sums.  Without it, both vectors are measured from scratch.
+
+    Returns ``(quality, (rowtot, colsum))`` — a
+    :class:`~repro.scaling.adaptive.QualityScaling` whose
+    ``certified_quality`` comes from exact measurements of the final
+    factors, plus the maintained state for the next call.  ``target_met``
+    is ``False`` when the local loop could not lift every column
+    (callers should then fall back to global sweeps and re-measure).
+    ``scaling.iterations`` counts local rounds.
+    """
+    alpha = alpha_for_quality(target_quality)
+    dc = np.array(dc, dtype=np.float64, copy=True)
+    level = alpha * slack
+
+    if state is None:
+        rowtot, colsum = measure_state(graph, dc)
+    else:
+        rowtot, colsum = state
+        d_rows = np.asarray(
+            dirty_rows if dirty_rows is not None else (), dtype=np.int64
+        )
+        d_cols = np.asarray(
+            dirty_cols if dirty_cols is not None else (), dtype=np.int64
+        )
+        col_mask = np.zeros(graph.ncols, dtype=bool)
+        col_mask[d_cols] = True
+        if d_rows.size:
+            cols_of_rows, sub_ptr = _gather_segments(
+                graph.row_ptr, graph.col_ind, d_rows
+            )
+            rowtot[d_rows] = segment_sums(dc[cols_of_rows], sub_ptr)
+            col_mask[cols_of_rows] = True
+        stale = np.flatnonzero(col_mask)
+    inv_rowtot = np.zeros_like(rowtot)
+    np.divide(1.0, rowtot, out=inv_rowtot, where=rowtot > 0)
+    if state is not None and stale.size:
+        rows_st, st_ptr = _gather_segments(
+            graph.col_ptr, graph.row_ind, stale
+        )
+        colsum[stale] = dc[stale] * segment_sums(inv_rowtot[rows_st], st_ptr)
+    nonempty = np.diff(graph.col_ptr) > 0
+    deficient = nonempty & (colsum < alpha)
+
+    rounds = 0
+    touched_row_mask = np.zeros(graph.nrows, dtype=bool)
+    touched_col_mask = np.zeros(graph.ncols, dtype=bool)
+    deficient_idx = np.flatnonzero(deficient)
+    while deficient_idx.size and rounds < max_rounds:
+        d = deficient_idx
+        # Boost the deficient columns to slightly above the bar; their
+        # sums scale linearly in dc[j] at fixed row totals.
+        old_dc = dc[d].copy()
+        dc[d] *= level / np.maximum(colsum[d], 1e-300)
+        colsum[d] = level
+        touched_col_mask[d] = True
+
+        # Rows whose totals moved: those adjacent to a boosted column.
+        # Their totals and the downstream column sums are delta-tracked
+        # (scatter-adds over the touched edges only) — re-gathering the
+        # full edge sets of every affected column would cost a factor of
+        # the average degree more per round.
+        rows_d, d_ptr = _gather_segments(graph.col_ptr, graph.row_ind, d)
+        row_delta = np.bincount(
+            rows_d,
+            weights=np.repeat(dc[d] - old_dc, np.diff(d_ptr)),
+            minlength=graph.nrows,
+        )
+        touched = np.flatnonzero(row_delta)
+        old_inv = inv_rowtot[touched].copy()
+        rowtot[touched] += row_delta[touched]
+        # NB: fancy indexing in `out=` would write into a temporary copy;
+        # scatter the computed values explicitly.
+        new_inv = np.zeros(touched.shape[0])
+        np.divide(1.0, rowtot[touched], out=new_inv, where=rowtot[touched] > 0)
+        inv_rowtot[touched] = new_inv
+        touched_row_mask[touched] = True
+
+        # Column sums move by dc[j] * Δ(1/rowtot) summed over the
+        # touched rows each column meets.
+        cols_of_rows, sub_ptr = _gather_segments(
+            graph.row_ptr, graph.col_ind, touched
+        )
+        colsum += np.bincount(
+            cols_of_rows,
+            weights=dc[cols_of_rows]
+            * np.repeat(new_inv - old_inv, np.diff(sub_ptr)),
+            minlength=graph.ncols,
+        )
+        touched_col_mask[cols_of_rows] = True
+        deficient_idx = np.flatnonzero(nonempty & (colsum < alpha))
+        rounds += 1
+
+    # Delta tracking drifts by a few ulps per round; the certificate and
+    # the carried state must be exact, so re-measure everything the loop
+    # touched from the final factors in one pass.
+    t_rows = np.flatnonzero(touched_row_mask)
+    if t_rows.size:
+        cols_tr, ptr_tr = _gather_segments(graph.row_ptr, graph.col_ind, t_rows)
+        new_tot = segment_sums(dc[cols_tr], ptr_tr)
+        rowtot[t_rows] = new_tot
+        new_inv = np.zeros_like(new_tot)
+        np.divide(1.0, new_tot, out=new_inv, where=new_tot > 0)
+        inv_rowtot[t_rows] = new_inv
+    t_cols = np.flatnonzero(touched_col_mask)
+    if t_cols.size:
+        rows_tc, ptr_tc = _gather_segments(graph.col_ptr, graph.row_ind, t_cols)
+        colsum[t_cols] = dc[t_cols] * segment_sums(
+            inv_rowtot[rows_tc], ptr_tc
+        )
+    current = float(colsum[nonempty].min()) if nonempty.any() else 0.0
+    dr = inv_rowtot.copy()
+    dr[rowtot <= 0] = 1.0
+
+    if _tm.enabled():
+        _tm.incr("stream.rebalance.runs")
+        _tm.set_gauge("stream.rebalance.rounds", rounds)
+        _tm.set_gauge("stream.rebalance.min_col_sum", current)
+
+    # With dr = 1/rowtot the raw scaled column sums coincide with the
+    # row-normalised probability sums already in `colsum`, so the
+    # paper's scaling error is free too.
+    error = (
+        float(np.abs(colsum[nonempty] - 1.0).max()) if nonempty.any() else 0.0
+    )
+    scaling = ScalingResult(
+        dr=dr,
+        dc=dc,
+        error=error,
+        iterations=rounds,
+        converged=current >= alpha,
+        warm_started=True,
+    )
+    certified = min(
+        one_sided_guarantee_relaxed(min(current, 1.0)), ONE_SIDED_GUARANTEE
+    )
+    quality = QualityScaling(
+        scaling=scaling,
+        min_column_sum=current,
+        certified_quality=certified,
+        target_met=current >= alpha,
+    )
+    return quality, (rowtot, colsum)

@@ -1,0 +1,129 @@
+"""Warm-started Sinkhorn–Knopp: convergence, fixed points, validation.
+
+The streaming layer leans on ``initial=`` warm starts being *safe*: a
+warm run must land on the same fixed point as a cold one (not merely a
+nearby one), certify the same quality, and refuse poisoned inputs
+loudly.  These tests pin all three down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import ScalingError
+from repro.graph.generators import sprand, union_of_permutations
+from repro.scaling import scale_for_quality, scale_sinkhorn_knopp
+from repro.scaling.sinkhorn_knopp import initial_factors
+
+TOL = 1e-6
+
+
+def _graph(n=250, seed=0):
+    # Union of permutations has total support, so SK converges properly.
+    return union_of_permutations(n, 3, seed=seed)
+
+
+def test_warm_start_from_converged_needs_at_most_two_sweeps():
+    g = _graph()
+    cold = scale_sinkhorn_knopp(g, tolerance=TOL)
+    assert cold.converged
+    warm = scale_sinkhorn_knopp(
+        g, tolerance=TOL, initial=(cold.dr, cold.dc)
+    )
+    assert warm.converged and warm.warm_started
+    assert warm.iterations <= 2
+    assert not cold.warm_started
+
+
+def test_warm_accepts_scaling_result_directly():
+    g = _graph(seed=3)
+    cold = scale_sinkhorn_knopp(g, tolerance=TOL)
+    warm = scale_sinkhorn_knopp(g, tolerance=TOL, initial=cold)
+    assert warm.iterations <= 2
+
+
+def test_warm_and_cold_reach_same_fixed_point():
+    g = _graph(seed=1)
+    cold = scale_sinkhorn_knopp(g, tolerance=1e-10)
+    # Perturbed warm start: must converge back to the same fixed point
+    # (SK's doubly stochastic limit is unique up to the scalar gauge
+    # freedom dr -> t*dr, dc -> dc/t, which row-normalisation removes).
+    rng = np.random.default_rng(7)
+    dr0 = cold.dr * rng.uniform(0.9, 1.1, size=g.nrows)
+    dc0 = cold.dc * rng.uniform(0.9, 1.1, size=g.ncols)
+    warm = scale_sinkhorn_knopp(g, tolerance=1e-10, initial=(dr0, dc0))
+    assert warm.converged
+    gauge = np.median(warm.dr / cold.dr)
+    np.testing.assert_allclose(warm.dr, cold.dr * gauge, rtol=1e-6)
+    np.testing.assert_allclose(warm.dc, cold.dc / gauge, rtol=1e-6)
+
+
+def test_warm_quality_certificate_matches_cold():
+    g = sprand(300, 5.0, seed=2)
+    target = 0.55
+    cold = scale_for_quality(g, target)
+    warm = scale_for_quality(
+        g, target, initial=(cold.scaling.dr, cold.scaling.dc)
+    )
+    assert warm.target_met == cold.target_met
+    # Warm-starting from the converged factors changes nothing: the very
+    # same certificate, to the last bit of the fixed point.
+    np.testing.assert_allclose(
+        warm.scaling.dc, cold.scaling.dc, rtol=1e-12
+    )
+    assert warm.certified_quality == pytest.approx(
+        cold.certified_quality, rel=1e-12
+    )
+    assert warm.scaling.iterations <= cold.scaling.iterations
+
+
+def test_warm_start_telemetry():
+    g = _graph(seed=5)
+    cold = scale_sinkhorn_knopp(g, tolerance=TOL)
+    with telemetry.session() as reg:
+        scale_sinkhorn_knopp(g, tolerance=TOL, initial=cold)
+        snap = reg.snapshot()
+    assert snap["scaling.sk.warm_starts"]["value"] == 1
+    assert snap["scaling.warm_sweeps_saved"]["value"] >= 0
+
+
+def test_initial_factors_cold_default():
+    g = _graph(seed=6)
+    dr, dc, warm = initial_factors(g, None)
+    assert not warm
+    assert dr.shape == (g.nrows,) and dc.shape == (g.ncols,)
+    assert (dr == 1.0).all() and (dc == 1.0).all()
+
+
+def test_initial_factors_rejects_poisoned_input():
+    g = _graph(seed=6)
+    ones_r = np.ones(g.nrows)
+    ones_c = np.ones(g.ncols)
+    with pytest.raises(ScalingError, match="shapes"):
+        initial_factors(g, (np.ones(3), ones_c))
+    with pytest.raises(ScalingError, match="finite"):
+        bad = ones_r.copy()
+        bad[0] = np.inf
+        initial_factors(g, (bad, ones_c))
+    with pytest.raises(ScalingError, match="finite"):
+        bad = ones_c.copy()
+        bad[0] = np.nan
+        initial_factors(g, (ones_r, bad))
+    with pytest.raises(ScalingError, match="positive"):
+        bad = ones_r.copy()
+        bad[0] = 0.0
+        initial_factors(g, (bad, ones_c))
+    with pytest.raises(ScalingError, match="pair or a ScalingResult"):
+        initial_factors(g, 3.5)
+
+
+def test_initial_factors_copies_input():
+    g = _graph(seed=6)
+    dr0 = np.ones(g.nrows)
+    dc0 = np.ones(g.ncols)
+    dr, dc, warm = initial_factors(g, (dr0, dc0))
+    assert warm
+    dr[0] = 99.0
+    assert dr0[0] == 1.0  # caller's array untouched
