@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-regress bench-regress-smoke chaos chaos-smoke serve serve-soak serve-smoke stream stream-smoke experiments verify examples clean
+.PHONY: install test bench bench-regress bench-regress-smoke chaos chaos-smoke serve serve-soak serve-smoke stream stream-smoke exact-smoke experiments verify examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -43,6 +43,9 @@ stream:
 stream-smoke:
 	$(PYTHON) -m pytest -m stream -q
 	timeout 300 $(PYTHON) -m repro stream --smoke
+
+exact-smoke:
+	timeout 480 $(PYTHON) -m pytest -m exact -q
 
 experiments:
 	$(PYTHON) -m repro.experiments all --out results.json

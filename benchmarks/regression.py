@@ -85,6 +85,14 @@ SIZES = {
     # same epoch (informational — it is a ratio of two measured times,
     # so the gated cell alone pins the regression surface).
     "stream_update": (120_000, 8_000),
+    # Exact tier: the ε-scaling auction, cold-started and warm-started
+    # from a TwoSidedMatch heuristic.  Cold is the gated cell (it is the
+    # quality ladder's exact rung); warm-vs-cold is an informational
+    # ratio — the drain + deficiency certification dominate wall clock
+    # and a warm start cannot skip them, so the honest ratio hovers
+    # around 1x (see docs/performance.md).
+    "auction_cold": (120_000, 8_000),
+    "auction_warm": (120_000, 8_000),
 }
 
 
@@ -337,6 +345,56 @@ def run_workloads(smoke: bool, backend_spec: str = "serial") -> dict[str, dict]:
     print(
         f"  {'stream_speedup':<22} n={n:<7} {churn.speedup:9.2f}x "
         f"(cold {churn.cold_seconds * 1e3:.2f} ms)"
+    )
+
+    # Exact tier: auction cold vs warm on the same instance.  Both runs
+    # must land on the identical (maximum) cardinality — asserted, not
+    # reported.  The warm/cold ratio is informational with a 2x
+    # aspiration bar; measured honestly it is ~0.7–1.0x because the
+    # Gauss–Seidel drain and the deficiency certification dominate and
+    # cannot be warm-skipped.
+    from repro.matching import auction_match, hopcroft_karp
+
+    n = SIZES["auction_cold"][idx]
+    g = sprand(n, 4.0, seed=11)
+    exact_card = hopcroft_karp(g).cardinality
+    auction_be = get_backend(backend_spec)
+    try:
+        def _cold():
+            res = auction_match(g, backend=auction_be, seed=0)
+            assert res.cardinality == exact_card
+            return res
+
+        record_timing("auction_cold", n, _cold)
+
+        heur = two_sided_match(g, 3, seed=0, backend=auction_be,
+                               engine="vectorized")
+
+        def _warm():
+            res = auction_match(
+                g, initial=heur, scaling=heur.scaling,
+                backend=auction_be, seed=0,
+            )
+            assert res.cardinality == exact_card
+            return res
+
+        record_timing("auction_warm", n, _warm)
+    finally:
+        auction_be.close()
+    ratio = (
+        results["auction_cold"]["seconds"]
+        / results["auction_warm"]["seconds"]
+    )
+    results["auction_warm_speedup"] = {
+        "n": n,
+        "speedup": ratio,
+        "bar": 2.0,
+        "meets_bar": ratio >= 2.0,
+        "cardinality": exact_card,
+    }
+    print(
+        f"  {'auction_warm_speedup':<22} n={n:<7} {ratio:9.2f}x "
+        f"(informational bar 2.0x)"
     )
 
     print("quality workloads:")

@@ -57,15 +57,22 @@ from repro.errors import (
 from repro import telemetry
 from repro.graph import BipartiteGraph
 from repro.matching import (
+    AuctionResult,
     Matching,
     NIL,
+    auction_match,
     hopcroft_karp,
     karp_sipser,
     mc21,
     push_relabel,
     sprank,
 )
-from repro.scaling import ScalingResult, scale_ruiz, scale_sinkhorn_knopp
+from repro.scaling import (
+    ScalingResult,
+    dual_prices,
+    scale_ruiz,
+    scale_sinkhorn_knopp,
+)
 from repro.core import (
     OneSidedResult,
     TwoSidedResult,

@@ -150,6 +150,18 @@ def cmd_match(args: argparse.Namespace) -> int:
         matching = mc21(g)
     elif args.method == "push-relabel":
         matching = push_relabel(g)
+    elif args.method == "auction":
+        from repro.matching import auction_match
+
+        matching = auction_match(g, backend=be, seed=args.seed).matching
+    elif args.method == "auction-warm":
+        from repro.matching import auction_match
+
+        heur = two_sided_match(g, args.iterations, seed=args.seed, backend=be)
+        matching = auction_match(
+            g, initial=heur, scaling=heur.scaling, backend=be,
+            seed=args.seed,
+        ).matching
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown method {args.method}")
     dt = time.perf_counter() - t0
@@ -403,6 +415,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "one-sided", "two-sided", "karp-sipser", "karp-sipser-plus",
             "greedy", "hopcroft-karp", "mc21", "push-relabel",
+            "auction", "auction-warm",
         ],
         default="two-sided",
     )

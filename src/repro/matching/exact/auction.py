@@ -1,0 +1,699 @@
+"""ε-scaling auction engine for maximum-cardinality bipartite matching.
+
+The quality ladder's heuristics (greedy → one_sided → two_sided) certify
+floors below 1; this engine is the exact top rung.  It runs the auction
+algorithm of Bertsekas specialised to the unweighted (cardinality) case,
+in the synchronous/Jacobi form Naparstek–Leshem (arXiv:1401.0119) analyse
+for shared-memory parallelism: every free row computes its bid in the
+same round over a snapshot of the column prices, and the commits happen
+once per round with a deterministic tie-break.  The bid sweep is a
+registered kernel (``auction_bid``), so serial, thread, process, and
+shared-memory backends produce bitwise-identical matchings and prices.
+
+How exactness is certified
+--------------------------
+
+All edge values are equal (we only count cardinality), so a matched pair
+``(i, j)`` satisfies *ε-complementary slackness* when
+
+    ``p[j] <= min_{k ∈ N(i)} p[k] + ε_f``
+
+where ``ε_f <= eps_start`` is the phase ε at the round the pair formed
+(prices of matched columns change only when the pair re-forms, so the
+inequality persists).  Bids are ``second_cheapest_alive + ε``, which is
+bounded by ``dead_level + ε``, so the inequality extends over *dead*
+neighbours too (their price is ≥ the dead level by definition).
+
+A free row is *abandoned* (certified unmatchable) only when every
+neighbour's price is at or above the round's ``dead_level``, which is the
+minimum of two certificates:
+
+* **cap** — ``min(n, m)·eps_start + max(p0) + eps_start``.  An augmenting
+  path alternates matched pairs, and ε-CS lets the column prices along it
+  drop by at most ``eps_start`` per pair; a path from a column priced at
+  the cap would need more than ``min(n, m)`` pairs to reach a free column
+  (free columns never accept a bid, so they keep their initial price
+  ``≤ max(p0)``) — longer than any simple alternating path.
+* **gap/band** — if some price band of width ``> eps_start`` is empty and
+  every *free* column sits below it, the same descent argument shows no
+  augmenting path crosses the band: every column priced above it is dead.
+  This is the auction analogue of push–relabel's gap heuristic and is
+  what keeps deficient instances (where some rows genuinely cannot be
+  matched) from crawling prices up to the cap one ε at a time.
+
+Both certificates are evaluated against the *current* free-column set,
+which only shrinks (columns never unmatch), so abandonment decisions
+remain valid at termination.  Rounds terminate because every active free
+row either bids (raising some column's price by ≥ ε when accepted) or is
+abandoned, and prices are bounded by the cap.
+
+ε-scaling runs the same loop over a decreasing schedule
+``eps_start / eps_factor^k ≥ eps_min``; coarse phases are round-budgeted
+and the final phase runs to quiescence.  For pure cardinality the
+schedule does not change the answer — it tightens the final prices,
+which matters when they warm-start the next streaming epoch.
+
+Warm starts
+-----------
+
+``initial`` accepts a :class:`~repro.matching.matching.Matching` or any
+result object carrying one (``two_sided_match`` results, stream epochs);
+``prices`` accepts a previous epoch's price vector and ``scaling``
+derives dual-like prices from Sinkhorn–Knopp factors
+(:func:`~repro.scaling.duals.dual_prices`).  Warm pairs that violate
+ε-CS at ``eps_start`` are dissolved (the rows re-enter the auction), so
+every invariant above holds regardless of where the start came from.
+
+Sampling fast path
+------------------
+
+On perfectly d-regular square instances (detected by a cheap probe) a
+cold start can skip the auction entirely: Goel–Kapralov–Khanna
+(arXiv:0909.3346) show truncated random-walk augmentation finds a
+perfect matching in ``O(n log n)`` expected steps.  The walk runs
+serially in the parent from the caller's seed (deterministic across
+backends); if its step budget runs out the partial matching warm-starts
+the general auction instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import telemetry as _tm
+from repro._typing import FloatArray, IndexArray
+from repro.errors import MatchingError, ValidationError
+from repro.graph.csr import BipartiteGraph
+from repro.matching.matching import NIL, Matching
+from repro.parallel.backends import Backend
+from repro.parallel.kernels import AUCTION_DROP, run_kernel
+from repro.parallel.reduction import gather_segments
+from repro.resilience.deadline import request_deadline
+
+__all__ = ["AuctionResult", "auction_match", "regularity_probe"]
+
+#: Relative slack when comparing float price gaps against ε thresholds —
+#: certificates must only fire on gaps *strictly* wider than ε.
+_GAP_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class AuctionResult:
+    """Outcome of :func:`auction_match`.
+
+    Attributes
+    ----------
+    matching:
+        A maximum-cardinality matching (validated against the graph).
+    prices:
+        Final column prices — ε-CS duals, reusable as the ``prices``
+        warm start of a later call (e.g. the next streaming epoch).
+    rounds:
+        Total synchronous bidding rounds across all phases.
+    phases:
+        Number of ε-schedule phases executed.
+    eps_final:
+        The ε of the last phase.
+    abandoned:
+        Rows certified unmatchable by the gap/cap argument (equals
+        ``nrows - cardinality`` for square-deficient instances).
+    dissolved:
+        Warm-start pairs dropped to restore ε-complementary slackness.
+    mode:
+        ``"auction"``, ``"sampling"`` (GKK walk finished alone), or
+        ``"sampling+auction"`` (walk budget ran out, auction finished).
+    warm_started:
+        True when an initial matching and/or prices were supplied.
+    cardinality_trace:
+        Matched-pair count after each round — non-decreasing, because
+        columns never unmatch (a displaced row's column is re-matched in
+        the same commit).
+    """
+
+    matching: Matching
+    prices: FloatArray
+    rounds: int
+    phases: int
+    eps_final: float
+    abandoned: int
+    dissolved: int
+    mode: str
+    warm_started: bool
+    cardinality_trace: tuple[int, ...]
+
+    @property
+    def cardinality(self) -> int:
+        return self.matching.cardinality
+
+    @property
+    def guarantee(self) -> float:
+        """Exact tier: the matching is maximum, quality 1.0 by construction."""
+        return 1.0
+
+
+def regularity_probe(graph: BipartiteGraph) -> int:
+    """Common degree ``d ≥ 1`` if *graph* is square and d-regular, else 0.
+
+    This is the (cheap, O(n)) gate for the Goel–Kapralov–Khanna sampling
+    fast path: regular square bipartite graphs have a perfect matching
+    (König), which the truncated-walk analysis assumes.
+    """
+    if graph.nrows != graph.ncols or graph.nrows == 0:
+        return 0
+    rd = graph.row_degrees()
+    d = int(rd[0])
+    if d < 1:
+        return 0
+    if not (rd == d).all():
+        return 0
+    cd = graph.col_degrees()
+    if not (cd == d).all():
+        return 0
+    return d
+
+
+def _coerce_initial(initial: object, graph: BipartiteGraph) -> Matching | None:
+    """Accept a Matching or any result object carrying ``.matching``."""
+    if initial is None:
+        return None
+    m = getattr(initial, "matching", initial)
+    if not isinstance(m, Matching):
+        raise ValidationError(
+            "initial must be a Matching or carry a .matching attribute, "
+            f"got {type(initial).__name__}"
+        )
+    m.validate(graph)
+    return m
+
+
+def _eps_schedule(eps_start: float, eps_min: float, eps_factor: float) -> list[float]:
+    if eps_start <= 0 or eps_min <= 0 or eps_min > eps_start * (1 + _GAP_SLACK):
+        raise ValidationError(
+            f"need 0 < eps_min <= eps_start, got {eps_min}/{eps_start}"
+        )
+    if eps_factor <= 1:
+        raise ValidationError(f"eps_factor must exceed 1, got {eps_factor}")
+    sched = [float(eps_start)]
+    while sched[-1] / eps_factor >= eps_min * (1 - _GAP_SLACK):
+        sched.append(sched[-1] / eps_factor)
+    return sched
+
+
+def _row_min_prices(graph: BipartiteGraph, prices: FloatArray) -> FloatArray:
+    """``out[i] = min over N(i) of prices`` (inf for empty rows)."""
+    nrows = graph.nrows
+    out = np.full(nrows, np.inf)
+    if graph.nnz == 0:
+        return out
+    ptr = graph.row_ptr
+    nonempty = ptr[1:] > ptr[:-1]
+    if nonempty.any():
+        out[nonempty] = np.minimum.reduceat(
+            prices[graph.col_ind], ptr[:-1][nonempty]
+        )
+    return out
+
+
+def _enforce_eps_cs(
+    graph: BipartiteGraph,
+    row_match: IndexArray,
+    col_match: IndexArray,
+    prices: FloatArray,
+    eps_start: float,
+) -> int:
+    """Dissolve warm pairs violating ε-CS at ``eps_start``; return count.
+
+    Dissolving (rather than repairing prices) keeps prices monotone and
+    is always safe: the freed rows simply rejoin the auction.
+    """
+    matched = np.flatnonzero(row_match != NIL)
+    if matched.size == 0:
+        return 0
+    minp = _row_min_prices(graph, prices)
+    bad = matched[
+        prices[row_match[matched]]
+        > minp[matched] + eps_start * (1 + _GAP_SLACK)
+    ]
+    if bad.size:
+        col_match[row_match[bad]] = NIL
+        row_match[bad] = NIL
+    return int(bad.size)
+
+
+def _dead_level(
+    prices: FloatArray, free_cols: np.ndarray, eps_start: float, cap: float
+) -> float:
+    """The price at/above which a column is certifiably dead this round.
+
+    Returns ``min(band_top, cap)`` where *band_top* is the lowest price
+    strictly above an empty band of width > ``eps_start`` that itself
+    lies at or above every free column's price (see module docstring).
+    """
+    band_top = cap
+    base = float(prices[free_cols].max())
+    q = np.unique(prices)
+    q = q[q >= base]
+    if q.shape[0] >= 2:
+        gaps = np.flatnonzero(np.diff(q) > eps_start * (1 + _GAP_SLACK))
+        if gaps.size:
+            band_top = min(band_top, float(q[gaps[0] + 1]))
+    return band_top
+
+
+def _gkk_sample(
+    graph: BipartiteGraph,
+    rng: np.random.Generator,
+    row_match: IndexArray,
+    col_match: IndexArray,
+    budget: int,
+) -> bool:
+    """Truncated random-walk augmentation (GKK); True if matching is perfect.
+
+    Walks run from free rows and flip matched edges *as they go*: a step
+    from row ``v`` to a matched column ``u`` with mate ``w`` immediately
+    rematches ``u`` to ``v`` and continues from the now-free ``w`` — so
+    the matching stays valid at every step and its cardinality rises
+    exactly when the walk reaches a free column.  A truncated walk merely
+    relocates which row is free; it is retried with fresh randomness.
+    Truncation is ``2·(2 + n/(n - j))`` steps, *j* being the current
+    matched count (the Goel–Kapralov–Khanna schedule).  Stops when the
+    matching is perfect or *budget* total steps are spent (the caller
+    then falls back to the auction, warm-started from the partial
+    matching).
+    """
+    n = graph.nrows
+    row_ptr, col_ind = graph.row_ptr, graph.col_ind
+    matched = int((row_match != NIL).sum())
+    steps = 0
+    while matched < n and steps < budget:
+        free = np.flatnonzero(row_match == NIL)
+        for start in free:
+            if steps >= budget:
+                break
+            while row_match[start] == NIL and steps < budget:
+                trunc = 2.0 * (2.0 + n / max(1, n - matched))
+                v = start
+                walked = 0
+                while walked < trunc and steps < budget:
+                    lo, hi = row_ptr[v], row_ptr[v + 1]
+                    u = col_ind[lo + rng.integers(hi - lo)]
+                    steps += 1
+                    walked += 1
+                    w = col_match[u]
+                    col_match[u] = v
+                    row_match[v] = u
+                    if w == NIL:
+                        matched += 1
+                        break
+                    row_match[w] = NIL
+                    v = w
+    return matched >= n
+
+
+def _gauss_seidel_drain(
+    graph: BipartiteGraph,
+    p: FloatArray,
+    row_match: IndexArray,
+    col_match: IndexArray,
+    active: np.ndarray,
+    queue: IndexArray,
+    eps: float,
+    eps_start: float,
+    cap: float,
+    dl: object,
+    trace: list[int],
+    matched: int,
+) -> tuple[int, int]:
+    """Drain the free-row tail with sequential (Gauss–Seidel) bidding.
+
+    The Jacobi kernel rounds advance every augmenting chain by one
+    displacement per round, which is the right shape for the parallel
+    bulk but quadratic-feeling on the tail, where a handful of chains
+    crawl while every round still pays O(n) bookkeeping.  Classic
+    sequential auction fixes that: pop a free row, bid, commit, push the
+    displaced row — a chain resolves in as many pops as its length.  The
+    pass runs serially in the parent in FIFO order from a sorted queue,
+    so it is deterministic and backend-independent by construction; the
+    hot loop works on plain Python lists because the per-row slices are
+    tiny (a handful of neighbours) and numpy call overhead would
+    dominate.
+
+    The band certificate is kept *always fresh* at O(1) amortised cost
+    by maintaining a histogram of column prices in bins of width
+    ``eps_start/2``: a run of three empty bins above every free column
+    is an empty price interval of width ``1.5·eps_start > eps_start``,
+    so everything priced above the run is certifiably dead.  (Bin
+    occupancy moves with each accepted bid; the run scan touches only
+    the occupied prefix of the histogram.)  The exclusion level used for
+    *bidding* may be arbitrarily stale — the ε-CS bound only needs
+    excluded neighbours to be priced at or above the level the bid was
+    compared against — but a *drop* always re-scans first, so every
+    abandonment is certified against current prices.  The free-column
+    price bound ``base0`` is computed once at entry: free columns never
+    change price and the free set only shrinks, so the entry-time
+    supremum stays valid.
+
+    Returns ``(matched, abandoned_here)``.
+    """
+    nil = int(NIL)
+    inf = float("inf")
+    abandoned = 0
+    pops = 0
+    guard = 400 * (graph.nrows + graph.ncols + 1)
+
+    # Histogram of column prices in eps_start/2-wide bins.
+    h = eps_start / 2.0
+    nbins = int(cap / h) + 8
+    bins = np.zeros(nbins, dtype=np.int64)
+    idx = np.minimum((p / h).astype(np.int64), nbins - 1)
+    bins += np.bincount(idx, minlength=nbins)
+    maxbin = int(idx.max()) if idx.size else 0
+    free_mask = col_match == NIL
+    free_cols_left = int(free_mask.sum())
+    base0 = float(p[free_mask].max()) if free_cols_left else 0.0
+    lowbin = int(base0 / h) + 1
+
+    def scan_dead() -> float:
+        """Fresh dead level from the current histogram (always valid)."""
+        if free_cols_left == 0:
+            return -inf
+        hi_b = min(maxbin + 4, nbins)
+        z = bins[lowbin:hi_b] == 0
+        if z.shape[0] >= 3:
+            run = z[:-2] & z[1:-1] & z[2:]
+            nz = np.flatnonzero(run)
+            if nz.size:
+                return min(cap, (lowbin + int(nz[0]) + 3) * h)
+        return cap
+
+    # Python-list mirrors of the hot state; written back on exit.
+    ptr_l = graph.row_ptr.tolist()
+    ind_l = graph.col_ind.tolist()
+    p_l = p.tolist()
+    rm_l = row_match.tolist()
+    cm_l = col_match.tolist()
+    q = deque(int(i) for i in queue)
+    dead = scan_dead()
+    while q:
+        i = q.popleft()
+        if rm_l[i] != nil or not active[i]:
+            continue
+        pops += 1
+        if pops > guard:  # pragma: no cover - safety valve
+            raise MatchingError(
+                f"auction tail failed to settle within {guard} bids"
+            )
+        if dl is not None and (pops & 4095) == 0:
+            dl.ensure("auction match")
+        s, e = ptr_l[i], ptr_l[i + 1]
+        best = inf
+        second = inf
+        bj = -1
+        for k in range(s, e):
+            pc = p_l[ind_l[k]]
+            if pc >= dead:
+                continue
+            if pc < best:
+                second = best
+                best = pc
+                bj = ind_l[k]
+            elif pc < second:
+                second = pc
+        if bj < 0:
+            # Nothing alive under the cached level: re-scan, then either
+            # drop under the fresh certificate or re-bid under the
+            # refreshed level (which must then expose an alive column,
+            # so the loop makes progress).
+            dead = scan_dead()
+            if s == e:
+                active[i] = False  # empty rows carry their own certificate
+                abandoned += 1
+            elif min(p_l[ind_l[k]] for k in range(s, e)) >= dead:
+                active[i] = False
+                abandoned += 1
+            else:
+                q.appendleft(i)
+            continue
+        bid = (second if second < inf else best) + eps
+        w = cm_l[bj]
+        cm_l[bj] = i
+        rm_l[i] = bid_col = bj
+        ob = int(p_l[bid_col] / h)
+        p_l[bid_col] = bid
+        nb = int(bid / h)
+        if nb >= nbins:
+            nb = nbins - 1
+        if ob >= nbins:
+            ob = nbins - 1
+        bins[ob] -= 1
+        bins[nb] += 1
+        if nb > maxbin:
+            maxbin = nb
+        if w == nil:
+            matched += 1
+            free_cols_left -= 1
+        else:
+            rm_l[w] = nil
+            q.append(w)
+    row_match[:] = rm_l
+    col_match[:] = cm_l
+    p[:] = p_l
+    trace.append(matched)
+    _tm.incr("auction.gs_bids", pops)
+    return matched, abandoned
+
+
+def auction_match(
+    graph: BipartiteGraph,
+    *,
+    initial: object | None = None,
+    prices: FloatArray | None = None,
+    scaling: object | None = None,
+    eps_start: float = 1.0,
+    eps_min: float = 1.0,
+    eps_factor: float = 4.0,
+    backend: Backend | str | None = None,
+    sampling: str = "auto",
+    seed: object = None,
+    deadline: object = None,
+    max_rounds: int | None = None,
+    gs_tail: int | None = None,
+) -> AuctionResult:
+    """Maximum-cardinality matching by ε-scaling auction.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph.
+    initial:
+        Warm-start matching — a :class:`Matching` or any result object
+        with a ``.matching`` attribute (``two_sided_match`` results,
+        stream epochs).  Pairs violating ε-CS are dissolved, the rest
+        survive, so a good heuristic start skips most bidding rounds.
+    prices:
+        Warm-start column prices (length ``ncols``); clipped into
+        ``[0, min(n, m)·eps_start]`` so repeated warm starts (streaming
+        epochs) keep the abandonment cap bounded.
+    scaling:
+        A :class:`~repro.scaling.result.ScalingResult` (or raw ``dc``
+        factors) used to derive dual-like initial prices when *prices*
+        is not given — see :func:`~repro.scaling.duals.dual_prices`.
+    eps_start / eps_min / eps_factor:
+        The ε-scaling schedule ``eps_start / eps_factor^k ≥ eps_min``.
+        Cardinality is exact under any valid schedule; smaller final ε
+        yields tighter dual prices but slower price climbs, so the
+        default is the single-phase ``[eps_start]`` schedule (for the
+        cardinality objective the fine phases buy nothing).
+    backend:
+        Execution backend (or spec string) for the bid kernel; results
+        are bitwise identical across backends.
+    sampling:
+        ``"auto"`` enables the GKK random-walk fast path on cold starts
+        of regular square graphs; ``"never"`` disables it.
+    seed:
+        Randomness for the sampling path only (the auction itself is
+        deterministic).
+    deadline:
+        Optional wall-clock budget (seconds or a ``Deadline``); checked
+        once per round, raising ``DeadlineExceededError``.
+    max_rounds:
+        Safety valve on total rounds (default scales with the graph);
+        exceeding it raises :class:`~repro.errors.MatchingError`.
+    gs_tail:
+        Free-row count at or below which the final phase switches from
+        kernel (Jacobi) rounds to the sequential Gauss–Seidel drain —
+        see :func:`_gauss_seidel_drain`.  Defaults to
+        ``max(256, nrows // 32)``; pass ``0`` to force pure kernel
+        rounds (useful for backend-equivalence tests).
+    """
+    if sampling not in ("auto", "never"):
+        raise ValidationError(
+            f'sampling must be "auto" or "never", got {sampling!r}'
+        )
+    nrows, ncols = graph.nrows, graph.ncols
+    schedule = _eps_schedule(eps_start, eps_min, eps_factor)
+    init = _coerce_initial(initial, graph)
+    warm = init is not None or prices is not None
+
+    if init is not None:
+        row_match = init.row_match.copy()
+        col_match = init.col_match.copy()
+    else:
+        row_match = np.full(nrows, NIL, dtype=np.int64)
+        col_match = np.full(ncols, NIL, dtype=np.int64)
+
+    price_clip = min(nrows, ncols) * eps_start
+    if prices is not None:
+        p = np.ascontiguousarray(prices, dtype=np.float64).copy()
+        if p.shape != (ncols,):
+            raise ValidationError(
+                f"prices must have shape ({ncols},), got {p.shape}"
+            )
+        if not np.isfinite(p).all():
+            raise ValidationError("prices must be finite")
+        np.clip(p, 0.0, price_clip, out=p)
+    elif scaling is not None:
+        from repro.scaling.duals import dual_prices
+
+        p = dual_prices(scaling, eps=eps_start)
+        if p.shape != (ncols,):
+            raise ValidationError(
+                f"scaling factors imply {p.shape[0]} columns, graph has {ncols}"
+            )
+        np.clip(p, 0.0, price_clip, out=p)
+    else:
+        p = np.zeros(ncols, dtype=np.float64)
+
+    dissolved = _enforce_eps_cs(graph, row_match, col_match, p, eps_start)
+
+    mode = "auction"
+    rng = np.random.default_rng(seed)
+    if sampling == "auto" and not warm and graph.nnz:
+        d = regularity_probe(graph)
+        if d:
+            budget = int(40 * nrows * (np.log(nrows + 2.0) + 1.0))
+            perfect = _gkk_sample(graph, rng, row_match, col_match, budget)
+            mode = "sampling" if perfect else "sampling+auction"
+            _tm.incr("auction.sampling_runs")
+
+    max_p0 = float(p.max()) if ncols else 0.0
+    cap = min(nrows, ncols) * eps_start + max_p0 + eps_start
+    if max_rounds is None:
+        max_rounds = 200 + 50 * min(nrows, ncols)
+    if gs_tail is None:
+        gs_tail = max(256, nrows // 32)
+
+    active = np.ones(nrows, dtype=bool)
+    empty_rows = graph.row_degrees() == 0
+    abandoned = int(empty_rows.sum())
+    active[empty_rows] = False
+
+    row_ptr, col_ind = graph.row_ptr, graph.col_ind
+    rounds = 0
+    phases = 0
+    trace: list[int] = []
+    # Coarse phases get a round budget; the final phase runs to quiescence.
+    phase_budget = max(4, int(2 * np.log2(nrows + 2)) + 4)
+
+    with request_deadline(deadline) as dl, _tm.span(
+        "auction.match", nrows=nrows, ncols=ncols, mode=mode
+    ):
+        for phase_idx, eps in enumerate(schedule):
+            final = phase_idx == len(schedule) - 1
+            phase_rounds = 0
+            phases += 1
+            while True:
+                if not final and phase_rounds >= phase_budget:
+                    break
+                free_rows = np.flatnonzero(active & (row_match == NIL))
+                if free_rows.size == 0:
+                    break
+                if free_rows.size <= gs_tail:
+                    if not final:
+                        # Too little bulk left for a coarse phase —
+                        # fall through to the final ε immediately.
+                        break
+                    matched, ab = _gauss_seidel_drain(
+                        graph, p, row_match, col_match, active, free_rows,
+                        eps, eps_start, cap, dl, trace,
+                        int((row_match != NIL).sum()),
+                    )
+                    abandoned += ab
+                    break
+                free_cols = col_match == NIL
+                if not free_cols.any():
+                    # Every column is matched: the matching is maximum.
+                    abandoned += int(free_rows.size)
+                    active[free_rows] = False
+                    break
+                if dl is not None:
+                    dl.ensure("auction match")
+                if rounds >= max_rounds:
+                    raise MatchingError(
+                        f"auction failed to settle within {max_rounds} rounds"
+                    )
+                dead = _dead_level(p, free_cols, eps_start, cap)
+                sub_ind, sub_ptr = gather_segments(row_ptr, col_ind, free_rows)
+                bid_col = np.empty(free_rows.size, dtype=np.int64)
+                bid_val = np.empty(free_rows.size, dtype=np.float64)
+                run_kernel(
+                    "auction_bid",
+                    free_rows.size,
+                    {
+                        "ptr": sub_ptr,
+                        "ind": sub_ind,
+                        "prices": p,
+                        "bid_col": bid_col,
+                        "bid_val": bid_val,
+                    },
+                    backend=backend,
+                    scalars={"eps": eps, "dead": dead},
+                )
+                drop = bid_col == AUCTION_DROP
+                if drop.any():
+                    active[free_rows[drop]] = False
+                    abandoned += int(drop.sum())
+                bidders = ~drop
+                if bidders.any():
+                    rows_b = free_rows[bidders]
+                    cols_b = bid_col[bidders]
+                    vals_b = bid_val[bidders]
+                    # Highest bid wins each column; ties go to the lowest
+                    # row index — the deterministic commit.
+                    order = np.lexsort((rows_b, -vals_b, cols_b))
+                    cs = cols_b[order]
+                    first = np.ones(cs.size, dtype=bool)
+                    first[1:] = cs[1:] != cs[:-1]
+                    win = order[first]
+                    wrows, wcols = rows_b[win], cols_b[win]
+                    displaced = col_match[wcols]
+                    displaced = displaced[displaced != NIL]
+                    row_match[displaced] = NIL
+                    col_match[wcols] = wrows
+                    row_match[wrows] = wcols
+                    p[wcols] = vals_b[win]
+                    _tm.incr("auction.bids", int(rows_b.size))
+                rounds += 1
+                phase_rounds += 1
+                trace.append(int((row_match != NIL).sum()))
+
+    matching = Matching(row_match, col_match)
+    matching.validate(graph)
+    _tm.incr("auction.rounds", rounds)
+    if abandoned:
+        _tm.incr("auction.abandoned", abandoned)
+    return AuctionResult(
+        matching=matching,
+        prices=p,
+        rounds=rounds,
+        phases=phases,
+        eps_final=schedule[-1],
+        abandoned=abandoned,
+        dissolved=dissolved,
+        mode=mode,
+        warm_started=warm,
+        cardinality_trace=tuple(trace),
+    )

@@ -60,6 +60,7 @@ __all__ = [
     "kernel_grid",
     "kernel_chunk_override",
     "run_kernel",
+    "AUCTION_DROP",
 ]
 
 #: Below this chunk size the per-chunk dispatch overhead dominates the
@@ -353,6 +354,90 @@ def _ks_phase1_scan(lo: int, hi: int, v: Mapping[str, Any]) -> None:
         idx = idx + lo
         idx = idx[match[v["choice"][idx]] == NIL]
         cand[idx] = True
+
+
+# ----------------------------------------------------------------------
+# Auction bidding sweep
+# ----------------------------------------------------------------------
+
+#: Sentinel bid target meaning "this row certifies it cannot be matched":
+#: every neighbour's price is at or above the round's dead level.
+AUCTION_DROP: int = -2
+
+
+def _segment_min2(
+    values: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-segment ``(min, argmin position, second min)`` over *values*.
+
+    Segments are ``values[starts[i]:ends[i]]`` with CSR-style boundaries
+    (``ends[i] == starts[i+1]``).  Ties resolve to the *first* occurrence
+    in segment order, which is what makes the auction's bid targets
+    deterministic.  Empty segments yield ``(inf, -1, inf)``; a segment
+    with a single finite entry yields ``second == inf``.  Built on
+    ``np.minimum.reduceat`` with the same empty-segment care as
+    :func:`~repro.parallel.reduction.segment_sums`.
+    """
+    nseg = starts.shape[0]
+    minv = np.full(nseg, np.inf)
+    argp = np.full(nseg, -1, dtype=np.int64)
+    secv = np.full(nseg, np.inf)
+    if nseg == 0 or values.shape[0] == 0:
+        return minv, argp, secv
+    nonempty = ends > starts
+    if not nonempty.any():
+        return minv, argp, secv
+    st = starts[nonempty]
+    minv[nonempty] = np.minimum.reduceat(values, st)
+    # First position attaining the segment minimum (inf == inf is fine).
+    seg_of = np.repeat(np.arange(nseg, dtype=np.int64), ends - starts)
+    pos = np.arange(values.shape[0], dtype=np.int64)
+    cand = np.where(values == minv[seg_of], pos, values.shape[0])
+    argp[nonempty] = np.minimum.reduceat(cand, st)
+    # Second minimum: mask out the argmin entry and reduce again.
+    masked = values.copy()
+    masked[argp[nonempty]] = np.inf
+    secv[nonempty] = np.minimum.reduceat(masked, st)
+    return minv, argp, secv
+
+
+@register_kernel("auction_bid", outputs=("bid_col", "bid_val"))
+def _auction_bid(lo: int, hi: int, v: Mapping[str, Any]) -> None:
+    """One synchronous bidding sweep over free rows ``[lo, hi)``.
+
+    The views describe a *sub-CSR* over the currently free rows (``ptr``,
+    ``ind``) plus the global column ``prices``.  For each free row the
+    kernel finds the cheapest and second-cheapest *alive* neighbour
+    (price below the scalar ``dead`` level) and writes
+
+    * ``bid_col[i]`` — the cheapest alive column, or :data:`AUCTION_DROP`
+      when every neighbour is dead (the row is certifiably unmatchable
+      under the gap/cap argument — see ``matching/exact/auction.py``);
+    * ``bid_val[i]`` — ``second_cheapest + eps`` (or ``cheapest + eps``
+      when only one neighbour is alive), the price the column will carry
+      if this bid wins.
+
+    Reads are gathers over the whole price vector; writes stay in the
+    ``[lo, hi)`` slice, and ties break to the lowest CSR position, so the
+    sweep is bitwise identical across backends on the fixed chunk grid.
+    """
+    ptr = v["ptr"]
+    s = ptr[lo]
+    ind = v["ind"][s : ptr[hi]]
+    pr = v["prices"][ind]
+    pr = np.where(pr >= v["dead"], np.inf, pr)
+    starts = ptr[lo:hi] - s
+    ends = ptr[lo + 1 : hi + 1] - s
+    minv, argp, secv = _segment_min2(pr, starts, ends)
+    ok = np.isfinite(minv)
+    col = np.full(hi - lo, AUCTION_DROP, dtype=np.int64)
+    val = np.zeros(hi - lo, dtype=np.float64)
+    if ok.any():
+        col[ok] = ind[argp[ok]]
+        base = np.where(np.isfinite(secv), secv, minv)
+        val[ok] = base[ok] + v["eps"]
+    v["bid_col"][lo:hi] = col
+    v["bid_val"][lo:hi] = val
 
 
 @register_kernel("ks_phase2_scan", outputs=("ok",))

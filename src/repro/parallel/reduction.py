@@ -15,7 +15,28 @@ from repro._typing import FloatArray, IndexArray
 from repro.errors import ShapeError
 from repro.parallel.backends import Backend, SerialBackend
 
-__all__ = ["segment_sums", "segment_sums_parallel"]
+__all__ = ["segment_sums", "segment_sums_parallel", "gather_segments"]
+
+
+def gather_segments(
+    ptr: IndexArray, ind: IndexArray, idxs: IndexArray
+) -> tuple[IndexArray, IndexArray]:
+    """Concatenate CSR segments ``ind[ptr[i]:ptr[i+1]]`` for ``i ∈ idxs``.
+
+    Returns ``(values, sub_ptr)`` — the concatenated entries and the new
+    segment boundaries — using vectorised range arithmetic only.  This is
+    the sub-CSR extraction both the streaming rescaler and the auction
+    engine use to restrict a sweep to a dirty/free subset of rows.
+    """
+    idxs = np.asarray(idxs, dtype=np.int64)
+    degs = ptr[idxs + 1] - ptr[idxs]
+    sub_ptr = np.zeros(idxs.shape[0] + 1, dtype=np.int64)
+    np.cumsum(degs, out=sub_ptr[1:])
+    total = int(sub_ptr[-1])
+    flat = np.arange(total, dtype=np.int64) + np.repeat(
+        ptr[idxs] - sub_ptr[:-1], degs
+    )
+    return ind[flat], sub_ptr
 
 
 def segment_sums(values: FloatArray, ptr: IndexArray) -> FloatArray:

@@ -205,8 +205,12 @@ def run_chaos(
       ``OneSidedMatch``; a returned matching must validate against the
       graph and, on the total-support instance used, reach the Theorem 1
       floor minus *quality_eps*.
+    * ``exact`` (``storm`` only): the ε-scaling auction over the cell's
+      resilient backend; a returned matching must validate and hit the
+      no-fault maximum cardinality exactly — under faults the exact tier
+      may fail typed, but it may never return a sub-maximum matching.
 
-    With the ``storm`` schedule a third workload runs per backend:
+    With the ``storm`` schedule a further workload runs per backend:
 
     * ``serve``: a short soak through a live
       :class:`~repro.serve.MatchingServer` over the cell's resilient
@@ -227,6 +231,9 @@ def run_chaos(
     graph = sprand(n, 4.0, seed=seed)
     support_graph = union_of_permutations(n, 4, seed=seed)
     reference = scale_sinkhorn_knopp(graph, sk_iterations)
+    from repro.matching.exact.hopcroft_karp import hopcroft_karp
+
+    exact_reference = hopcroft_karp(support_graph).cardinality
 
     # A call's worst legal wall time: every attempt burns the deadline
     # plus the capped backoff; SK makes ~2 map calls per sweep plus the
@@ -258,6 +265,20 @@ def run_chaos(
                 f"quality {quality:.4f} below floor {floor:.4f}"
             )
         return f"quality={quality:.4f}"
+
+    def exact_cell(backend: ResilientBackend) -> str:
+        from repro.matching.exact.auction import auction_match
+
+        result = auction_match(
+            support_graph, backend=backend, sampling="never"
+        )
+        result.matching.validate(support_graph)
+        if result.cardinality != exact_reference:
+            raise AssertionError(
+                f"exact cardinality {result.cardinality} != no-fault "
+                f"maximum {exact_reference}"
+            )
+        return f"cardinality={result.cardinality}"
 
     def serve_cell(backend: ResilientBackend) -> str:
         from repro.errors import ReproError
@@ -359,6 +380,12 @@ def run_chaos(
                 _run_cell(
                     "match", backend_spec, "storm", schedules["storm"],
                     match_cell, make_backend, budget * 2,
+                )
+            )
+            outcomes.append(
+                _run_cell(
+                    "exact", backend_spec, "storm", schedules["storm"],
+                    exact_cell, make_backend, budget * 2,
                 )
             )
             outcomes.append(

@@ -9,6 +9,7 @@ implemented.
 """
 
 from repro.scaling.result import ScalingResult
+from repro.scaling.duals import dual_prices
 from repro.scaling.sinkhorn_knopp import scale_sinkhorn_knopp
 from repro.scaling.ruiz import scale_ruiz
 from repro.scaling.distributed import scale_sinkhorn_knopp_distributed
@@ -25,6 +26,7 @@ from repro.scaling.convergence import (
 
 __all__ = [
     "ScalingResult",
+    "dual_prices",
     "scale_sinkhorn_knopp",
     "scale_ruiz",
     "scale_sinkhorn_knopp_distributed",

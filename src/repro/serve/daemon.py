@@ -258,6 +258,7 @@ class _StreamRegistry:
             seed=msg.get("seed"),
             backend=self.backend,
             topup=bool(msg.get("topup", False)),
+            exact=bool(msg.get("exact", False)),
         )
         self._next += 1
         handle = f"s{self._next}"
@@ -333,6 +334,7 @@ class _StreamRegistry:
             "repaired_rows": result.repaired_rows,
             "repaired_cols": result.repaired_cols,
             "topup_gain": result.topup_gain,
+            "exact_gain": result.exact_gain,
         }
         if msg.get("include_matching"):
             payload["row_match"] = result.matching.row_match.tolist()

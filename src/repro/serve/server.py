@@ -76,10 +76,15 @@ __all__ = [
     "rung_for_pressure",
 ]
 
-#: The quality degradation ladder, best rung first.
-RUNGS = ("two_sided", "one_sided", "greedy")
+#: The quality degradation ladder, best rung first.  ``exact`` is opt-in:
+#: ``auto`` requests start at ``two_sided`` (the best rung with bounded
+#: latency) and only explicit ``method="exact"`` requests attempt the
+#: auction rung — and even those shed to ``two_sided`` when the remaining
+#: deadline budget is under ``ServerConfig.exact_min_budget``.
+RUNGS = ("exact", "two_sided", "one_sided", "greedy")
 
-#: Quality floor stated on a response served at each rung.  The heuristic
+#: Quality floor stated on a response served at each rung.  ``exact`` is
+#: a maximum matching (floor 1 by construction).  The heuristic
 #: rungs state the paper's floors as a fraction of ``n`` on total-support
 #: inputs (Conjecture 1's ``2(1 - ρ) ≈ 0.866`` and Theorem 1's
 #: ``1 - 1/e ≈ 0.632``; the per-response value is further reduced by the
@@ -88,10 +93,14 @@ RUNGS = ("two_sided", "one_sided", "greedy")
 #: matching on any input — weaker, but never zero, which is the point of
 #: the last rung.
 RUNG_GUARANTEES = {
+    "exact": 1.0,
     "two_sided": TWO_SIDED_GUARANTEE,
     "one_sided": ONE_SIDED_GUARANTEE,
     "greedy": 0.5,
 }
+
+#: Rung where ``auto`` requests start (exact stays opt-in).
+_AUTO_TOP = RUNGS.index("two_sided")
 
 #: Failures that mean "the substrate is unhealthy" — they feed the
 #: circuit breaker and the ladder's miss counter.
@@ -114,19 +123,20 @@ def rung_for_pressure(
     """The ladder rung a request starts at, given current pressure.
 
     An explicit *requested* rung is honoured as-is (the caller opted out
-    of ``auto``).  Otherwise start from the top and step down once past
-    ``pressure_high`` queue fill, twice past ``pressure_critical``, and
-    one more when the recent deadline-miss count reaches
-    ``miss_threshold`` — each signal independently says "the budget is
-    not being met at the current rung".
+    of ``auto``).  Otherwise start from ``two_sided`` — the best rung
+    with bounded latency; ``exact`` is never entered implicitly — and
+    step down once past ``pressure_high`` queue fill, twice past
+    ``pressure_critical``, and one more when the recent deadline-miss
+    count reaches ``miss_threshold`` — each signal independently says
+    "the budget is not being met at the current rung".
     """
     if requested != "auto":
         return requested
-    steps = 0
+    steps = _AUTO_TOP
     if fill >= config.pressure_critical:
-        steps = 2
+        steps += 2
     elif fill >= config.pressure_high:
-        steps = 1
+        steps += 1
     if recent_misses >= config.miss_threshold:
         steps += 1
     return RUNGS[min(steps, len(RUNGS) - 1)]
@@ -212,6 +222,11 @@ class ServerConfig:
     breaker_cooldown: float = 1.0
     #: Concurrent probe requests while half-open.
     breaker_probes: int = 1
+    #: Minimum remaining deadline budget (seconds) for attempting the
+    #: ``exact`` rung; explicit ``method="exact"`` requests with less
+    #: budget left shed straight to ``two_sided`` (marked ``degraded``)
+    #: instead of starting an auction they cannot finish.
+    exact_min_budget: float = 5.0
     #: Queue fill fraction at which ``auto`` requests step down one rung.
     pressure_high: float = 0.5
     #: Queue fill fraction at which they step down two rungs.
@@ -237,6 +252,10 @@ class ServerConfig:
             )
         if self.default_deadline <= 0 or self.chunk_deadline <= 0:
             raise ServiceError("deadlines must be positive")
+        if self.exact_min_budget < 0:
+            raise ServiceError(
+                f"exact_min_budget must be >= 0, got {self.exact_min_budget}"
+            )
         if not 0.0 < self.pressure_high <= self.pressure_critical <= 1.0:
             raise ServiceError(
                 "need 0 < pressure_high <= pressure_critical <= 1"
@@ -598,6 +617,21 @@ class MatchingServer:
         )
         last: BaseException | None = None
         for rung in RUNGS[RUNGS.index(top):]:
+            if (
+                rung == "exact"
+                and ticket.budget.remaining() < self.config.exact_min_budget
+            ):
+                # Not enough budget left to finish an auction — shed to
+                # the best bounded-latency rung instead of starting work
+                # we would abandon (the response is marked degraded).
+                if _tm.enabled():
+                    _tm.incr("serve.exact.shed")
+                    _tm.event(
+                        "serve.exact_shed",
+                        request=ticket.request_id,
+                        remaining=ticket.budget.remaining(),
+                    )
+                continue
             try:
                 ticket.budget.ensure(f"request {ticket.request_id}")
                 if self.config.execute_hook is not None:
@@ -618,7 +652,8 @@ class MatchingServer:
                     )
                 continue
             degraded = rung != (
-                RUNGS[0] if request.method == "auto" else request.method
+                RUNGS[_AUTO_TOP] if request.method == "auto"
+                else request.method
             )
             return MatchResponse(
                 matching=matching,
@@ -650,7 +685,21 @@ class MatchingServer:
         def run() -> None:
             try:
                 with request_deadline(budget):
-                    if rung == "two_sided":
+                    if rung == "exact":
+                        from repro.core.twosided import two_sided_match
+
+                        res = two_sided_match(
+                            request.graph,
+                            request.iterations,
+                            seed=request.seed,
+                            backend=self._backend,
+                            engine="vectorized",
+                            quality="exact",
+                        )
+                        box["out"] = (
+                            res.matching, res.guarantee, res.scaling.rung
+                        )
+                    elif rung == "two_sided":
                         from repro.core.twosided import two_sided_match
 
                         res = two_sided_match(

@@ -22,7 +22,9 @@ all of that work is redundant; this matcher reuses it:
    the union of the retained pairs and the per-component Karp–Sipser
    reruns is again a maximum matching of the whole choice subgraph;
 4. **optional exact top-up** — warm-start Hopcroft–Karp from the
-   repaired matching on the full graph (``topup=True``).
+   repaired matching on the full graph (``topup=True``), or the
+   ε-scaling auction with price state carried across epochs
+   (``exact=True``).
 
 The declared guarantee is re-certified from the warm rescale, not
 assumed: ``target_quality`` when the rescale still certifies it,
@@ -78,6 +80,11 @@ class StreamMatchResult:
     repaired_cols: int
     #: Extra pairs gained by the Hopcroft–Karp top-up (0 without topup).
     topup_gain: int
+    #: Extra pairs gained by the auction exact repair (0 without exact).
+    exact_gain: int = 0
+    #: The :class:`~repro.matching.exact.AuctionResult` backing the
+    #: exact repair (None without exact); its prices seed the next epoch.
+    exact_result: "object | None" = None
 
     @property
     def cardinality(self) -> int:
@@ -158,6 +165,14 @@ class StreamMatcher:
         Hopcroft–Karp pass — the result is then a true maximum matching
         and the certificate is a floor on what the heuristic alone
         would have delivered.
+    exact:
+        When true, finish every rematch with the ε-scaling auction
+        instead (see :func:`~repro.matching.exact.auction_match`),
+        warm-started from the repaired matching *and* the previous
+        epoch's auction prices (padded and re-clipped as the graph
+        grows).  Like ``topup`` the result is a true maximum matching;
+        unlike it the exact engine's dual state survives across epochs.
+        ``exact`` supersedes ``topup`` when both are set.
     max_sweeps:
         Sinkhorn–Knopp budget per rematch (cold or warm).
     """
@@ -170,11 +185,14 @@ class StreamMatcher:
         seed: SeedLike = None,
         backend: Backend | str | None = None,
         topup: bool = False,
+        exact: bool = False,
         max_sweeps: int = 500,
     ) -> None:
         self.graph = graph
         self.target_quality = float(target_quality)
         self.topup = bool(topup)
+        self.exact = bool(exact)
+        self._prices: FloatArray | None = None
         self.max_sweeps = int(max_sweeps)
         self._rng = rng_from(seed)
         self._backend = get_backend(backend)
@@ -251,7 +269,29 @@ class StreamMatcher:
         repaired: tuple[int, int],
     ) -> StreamMatchResult:
         gain = 0
-        if self.topup:
+        exact_gain = 0
+        exact_result = None
+        if self.exact:
+            from repro.matching.exact.auction import auction_match
+
+            before = matching.cardinality
+            prices = None
+            if self._prices is not None:
+                prices = _pad_zeros(self._prices, snap.ncols)
+            exact_result = auction_match(
+                snap,
+                initial=matching,
+                prices=prices,
+                backend=self._backend,
+                seed=self._rng,
+            )
+            matching = exact_result.matching
+            self._prices = exact_result.prices
+            exact_gain = matching.cardinality - before
+            if _tm.enabled():
+                _tm.incr("stream.exact.runs")
+                _tm.incr("stream.exact.gain", exact_gain)
+        elif self.topup:
             from repro.matching.exact.hopcroft_karp import hopcroft_karp
 
             before = matching.cardinality
@@ -265,7 +305,9 @@ class StreamMatcher:
         result = StreamMatchResult(
             matching=matching,
             quality=qs,
-            guarantee=self._declared_guarantee(qs),
+            # An exact repair makes the matching provably maximum; the
+            # scaling certificate then only explains the warm start.
+            guarantee=1.0 if self.exact else self._declared_guarantee(qs),
             epoch=epoch,
             mode=mode,
             resampled_rows=resampled[0],
@@ -273,6 +315,8 @@ class StreamMatcher:
             repaired_rows=repaired[0],
             repaired_cols=repaired[1],
             topup_gain=gain,
+            exact_gain=exact_gain,
+            exact_result=exact_result,
         )
         return result
 

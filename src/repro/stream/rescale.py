@@ -43,27 +43,13 @@ from repro import telemetry as _tm
 from repro._typing import FloatArray
 from repro.constants import ONE_SIDED_GUARANTEE, one_sided_guarantee_relaxed
 from repro.graph.csr import BipartiteGraph
+from repro.parallel.reduction import gather_segments as _gather_segments
 from repro.parallel.reduction import segment_sums
 from repro.scaling.adaptive import QualityScaling, alpha_for_quality
 from repro.scaling.result import ScalingResult
 
 __all__ = ["local_rebalance", "measure_state"]
 
-
-def _gather_segments(ptr, ind, idxs):
-    """Concatenate CSR segments ``ind[ptr[i]:ptr[i+1]]`` for ``i ∈ idxs``.
-
-    Returns ``(values, sub_ptr)`` — the concatenated entries and the
-    segment boundaries — using vectorised range arithmetic only.
-    """
-    degs = ptr[idxs + 1] - ptr[idxs]
-    sub_ptr = np.zeros(idxs.shape[0] + 1, dtype=np.int64)
-    np.cumsum(degs, out=sub_ptr[1:])
-    total = int(sub_ptr[-1])
-    flat = np.arange(total, dtype=np.int64) + np.repeat(
-        ptr[idxs] - sub_ptr[:-1], degs
-    )
-    return ind[flat], sub_ptr
 
 
 def _column_prob_sums(

@@ -150,3 +150,103 @@ def test_two_sided_engines_identical_matching_size():
         for engine in ("serial", "vectorized", "simulated", "threaded")
     }
     assert len(set(sizes.values())) == 1, sizes
+
+
+# ----------------------------------------------------------------------
+# Auction differential matrix: the ε-scaling auction must agree with
+# every exact oracle on every suite generator family, warm == cold,
+# and bitwise-identically across backends.
+# ----------------------------------------------------------------------
+
+from repro.matching import auction_match, hopcroft_karp, push_relabel, sprank
+from repro.parallel.kernels import kernel_chunk_override
+
+from tests.test_engines_fuzz import FAMILIES
+
+
+@pytest.mark.exact
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_auction_matches_exact_oracles_per_family(family):
+    """auction == Hopcroft–Karp == push_relabel == sprank, warm == cold."""
+    from repro.core import two_sided_match
+
+    build = FAMILIES[family]
+    for seed in range(2):
+        g = build(seed)
+        hk = hopcroft_karp(g).cardinality
+        pr = push_relabel(g).cardinality
+        sp = sprank(g)
+        assert hk == pr == sp, (family, seed, hk, pr, sp)
+
+        cold = auction_match(g, seed=seed)
+        cold.matching.validate(g)
+        assert cold.cardinality == hk, (family, seed, "cold")
+
+        heur = two_sided_match(g, 3, seed=seed)
+        warm = auction_match(g, initial=heur, scaling=heur.scaling,
+                             seed=seed)
+        warm.matching.validate(g)
+        assert warm.warm_started
+        assert warm.cardinality == hk, (family, seed, "warm")
+
+
+@pytest.mark.exact
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_auction_sampling_path_agrees(family):
+    """``sampling="auto"`` (GKK fast path where the probe fires) and
+    ``sampling="never"`` both land on the maximum cardinality."""
+    g = FAMILIES[family](0)
+    want = hopcroft_karp(g).cardinality
+    for mode in ("auto", "never"):
+        res = auction_match(g, sampling=mode, seed=3)
+        res.matching.validate(g)
+        assert res.cardinality == want, (family, mode)
+
+
+def _auction_backends():
+    from repro.parallel.backends import get_backend
+
+    return [
+        ("serial", SerialBackend()),
+        ("threads", ThreadBackend(3)),
+        ("processes", ProcessBackend(2)),
+        ("shm", get_backend("shm:2")),
+    ]
+
+
+@pytest.mark.exact
+@pytest.mark.parametrize("seed", range(2))
+def test_auction_bitwise_across_backends(seed):
+    """Matching, prices, and round count are bitwise identical on every
+    backend — the bid kernel's fixed chunk grid and lexicographic commit
+    make the parallel rounds order-independent.  ``gs_tail=0`` keeps
+    every round on the kernel path so the backends actually differ in
+    how bids are computed."""
+    g = sprand_rect(420, 380, 3.0, seed=seed)
+    results = {}
+    with kernel_chunk_override(64):
+        for name, backend in _auction_backends():
+            try:
+                results[name] = auction_match(
+                    g, backend=backend, seed=seed, gs_tail=0
+                )
+            finally:
+                backend.close()
+    ref = results["serial"]
+    for name, res in results.items():
+        np.testing.assert_array_equal(
+            res.matching.row_match, ref.matching.row_match, err_msg=name
+        )
+        np.testing.assert_array_equal(res.prices, ref.prices, err_msg=name)
+        assert res.rounds == ref.rounds, name
+        assert res.cardinality_trace == ref.cardinality_trace, name
+
+
+@pytest.mark.exact
+def test_auction_hybrid_tail_agrees_with_pure_kernel_rounds():
+    """The Gauss–Seidel tail drain changes the execution schedule, never
+    the certified cardinality."""
+    g = sprand(500, 3.0, seed=21)
+    pure = auction_match(g, seed=1, gs_tail=0)
+    hybrid = auction_match(g, seed=1)
+    assert pure.cardinality == hybrid.cardinality == sprank(g)

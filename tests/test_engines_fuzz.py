@@ -65,3 +65,105 @@ def test_engine_maximum_on_choice_subgraph(engine):
                           n_threads=4)
     sub = choice_graph(res.row_choice, res.col_choice)
     assert res.cardinality == hopcroft_karp(sub).cardinality
+
+
+# ----------------------------------------------------------------------
+# Auction adversarial corpus.  Each entry is a graph construction that
+# stresses a specific failure mode of auction engines: price-war chains
+# (long displacement cascades), structurally-deficient instances that
+# force the abandonment certificate, degenerate shapes, and cases that
+# previous fuzzing runs actually broke.
+# ----------------------------------------------------------------------
+
+from repro.graph import empty, from_edges
+from repro.matching import auction_match, hopcroft_karp
+
+
+def _price_war_chain(n):
+    """Path graph r_i ~ {c_i, c_{i+1}} plus one extra row contesting
+    c_0: resolving the last free row displaces every pair down the
+    chain — the auction's worst-case cascade."""
+    rows, cols = [], []
+    for i in range(n):
+        rows += [i, i]
+        cols += [i, min(i + 1, n - 1)]
+    rows.append(n)  # the contender: only edge is the chain's head
+    cols.append(0)
+    return from_edges(n + 1, n, rows, cols)
+
+
+def _star(n_leaves, hub_rows):
+    """hub_rows rows all adjacent ONLY to column 0, plus one row per
+    remaining column: max matching is 1 + (n_leaves - 1); every hub row
+    but one must be certified abandoned."""
+    rows = list(range(hub_rows)) * 1
+    cols = [0] * hub_rows
+    for k in range(1, n_leaves):
+        rows.append(hub_rows + k - 1)
+        cols.append(k)
+    return from_edges(hub_rows + n_leaves - 1, n_leaves, rows, cols)
+
+
+AUCTION_CASES = {
+    "price-war-chain": lambda: _price_war_chain(60),
+    "star-contested-hub": lambda: _star(30, 12),
+    "single-edge": lambda: from_edges(1, 1, [0], [0]),
+    "single-edge-in-void": lambda: from_edges(40, 40, [17], [31]),
+    "empty-graph": lambda: empty(25, 30),
+    "zero-vertices": lambda: empty(0, 0),
+    "all-empty-rows": lambda: from_dense(np.zeros((10, 10), dtype=int)),
+    "wide-rect": lambda: sprand_rect(40, 400, 4.0, seed=2),
+    "tall-rect": lambda: sprand_rect(400, 40, 0.4, seed=2),
+    "one-row-many-cols": lambda: from_edges(
+        1, 50, [0] * 50, list(range(50))
+    ),
+    "many-rows-one-col": lambda: from_edges(
+        50, 1, list(range(50)), [0] * 50
+    ),
+    # Regression: the GKK random-walk fast path looped forever on fully
+    # dense square instances (every walk closes a cycle instead of an
+    # augmenting path) until the probe learned to hand such instances
+    # back to the auction.  Keep exercising sampling="auto" on it.
+    "regression-gkk-dense-cycle": lambda: full_ones(80),
+    # Regression: warm starts whose carried prices violate ε-CS used to
+    # leave stale pairs behind; the with-empties family found it.
+    "regression-sparse-empties": lambda: from_dense(
+        (np.random.default_rng(3).random((50, 50)) < 0.03).astype(int)
+    ),
+}
+
+
+@pytest.mark.exact
+@pytest.mark.parametrize("case", sorted(AUCTION_CASES))
+def test_auction_adversarial_corpus(case):
+    g = AUCTION_CASES[case]()
+    want = hopcroft_karp(g).cardinality
+    for sampling in ("auto", "never"):
+        res = auction_match(g, sampling=sampling, seed=0)
+        res.matching.validate(g)
+        assert res.cardinality == want, (case, sampling)
+    # Warm start from the cold run's own output must also be maximum.
+    cold = auction_match(g, sampling="never", seed=0)
+    warm = auction_match(g, initial=cold, prices=cold.prices, seed=0)
+    warm.matching.validate(g)
+    assert warm.cardinality == want, (case, "warm")
+
+
+@pytest.mark.exact
+def test_auction_random_fuzz_against_hk():
+    """Randomized sweep: shapes, densities, and schedules drawn from a
+    seeded rng so failures replay exactly."""
+    rng = np.random.default_rng(20260808)
+    for trial in range(60):
+        nrows = int(rng.integers(1, 60))
+        ncols = int(rng.integers(1, 60))
+        density = float(rng.uniform(0.02, 0.5))
+        dense = (rng.random((nrows, ncols)) < density).astype(int)
+        g = from_dense(dense)
+        es = float(rng.uniform(0.2, 3.0))
+        em = es / float(rng.choice([1.0, 4.0, 16.0]))
+        res = auction_match(
+            g, eps_start=es, eps_min=em, seed=int(rng.integers(0, 100))
+        )
+        res.matching.validate(g)
+        assert res.cardinality == hopcroft_karp(g).cardinality, trial

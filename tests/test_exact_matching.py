@@ -140,6 +140,37 @@ class TestMC21:
         assert mc21(g).cardinality == hopcroft_karp(g).cardinality
 
 
+class TestPushRelabelVsHopcroftKarp:
+    """Differential cell: two structurally different exact algorithms
+    (BFS-phase augmentation vs preflow-push) on rectangular instances,
+    where row/column asymmetry exercises the free-side bookkeeping."""
+
+    @pytest.mark.parametrize(
+        "nrows,ncols,density",
+        [(40, 90, 2.0), (90, 40, 2.0), (15, 200, 4.0), (200, 15, 0.3)],
+    )
+    def test_rectangular_agreement(self, nrows, ncols, density):
+        from repro.matching import push_relabel
+
+        for seed in range(4):
+            g = sprand_rect(nrows, ncols, density, seed=seed)
+            hk = hopcroft_karp(g)
+            pr = push_relabel(g)
+            hk.validate(g)
+            pr.validate(g)
+            assert hk.cardinality == pr.cardinality == \
+                scipy_max_matching_size(g), (nrows, ncols, seed)
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_push_relabel_agrees_on_random_rectangles(self, g):
+        from repro.matching import push_relabel
+
+        m = push_relabel(g)
+        m.validate(g)
+        assert m.cardinality == hopcroft_karp(g).cardinality
+
+
 class TestSprank:
     def test_full_matrix(self):
         assert sprank(from_dense(np.ones((4, 4)))) == 4

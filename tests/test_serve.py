@@ -428,3 +428,147 @@ def test_daemon_rejects_malformed_lines():
     reply = json.loads(stdout.getvalue().splitlines()[0])
     assert not reply["ok"]
     assert reply["error"] == "ServiceError"
+
+
+# -- exact rung --------------------------------------------------------
+
+
+def test_exact_rung_returns_maximum_with_guarantee_one(graph):
+    from repro.matching import hopcroft_karp
+
+    with MatchingServer(config=_config(default_deadline=30.0)) as server:
+        response = server.submit(
+            MatchRequest(graph, iterations=1, seed=7, method="exact")
+        )
+    assert response.rung == "exact"
+    assert not response.degraded
+    assert response.guarantee == 1.0
+    response.matching.validate(graph)
+    assert response.cardinality == hopcroft_karp(graph).cardinality
+
+
+def test_exact_sheds_to_two_sided_when_budget_below_floor(graph):
+    """An explicit exact request whose remaining budget is under
+    ``exact_min_budget`` must be served degraded on two_sided, not risk
+    blowing the deadline inside the auction."""
+    with telemetry.session() as registry:
+        with MatchingServer(config=_config(default_deadline=10.0)) as server:
+            response = server.submit(
+                MatchRequest(
+                    graph, iterations=1, seed=7, method="exact",
+                    deadline=2.0,
+                )
+            )
+        snap = registry.snapshot()
+    assert response.rung == "two_sided"
+    assert response.degraded
+    assert response.guarantee == RUNG_GUARANTEES["two_sided"]
+    response.matching.validate(graph)
+    assert snap["serve.exact.shed"]["value"] == 1
+
+
+def test_exact_shed_floor_configurable(graph):
+    # With the floor at zero the same tiny budget reaches the exact rung.
+    with MatchingServer(
+        config=_config(default_deadline=10.0, exact_min_budget=0.0)
+    ) as server:
+        response = server.submit(
+            MatchRequest(graph, iterations=1, seed=7, method="exact",
+                         deadline=2.0)
+        )
+    assert response.rung == "exact"
+    assert not response.degraded
+
+
+def test_auto_ladder_never_enters_exact(graph):
+    # The exact rung is opt-in: auto tops out at two_sided regardless of
+    # how much budget is available.
+    assert rung_for_pressure(0.0, 0, _config()) == "two_sided"
+    with MatchingServer(config=_config(default_deadline=60.0)) as server:
+        response = server.submit(MatchRequest(graph, iterations=1, seed=7))
+    assert response.rung == "two_sided"
+    assert not response.degraded
+
+
+def test_daemon_exact_method_end_to_end():
+    requests = [
+        {
+            "id": 1,
+            "op": "match",
+            "graph": {"kind": "union", "n": 60, "k": 3, "seed": 0},
+            "iterations": 1,
+            "seed": 5,
+            "method": "exact",
+            "deadline": 30.0,
+        },
+        {
+            "id": 2,
+            "op": "match",
+            "graph": {"kind": "union", "n": 60, "k": 3, "seed": 0},
+            "iterations": 1,
+            "seed": 5,
+            "method": "exact",
+            "deadline": 1.0,
+        },
+        {"id": 3, "op": "shutdown"},
+    ]
+    stdin = io.StringIO("\n".join(json.dumps(r) for r in requests) + "\n")
+    stdout = io.StringIO()
+    assert serve_forever(stdin=stdin, stdout=stdout) == 0
+    replies = [json.loads(line) for line in stdout.getvalue().splitlines()]
+    by_id = {reply["id"]: reply for reply in replies}
+    assert by_id[1]["ok"]
+    assert by_id[1]["rung"] == "exact"
+    assert by_id[1]["guarantee"] == 1.0
+    assert not by_id[1]["degraded"]
+    # n=60, k=3 unions of permutations have a perfect matching.
+    assert by_id[1]["cardinality"] == 60
+    # Deadline below the exact floor: served degraded on two_sided.
+    assert by_id[2]["ok"]
+    assert by_id[2]["rung"] == "two_sided"
+    assert by_id[2]["degraded"]
+
+
+def test_daemon_stream_exact_repair_end_to_end():
+    requests = [
+        {
+            "id": 1,
+            "op": "stream_open",
+            "graph": {"kind": "union", "n": 50, "k": 2, "seed": 3},
+            "target_quality": 0.55,
+            "seed": 9,
+            "exact": True,
+        },
+        {
+            # Add a fresh diagonal band so the epoch advances; removals
+            # would need exact edge coordinates, adds don't.
+            "id": 2,
+            "op": "update",
+            "handle": "s1",
+            "add": {"rows": list(range(10)), "cols": list(range(10))},
+        },
+        {
+            "id": 3,
+            "op": "rematch",
+            "handle": "s1",
+            "include_matching": True,
+        },
+        {"id": 4, "op": "stream_close", "handle": "s1"},
+        {"id": 5, "op": "shutdown"},
+    ]
+    stdin = io.StringIO("\n".join(json.dumps(r) for r in requests) + "\n")
+    stdout = io.StringIO()
+    assert serve_forever(stdin=stdin, stdout=stdout) == 0
+    replies = [json.loads(line) for line in stdout.getvalue().splitlines()]
+    by_id = {reply["id"]: reply for reply in replies}
+    assert by_id[1]["ok"] and by_id[1]["handle"] == "s1"
+    assert by_id[2]["ok"]
+    rematch = by_id[3]
+    assert rematch["ok"]
+    # exact=True streams certify guarantee 1.0 and report the auction's
+    # top-up over the repaired heuristic matching.
+    assert rematch["guarantee"] == 1.0
+    assert "exact_gain" in rematch and rematch["exact_gain"] >= 0
+    matched = [c for c in rematch["row_match"] if c >= 0]
+    assert rematch["cardinality"] == len(matched)
+    assert by_id[4]["ok"] and by_id[4]["closed"]
