@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-regress bench-regress-smoke chaos chaos-smoke serve serve-soak serve-smoke stream stream-smoke exact-smoke experiments verify examples clean
+.PHONY: install test bench bench-regress bench-regress-smoke chaos chaos-smoke serve serve-soak serve-smoke stream stream-smoke exact-smoke recovery-smoke experiments verify examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -46,6 +46,9 @@ stream-smoke:
 
 exact-smoke:
 	timeout 480 $(PYTHON) -m pytest -m exact -q
+
+recovery-smoke:
+	timeout 480 $(PYTHON) -m pytest -m recovery -q
 
 experiments:
 	$(PYTHON) -m repro.experiments all --out results.json

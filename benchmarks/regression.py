@@ -85,6 +85,12 @@ SIZES = {
     # same epoch (informational — it is a ratio of two measured times,
     # so the gated cell alone pins the regression surface).
     "stream_update": (120_000, 8_000),
+    # Durability layer: rebuild a journaled stream session (checkpoint +
+    # WAL replay + recertification) vs the live run that produced it.
+    # Informational — replay re-executes the same rematches it journaled,
+    # so the honest ratio hovers around 1x; the cell keeps recovery wall
+    # time visible without gating on it.
+    "recovery_replay": (20_000, 2_000),
     # Exact tier: the ε-scaling auction, cold-started and warm-started
     # from a TwoSidedMatch heuristic.  Cold is the gated cell (it is the
     # quality ladder's exact rung); warm-vs-cold is an informational
@@ -346,6 +352,72 @@ def run_workloads(smoke: bool, backend_spec: str = "serial") -> dict[str, dict]:
         f"  {'stream_speedup':<22} n={n:<7} {churn.speedup:9.2f}x "
         f"(cold {churn.cold_seconds * 1e3:.2f} ms)"
     )
+
+    # Durability layer: a journaled stream session under 1% churn, then
+    # a full crash recovery of its directory.  The recovered last
+    # acknowledgment must equal the live one bitwise — asserted, not
+    # reported.  Neither number gates (no "seconds" key): replay
+    # re-executes the same rematches the live run journaled plus
+    # recertification, so live/replay is an honest ~1x ratio whose job
+    # is to keep recovery wall time visible.
+    import shutil
+    import tempfile
+
+    from repro.serve.daemon import GraphCache, _StreamRegistry
+    from repro.serve.journal import DurableLog
+    from repro.serve.recovery import recover_registry
+
+    n = SIZES["recovery_replay"][idx]
+    journal_dir = tempfile.mkdtemp(prefix="repro-bench-recovery-")
+    try:
+        registry = _StreamRegistry(
+            8, None, journal=DurableLog(journal_dir, checkpoint_every=64)
+        )
+        spec = {"kind": "sprand", "n": n, "degree": 4.0, "seed": 0}
+        rng = np.random.default_rng(7)
+        batch = max(8, n // 100)
+        t0 = time.perf_counter()
+        registry.open(
+            {"graph": spec, "target_quality": 0.55, "seed": 0}, GraphCache(8)
+        )
+        registry.rematch({"handle": "s1"})
+        for _ in range(2 if smoke else 3):
+            registry.update(
+                {"handle": "s1", "add": {
+                    "rows": rng.integers(0, n, size=batch).tolist(),
+                    "cols": rng.integers(0, n, size=batch).tolist(),
+                }}
+            )
+            registry.rematch({"handle": "s1"})
+        live_seconds = time.perf_counter() - t0
+        registry.journal.close()
+
+        t0 = time.perf_counter()
+        recovered, recovery_report = recover_registry(
+            journal_dir, cache=GraphCache(8), attach_journal=False
+        )
+        replay_seconds = time.perf_counter() - t0
+        if recovered._last_ack["s1"] != registry._last_ack["s1"]:
+            raise AssertionError(
+                "recovery replay diverged from the live acknowledgment"
+            )
+        results["recovery_replay"] = {
+            "n": n,
+            "live_seconds": live_seconds,
+            "replay_seconds": replay_seconds,
+            "replayed_records": recovery_report.replayed_records,
+            "speedup": live_seconds / replay_seconds
+            if replay_seconds
+            else 1.0,
+        }
+        print(
+            f"  {'recovery_replay':<22} n={n:<7} "
+            f"{replay_seconds * 1e3:9.2f} ms "
+            f"(live {live_seconds * 1e3:.2f} ms, "
+            f"{recovery_report.replayed_records} records)"
+        )
+    finally:
+        shutil.rmtree(journal_dir, ignore_errors=True)
 
     # Exact tier: auction cold vs warm on the same instance.  Both runs
     # must land on the identical (maximum) cardinality — asserted, not

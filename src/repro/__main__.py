@@ -265,10 +265,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if backend is None:
         backend = os.environ.get("REPRO_BACKEND") or None
     if args.soak is None:
+        if args.supervise and args.journal:
+            import sys as _sys
+
+            from repro.serve.recovery import supervise
+
+            child = [
+                _sys.executable, "-m", "repro", "serve",
+                "--journal", args.journal,
+                "--checkpoint-every", str(args.checkpoint_every),
+                "--max-streams", str(args.max_streams),
+            ]
+            if args.backend:
+                child += ["--backend", args.backend]
+            if args.recover:
+                child.append("--recover")
+            return supervise(
+                child,
+                journal_dir=args.journal,
+                max_restarts=args.supervise,
+            )
         return serve_forever(
             backend,
             graph_cache_cap=args.graph_cache_cap,
             max_streams=args.max_streams,
+            journal_dir=args.journal,
+            recover=args.recover,
+            checkpoint_every=args.checkpoint_every,
         )
     config = ServerConfig(
         default_deadline=args.deadline,
@@ -521,6 +544,25 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument(
         "--max-streams", type=int, default=8, dest="max_streams",
         help="max concurrently open dynamic-graph handles (daemon mode)",
+    )
+    p_serve.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="write-ahead journal directory: fsync every stream mutation "
+             "before acknowledging it (daemon mode)",
+    )
+    p_serve.add_argument(
+        "--recover", action="store_true",
+        help="rebuild stream sessions from --journal DIR (checkpoint + "
+             "replay + recertification) before serving",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=64, dest="checkpoint_every",
+        help="checkpoint the stream registry every N journal records",
+    )
+    p_serve.add_argument(
+        "--supervise", type=int, default=0, metavar="N",
+        help="watchdog mode: respawn a crashed daemon up to N times, "
+             "recovering from --journal DIR each time",
     )
     p_serve.set_defaults(fn=cmd_serve)
 

@@ -22,6 +22,7 @@ __all__ = [
     "RetryExhaustedError",
     "ServiceError",
     "StreamError",
+    "RecoveryError",
     "OverloadedError",
     "CircuitOpenError",
     "ServerClosedError",
@@ -137,6 +138,24 @@ class ServiceError(ReproError):
 class StreamError(ReproError):
     """A streaming operation is invalid (stale epoch, unknown or
     exhausted stream handle, ...).  See :mod:`repro.stream`."""
+
+
+class RecoveryError(ServiceError):
+    """Crash recovery could not restore a consistent, verified state.
+
+    Raised when the journal is corrupted beyond torn-tail truncation
+    (a valid record *after* an invalid one — interleaved corruption,
+    never produced by a crash mid-append), when a checkpoint fails its
+    integrity check, or when a recovered session's recertified
+    guarantee diverges from the last acknowledged value.  The message
+    names the byte offset or stream handle; refusing to serve beats
+    silently serving a weaker certificate than the one acknowledged.
+    """
+
+    def __init__(self, message: str, *, offset: int | None = None) -> None:
+        super().__init__(message)
+        #: Byte offset of the first invalid journal byte (or None).
+        self.offset = offset
 
 
 class OverloadedError(ServiceError):

@@ -52,6 +52,8 @@ hook closes leaked backends so interpreter shutdown never trips the
 from __future__ import annotations
 
 import atexit
+import itertools
+import os
 import pickle
 import threading
 import time
@@ -74,7 +76,7 @@ from repro.parallel.backends import (
 from repro.parallel.kernels import KERNELS, Kernel
 from repro.resilience import faults as _faults
 
-__all__ = ["SharedMemoryBackend"]
+__all__ = ["SharedMemoryBackend", "reclaim_stale_segments"]
 
 #: Poll interval while waiting for chunk acks; liveness of the pool is
 #: checked at this cadence, so a crashed worker surfaces in ~this time.
@@ -95,13 +97,80 @@ def _close_leaked_backends() -> None:  # pragma: no cover - shutdown path
         backend.close()
 
 
+#: Namespace prefix for this library's shared-memory segments.  The
+#: creator pid is baked into each name (8 hex digits after the prefix),
+#: so a later process can tell a live pool's segment from one orphaned
+#: by a SIGKILLed daemon — the atexit sweep above never runs for those.
+#: Kept short: macOS caps shm names at 31 bytes including the slash.
+_SEGMENT_PREFIX = "rpr"
+_SHM_DIR = "/dev/shm"
+_segment_counter = itertools.count()
+
+
+def _next_segment_name() -> str:
+    return (
+        f"{_SEGMENT_PREFIX}{os.getpid():08x}x{next(_segment_counter):04x}"
+    )
+
+
+def reclaim_stale_segments() -> int:
+    """Unlink namespaced segments whose creator process is gone.
+
+    A daemon killed with SIGKILL never runs its atexit sweep, so its
+    pool's segments would otherwise accumulate in ``/dev/shm`` across
+    restarts.  Called on backend construction and daemon startup; counts
+    reclaimed segments in ``parallel.shm.reclaimed_segments``.  Returns
+    the number reclaimed (0 on platforms without a visible shm
+    directory).
+    """
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        return 0
+    reclaimed = 0
+    for name in os.listdir(_SHM_DIR):
+        if not name.startswith(_SEGMENT_PREFIX):
+            continue
+        pid_hex = name[len(_SEGMENT_PREFIX) : len(_SEGMENT_PREFIX) + 8]
+        if len(pid_hex) < 8:
+            continue
+        try:
+            pid = int(pid_hex, 16)
+        except ValueError:
+            continue
+        if pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+            continue  # creator still alive; its segment, its business
+        except ProcessLookupError:
+            pass
+        except PermissionError:  # pragma: no cover - other-user process
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+            reclaimed += 1
+        except FileNotFoundError:  # pragma: no cover - raced another sweep
+            pass
+    if reclaimed and _tm.enabled():
+        _tm.incr("parallel.shm.reclaimed_segments", reclaimed)
+    return reclaimed
+
+
 class _Segment:
     """A published array: its shared segment plus the parent-side view."""
 
     __slots__ = ("shm", "view", "owner", "writable")
 
     def __init__(self, arr: np.ndarray) -> None:
-        self.shm = SharedMemory(create=True, size=max(arr.nbytes, 1))
+        while True:
+            try:
+                self.shm = SharedMemory(
+                    create=True,
+                    size=max(arr.nbytes, 1),
+                    name=_next_segment_name(),
+                )
+                break
+            except FileExistsError:  # pragma: no cover - recycled pid
+                continue
         self.view: np.ndarray = np.ndarray(
             arr.shape, dtype=arr.dtype, buffer=self.shm.buf
         )
@@ -251,6 +320,7 @@ class SharedMemoryBackend(Backend):
         #: regression test reads these.
         self.last_task_bytes: list[int] = []
         self.last_tasks: list[tuple] = []
+        reclaim_stale_segments()
         _OPEN_BACKENDS.add(self)
 
     # -- kernel execution (the zero-copy path) -------------------------

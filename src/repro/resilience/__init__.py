@@ -51,6 +51,7 @@ __all__ = [
     "ResilientBackend",
     "ChaosOutcome",
     "ChaosReport",
+    "recovery_schedules",
     "run_chaos",
     "standard_schedules",
 ]
@@ -70,6 +71,7 @@ _EXPORTS = {
     "ResilientBackend": "repro.resilience.resilient",
     "ChaosOutcome": "repro.resilience.chaos",
     "ChaosReport": "repro.resilience.chaos",
+    "recovery_schedules": "repro.resilience.chaos",
     "run_chaos": "repro.resilience.chaos",
     "standard_schedules": "repro.resilience.chaos",
 }

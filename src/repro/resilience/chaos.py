@@ -16,6 +16,15 @@ bare hang, ``EOFError``, or silent wrong answer.
 
 Entry points: :func:`run_chaos` (used by the ``chaos``-marked tests),
 ``python -m repro chaos`` and ``make chaos`` (human-facing reports).
+
+The matrix also carries a ``recovery`` row (backend ``journal``): a
+durable stream session is crashed at exact write-ahead-journal record
+boundaries — before the fsync, mid-record, after the last ack, mid
+checkpoint rotation — then restarted through
+:func:`~repro.serve.recover_registry`.  A cell passes when the recovered
+state is bitwise-equal to everything the client was acknowledged, or the
+restart refuses with a typed :class:`~repro.errors.RecoveryError`; a
+lost acknowledged epoch fails the matrix.
 """
 
 from __future__ import annotations
@@ -32,7 +41,13 @@ from repro.errors import BackendError
 from repro.resilience.faults import FaultPlan, FaultSpec, injected_faults
 from repro.resilience.resilient import ResilientBackend
 
-__all__ = ["ChaosOutcome", "ChaosReport", "run_chaos", "standard_schedules"]
+__all__ = [
+    "ChaosOutcome",
+    "ChaosReport",
+    "recovery_schedules",
+    "run_chaos",
+    "standard_schedules",
+]
 
 
 @dataclass(frozen=True)
@@ -145,6 +160,194 @@ def standard_schedules(
     }
 
 
+def recovery_schedules(*, seed: int = 0) -> dict[str, FaultPlan]:
+    """Fault schedules of the ``recovery`` row, one crash point each.
+
+    The recovery workload makes six journaled stream mutations (journal
+    append calls 0–5, with a checkpoint rotation along the way), so each
+    schedule pins its fault to an exact record boundary:
+
+    * ``pre_fsync`` — the bytes of append 4 are written but the process
+      dies before the fsync (the record was never acknowledged);
+    * ``mid_record`` — append 5 is torn partway through the frame;
+    * ``post_ack`` — no injected fault: the daemon dies abruptly right
+      after its last acknowledgment (EOF without a ``shutdown``);
+    * ``mid_checkpoint`` — the first checkpoint rotation dies with a
+      half-written snapshot temp file;
+    * ``divergence`` — the journal is corrupted *in place* after the
+      fact, which no crash of the append-fsync-ack discipline can
+      produce; recovery must refuse with a typed error naming the
+      offending byte offset instead of dropping acknowledged records.
+    """
+    return {
+        "pre_fsync": FaultPlan(
+            [FaultSpec("crash", backend="journal", call=4)], seed=seed
+        ),
+        "mid_record": FaultPlan(
+            [FaultSpec("torn", backend="journal", call=5)], seed=seed
+        ),
+        "post_ack": FaultPlan([], seed=seed),
+        "mid_checkpoint": FaultPlan(
+            [FaultSpec("torn", backend="checkpoint", call=0)], seed=seed
+        ),
+        "divergence": FaultPlan([], seed=seed),
+    }
+
+
+def _recovery_cell(
+    schedule: str,
+    plan: FaultPlan,
+    *,
+    n: int,
+    seed: int,
+    budget: float,
+) -> ChaosOutcome:
+    """Run one ``recovery`` cell: crash a journaled daemon, restart, audit.
+
+    The audit is against what the *client* saw: every response the
+    daemon acknowledged before dying must be present, bitwise, in the
+    recovered registry (replay itself re-verifies each record's stored
+    acknowledgment, and recertification re-proves each session's §3.3
+    certificate — this cell additionally checks the client's view).
+    """
+    import io
+    import json
+    import shutil
+    import tempfile
+
+    from repro.errors import RecoveryError, ReproError
+    from repro.serve.daemon import JOURNAL_POISONED_EXIT, serve_forever
+    from repro.serve.recovery import recover_registry
+
+    graph_spec = {"kind": "union", "n": n, "k": 3, "seed": seed}
+    requests = [
+        {"id": 1, "op": "stream_open", "graph": graph_spec,
+         "target_quality": 0.55, "seed": seed},
+        {"id": 2, "op": "rematch", "handle": "s1"},
+        {"id": 3, "op": "update", "handle": "s1",
+         "add": {"rows": [0, 1], "cols": [1, 0]}},
+        {"id": 4, "op": "rematch", "handle": "s1"},
+        {"id": 5, "op": "update", "handle": "s1",
+         "remove": {"rows": [0], "cols": [1]}, "strict": False},
+        {"id": 6, "op": "rematch", "handle": "s1"},
+    ]
+    # Small enough that the final journal still holds several records
+    # (so mid-file corruption in ``divergence`` is unambiguous), large
+    # enough that every other schedule crosses a rotation.
+    checkpoint_every = 100 if schedule == "divergence" else 3
+    tmpdir = tempfile.mkdtemp(prefix="repro-chaos-recovery-")
+    t0 = time.perf_counter()
+    detail = ""
+    try:
+        out = io.StringIO()
+        source = io.StringIO(
+            "".join(json.dumps(r) + "\n" for r in requests)
+        )
+        with injected_faults(plan.reset()):
+            code = serve_forever(
+                stdin=source,
+                stdout=out,
+                journal_dir=tmpdir,
+                checkpoint_every=checkpoint_every,
+            )
+        acked = [
+            msg
+            for msg in map(json.loads, out.getvalue().splitlines())
+            if msg.get("ok")
+        ]
+        faulted = any(spec.hits for spec in plan.specs)
+        if faulted and code != JOURNAL_POISONED_EXIT:
+            raise AssertionError(
+                f"faulted daemon exited {code}, expected poisoned exit"
+                f" {JOURNAL_POISONED_EXIT}"
+            )
+        if not faulted and code != 0:
+            raise AssertionError(f"fault-free daemon exited {code}")
+        if schedule == "divergence":
+            from repro.serve.journal import latest_generation
+
+            _, _, wal = latest_generation(tmpdir)
+            with open(wal, "r+b") as fh:
+                buf = bytearray(fh.read())
+                buf[25] ^= 0x01  # inside the first record's payload
+                fh.seek(0)
+                fh.write(buf)
+            try:
+                recover_registry(tmpdir, attach_journal=False)
+            except RecoveryError as exc:
+                if exc.offset is None:
+                    raise AssertionError(
+                        "RecoveryError did not name a byte offset"
+                    ) from exc
+                status = f"degraded:{type(exc).__name__}"
+                detail = f"offset={exc.offset}"
+            else:
+                raise AssertionError(
+                    "in-place corruption recovered silently — acknowledged"
+                    " records were dropped"
+                )
+        else:
+            registry, report = recover_registry(
+                tmpdir, attach_journal=False
+            )
+            if "s1" not in registry._sessions:
+                raise AssertionError("recovered registry lost session 's1'")
+            graph, _matcher = registry._sessions["s1"]
+            epochs = [a["epoch"] for a in acked if "epoch" in a]
+            if epochs and graph.epoch < max(epochs):
+                raise AssertionError(
+                    f"recovered epoch {graph.epoch} behind acknowledged"
+                    f" epoch {max(epochs)}"
+                )
+            rematches = [a for a in acked if "mode" in a]
+            if rematches:
+                last = {
+                    key: value
+                    for key, value in rematches[-1].items()
+                    if key not in ("id", "ok")
+                }
+                recovered = registry._last_ack.get("s1")
+                if recovered is None or recovered["epoch"] < last["epoch"]:
+                    raise AssertionError(
+                        "recovered state lost the last acknowledged rematch"
+                    )
+                # Recovery may legally be *ahead* of the client (a record
+                # durable but never acknowledged); at the same epoch the
+                # acknowledgment must match bitwise.
+                if recovered["epoch"] == last["epoch"] and dict(
+                    recovered
+                ) != last:
+                    raise AssertionError(
+                        f"recovered acknowledgment diverges from the one"
+                        f" the client saw: {recovered} != {last}"
+                    )
+            status = "ok"
+            detail = (
+                f"replayed={report.replayed_records}"
+                f" truncated={report.truncated_bytes}B"
+            )
+    except ReproError as exc:
+        status = f"degraded:{type(exc).__name__}"
+        detail = str(exc)[:60]
+    except Exception as exc:  # noqa: BLE001 - untyped = contract violation
+        status = f"FAILED:untyped:{type(exc).__name__}"
+        detail = str(exc)[:60]
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    elapsed = time.perf_counter() - t0
+    if elapsed > budget and not status.startswith("FAILED"):
+        status = "FAILED:budget"
+    return ChaosOutcome(
+        workload="recovery",
+        backend="journal",
+        schedule=schedule,
+        status=status,
+        elapsed=elapsed,
+        budget=budget,
+        detail=detail,
+    )
+
+
 def _run_cell(
     workload: str,
     backend_spec: str,
@@ -219,6 +422,16 @@ def run_chaos(
       floor, **or** a typed ``ReproError`` (shedding and breaker
       rejections included); a lost request or untyped failure violates
       the contract.
+
+    And once per sweep (not per backend) the durability row runs:
+
+    * ``recovery`` (backend ``journal``): a journaled stream daemon is
+      crashed at each :func:`recovery_schedules` record boundary and
+      restarted through :func:`~repro.serve.recover_registry`; the
+      recovered state must contain every acknowledged mutation bitwise,
+      or recovery must refuse with a typed
+      :class:`~repro.errors.RecoveryError` — never a lost acknowledged
+      epoch.
     """
     from repro.core.onesided import one_sided_match
     from repro.graph.generators import sprand, union_of_permutations
@@ -392,6 +605,15 @@ def run_chaos(
                 _run_cell(
                     "serve", backend_spec, "storm", schedules["storm"],
                     serve_cell, make_backend, budget * 3,
+                )
+            )
+    if "storm" in schedules:
+        recovery_n = min(n, 150)
+        for schedule, plan in recovery_schedules(seed=seed).items():
+            outcomes.append(
+                _recovery_cell(
+                    schedule, plan,
+                    n=recovery_n, seed=seed, budget=budget * 2,
                 )
             )
     report = ChaosReport(outcomes=tuple(outcomes))

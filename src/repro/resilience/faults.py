@@ -65,12 +65,17 @@ CRASH_EXIT_CODE = 73
 
 
 class FaultKind(str, Enum):
-    """The four injectable failure modes."""
+    """The injectable failure modes."""
 
     CRASH = "crash"
     HANG = "hang"
     SLOW = "slow"
     CORRUPT = "corrupt"
+    #: IO-layer fault: a write is cut off partway through (the classic
+    #: torn write of a crash mid-append).  Only meaningful to callers
+    #: that write framed records — the journal writer truncates the
+    #: frame and then dies; compute backends treat it like ``crash``.
+    TORN = "torn"
 
 
 #: Default stall durations per kind (seconds).
@@ -79,6 +84,7 @@ _DEFAULT_SECONDS = {
     FaultKind.SLOW: 0.05,
     FaultKind.CRASH: 0.0,
     FaultKind.CORRUPT: 0.0,
+    FaultKind.TORN: 0.0,
 }
 
 
@@ -284,7 +290,7 @@ def execute_with_fault(
     if spec is None:
         return fn(lo, hi)
     kind = spec.kind
-    if kind is FaultKind.CRASH:
+    if kind is FaultKind.CRASH or kind is FaultKind.TORN:
         if in_child:
             os._exit(CRASH_EXIT_CODE)
         raise WorkerCrashError(

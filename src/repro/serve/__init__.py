@@ -13,13 +13,22 @@ Entry points:
 * :func:`run_soak` — overload/chaos soak harness with contract audit.
 * :func:`serve_forever` — stdin/stdout JSON-lines daemon
   (``python -m repro serve``).
+* :class:`DurableLog` / :func:`recover_registry` / :func:`supervise` —
+  write-ahead journal, checkpoint/restore and the crash-recovery path
+  (``python -m repro serve --journal DIR`` / ``--recover``).
 
 See ``docs/serving.md`` for the architecture.
 """
 
 from repro.serve.admission import AdmissionQueue
 from repro.serve.breaker import BreakerState, CircuitBreaker
-from repro.serve.daemon import serve_forever
+from repro.serve.daemon import JOURNAL_POISONED_EXIT, serve_forever
+from repro.serve.journal import DurableLog, JournalScan, scan_journal
+from repro.serve.recovery import (
+    RecoveryReport,
+    recover_registry,
+    supervise,
+)
 from repro.serve.server import (
     RUNG_GUARANTEES,
     RUNGS,
@@ -35,6 +44,13 @@ __all__ = [
     "AdmissionQueue",
     "BreakerState",
     "CircuitBreaker",
+    "DurableLog",
+    "JOURNAL_POISONED_EXIT",
+    "JournalScan",
+    "RecoveryReport",
+    "recover_registry",
+    "scan_journal",
+    "supervise",
     "MatchRequest",
     "MatchResponse",
     "MatchingServer",

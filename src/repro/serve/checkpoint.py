@@ -1,0 +1,116 @@
+"""Checkpoint snapshots of the daemon's stream registry.
+
+A checkpoint is one ``.npz`` holding every open session's complete
+state — the dynamic graph (edge keys + epoch + edit journal) and the
+matcher's warm state (matching, scaling factors, auction prices, rng
+state) — plus registry bookkeeping and the last acknowledged rematch per
+session.  Replay cost after a crash is then bounded by the churn since
+the last checkpoint, not by session lifetime.
+
+The on-disk layout is flat: numpy arrays under ``<handle>/<part>/<key>``
+entries, everything JSON-able under one ``__meta__`` entry.  Writing
+durably (temp file + fsync + rename) is the journal's job
+(:meth:`~repro.serve.journal.DurableLog.rotate`); this module only
+serializes.  Any structural problem on load — unreadable zip, missing
+arrays, meta/array disagreement — raises a typed
+:class:`~repro.errors.RecoveryError`; a checkpoint is either perfect or
+rejected (recovery then falls back to an older generation when one
+exists).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.errors import RecoveryError
+
+__all__ = ["write_snapshot", "read_snapshot"]
+
+_META = "__meta__"
+_VERSION = 1
+
+
+def _split(state: dict[str, Any]) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Partition an ``export_state`` dict into (scalars, arrays)."""
+    scalars: dict[str, Any] = {}
+    arrays: dict[str, Any] = {}
+    for key, value in state.items():
+        if isinstance(value, np.ndarray):
+            arrays[key] = value
+        else:
+            scalars[key] = value
+    return scalars, arrays
+
+
+def write_snapshot(path: str | os.PathLike[str], registry: dict[str, Any]) -> None:
+    """Serialize a registry-state dict (see ``_StreamRegistry.export_state``)
+    to *path* as one ``.npz``."""
+    meta: dict[str, Any] = {
+        "version": _VERSION,
+        "next": int(registry["next"]),
+        "handles": sorted(registry["sessions"]),
+        "scalars": {},
+        "last_ack": registry.get("last_ack", {}),
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for handle, parts in registry["sessions"].items():
+        meta["scalars"][handle] = {}
+        for part in ("graph", "matcher"):
+            part_scalars, part_arrays = _split(parts[part])
+            meta["scalars"][handle][part] = part_scalars
+            for key, value in part_arrays.items():
+                arrays[f"{handle}/{part}/{key}"] = value
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **{_META: np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )}, **arrays)
+    with open(path, "wb") as fh:
+        fh.write(buf.getvalue())
+
+
+def read_snapshot(path: str | os.PathLike[str]) -> dict[str, Any]:
+    """Load a checkpoint back into a registry-state dict.
+
+    Raises :class:`RecoveryError` on any structural defect; a partially
+    readable checkpoint is never returned.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            names = set(npz.files)
+            if _META not in names:
+                raise RecoveryError(
+                    f"checkpoint {os.fspath(path)!r} has no metadata entry"
+                )
+            meta = json.loads(bytes(npz[_META]).decode("utf-8"))
+            if meta.get("version") != _VERSION:
+                raise RecoveryError(
+                    f"checkpoint {os.fspath(path)!r} has unsupported"
+                    f" version {meta.get('version')!r}"
+                )
+            sessions: dict[str, Any] = {}
+            for handle in meta["handles"]:
+                parts: dict[str, dict[str, Any]] = {}
+                for part in ("graph", "matcher"):
+                    state = dict(meta["scalars"][handle][part])
+                    prefix = f"{handle}/{part}/"
+                    for name in names:
+                        if name.startswith(prefix):
+                            state[name[len(prefix) :]] = npz[name]
+                    parts[part] = state
+                sessions[handle] = parts
+            return {
+                "next": int(meta["next"]),
+                "sessions": sessions,
+                "last_ack": meta.get("last_ack", {}),
+            }
+    except RecoveryError:
+        raise
+    except Exception as exc:
+        raise RecoveryError(
+            f"checkpoint {os.fspath(path)!r} is unreadable: {exc!r}"
+        ) from exc

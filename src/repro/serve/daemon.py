@@ -60,7 +60,12 @@ from repro.graph.csr import BipartiteGraph
 from repro.parallel.backends import Backend
 from repro.serve.server import MatchingServer, MatchRequest, ServerConfig
 
-__all__ = ["serve_forever", "build_graph", "GraphCache"]
+__all__ = [
+    "serve_forever",
+    "build_graph",
+    "GraphCache",
+    "JOURNAL_POISONED_EXIT",
+]
 
 
 class GraphCache:
@@ -233,13 +238,132 @@ def _handle_match(
 
 
 class _StreamRegistry:
-    """Server-side handles to dynamic graphs and their matchers."""
+    """Server-side handles to dynamic graphs and their matchers.
 
-    def __init__(self, max_streams: int, backend: Backend | str | None) -> None:
+    With a :class:`~repro.serve.journal.DurableLog` attached, every
+    successful mutating op is journaled (and fsync'd) *before* its
+    response is returned — the write-ahead discipline that makes an
+    acknowledgment survive a crash.  A journal failure poisons the log;
+    the serve loop then stops so the supervisor can restart through
+    :func:`~repro.serve.recovery.recover_registry`.
+    """
+
+    def __init__(
+        self,
+        max_streams: int,
+        backend: Backend | str | None,
+        *,
+        journal: Any = None,
+    ) -> None:
         self.max_streams = int(max_streams)
         self.backend = backend
+        self.journal = journal
         self._sessions: dict[str, tuple[Any, Any]] = {}
+        self._last_ack: dict[str, dict[str, Any]] = {}
         self._next = 0
+
+    # -- durability ----------------------------------------------------
+
+    @property
+    def poisoned(self) -> bool:
+        """True once the journal refused a write (state ahead of disk)."""
+        return self.journal is not None and self.journal.poisoned is not None
+
+    def _journal_append(self, record: dict[str, Any]) -> None:
+        if self.journal is None:
+            return
+        self.journal.append(record)
+        if self.journal.should_checkpoint:
+            from repro.serve.checkpoint import write_snapshot
+
+            state = self.export_state()
+            self.journal.rotate(lambda tmp: write_snapshot(tmp, state))
+
+    def export_state(self) -> dict[str, Any]:
+        """Checkpointable image of every open session."""
+        return {
+            "next": self._next,
+            "sessions": {
+                handle: {
+                    "graph": graph.export_state(),
+                    "matcher": matcher.export_state(),
+                }
+                for handle, (graph, matcher) in self._sessions.items()
+            },
+            "last_ack": dict(self._last_ack),
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Adopt a checkpoint image (see :mod:`repro.serve.recovery`)."""
+        from repro.stream.dynamic import DynamicBipartiteGraph
+        from repro.stream.matcher import StreamMatcher
+
+        self._next = int(state["next"])
+        self._sessions = {}
+        for handle, parts in state["sessions"].items():
+            graph = DynamicBipartiteGraph.from_state(parts["graph"])
+            matcher = StreamMatcher.from_state(
+                graph, parts["matcher"], backend=self.backend
+            )
+            self._sessions[handle] = (graph, matcher)
+        self._last_ack = {
+            h: dict(a) for h, a in state.get("last_ack", {}).items()
+        }
+
+    def apply_record(self, record: dict[str, Any], cache: Any) -> None:
+        """Replay one journal record, verifying it reproduces its ack.
+
+        Used by recovery with no journal attached; any divergence from
+        the recorded acknowledgment is a typed
+        :class:`~repro.errors.RecoveryError` — the recovered state would
+        not be the one the client saw.
+        """
+        from repro.errors import RecoveryError
+
+        op = record.get("op")
+        handle = record.get("handle")
+        if op == "open":
+            response = self.open(
+                {
+                    "graph": record.get("graph"),
+                    "target_quality": record.get("target_quality", 0.55),
+                    "seed": record.get("seed"),
+                    "topup": record.get("topup", False),
+                    "exact": record.get("exact", False),
+                },
+                cache,
+            )
+            if response["handle"] != handle:
+                raise RecoveryError(
+                    f"replayed open produced handle {response['handle']!r},"
+                    f" journal says {handle!r}"
+                )
+            _, matcher = self._sessions[handle]
+            matcher._rng.bit_generator.state = record["rng"]
+        elif op == "update":
+            response = self.update({"handle": handle, **record["msg"]})
+        elif op == "rematch":
+            response = self.rematch(
+                {"handle": handle, "cold": record.get("cold", False)}
+            )
+        elif op == "close":
+            self.close({"handle": handle})
+            return
+        else:
+            raise RecoveryError(f"journal record has unknown op {op!r}")
+        ack = record.get("ack", {})
+        diverged = {
+            key: (response.get(key), expected)
+            for key, expected in ack.items()
+            if response.get(key) != expected
+        }
+        if diverged:
+            raise RecoveryError(
+                f"replay of {op!r} on {handle!r} diverged from the"
+                f" acknowledged response: {diverged}"
+            )
+
+    # -- ops -----------------------------------------------------------
 
     def open(self, msg: dict[str, Any], cache: Any) -> dict[str, Any]:
         from repro.stream.dynamic import DynamicBipartiteGraph
@@ -266,13 +390,30 @@ class _StreamRegistry:
         if _tm.enabled():
             _tm.incr("serve.stream.opens")
             _tm.set_gauge("serve.stream.open_handles", len(self._sessions))
-        return {
+        response = {
             "handle": handle,
             "epoch": graph.epoch,
             "nrows": graph.nrows,
             "ncols": graph.ncols,
             "nnz": graph.nnz,
         }
+        self._journal_append(
+            {
+                "op": "open",
+                "handle": handle,
+                "graph": msg.get("graph"),
+                "target_quality": float(msg.get("target_quality", 0.55)),
+                "seed": msg.get("seed"),
+                "topup": bool(msg.get("topup", False)),
+                "exact": bool(msg.get("exact", False)),
+                # The concrete generator state (seed may be None): replay
+                # restores it so recovered sessions draw identical
+                # randomness.
+                "rng": matcher._rng.bit_generator.state,
+                "ack": response,
+            }
+        )
+        return response
 
     def get(self, msg: dict[str, Any]) -> tuple[Any, Any]:
         handle = msg.get("handle")
@@ -304,12 +445,25 @@ class _StreamRegistry:
             )
         if _tm.enabled():
             _tm.incr("serve.stream.updates")
-        return {
+        response = {
             "epoch": graph.epoch,
             "added": added,
             "removed": removed,
             "nnz": graph.nnz,
         }
+        self._journal_append(
+            {
+                "op": "update",
+                "handle": msg.get("handle"),
+                "msg": {
+                    key: msg[key]
+                    for key in ("add", "remove", "grow", "strict")
+                    if key in msg
+                },
+                "ack": response,
+            }
+        )
+        return response
 
     def rematch(self, msg: dict[str, Any]) -> dict[str, Any]:
         graph, matcher = self.get(msg)
@@ -336,6 +490,16 @@ class _StreamRegistry:
             "topup_gain": result.topup_gain,
             "exact_gain": result.exact_gain,
         }
+        handle = msg.get("handle")
+        self._last_ack[str(handle)] = dict(payload)
+        self._journal_append(
+            {
+                "op": "rematch",
+                "handle": handle,
+                "cold": bool(msg.get("cold", False)),
+                "ack": dict(payload),
+            }
+        )
         if msg.get("include_matching"):
             payload["row_match"] = result.matching.row_match.tolist()
         return payload
@@ -345,10 +509,17 @@ class _StreamRegistry:
         if handle not in self._sessions:
             raise StreamError(f"unknown stream handle {handle!r}")
         del self._sessions[handle]
+        self._last_ack.pop(str(handle), None)
         if _tm.enabled():
             _tm.incr("serve.stream.closes")
             _tm.set_gauge("serve.stream.open_handles", len(self._sessions))
+        self._journal_append({"op": "close", "handle": handle})
         return {"handle": handle, "closed": True}
+
+
+#: Exit code of a daemon that stopped because its journal poisoned —
+#: nonzero so a supervisor restarts it through recovery.
+JOURNAL_POISONED_EXIT = 75
 
 
 def serve_forever(
@@ -359,6 +530,9 @@ def serve_forever(
     stdout: IO[str] | None = None,
     graph_cache_cap: int = 32,
     max_streams: int = 8,
+    journal_dir: str | None = None,
+    recover: bool = False,
+    checkpoint_every: int = 64,
 ) -> int:
     """Run the JSON-lines daemon until EOF or a ``shutdown`` op.
 
@@ -366,11 +540,48 @@ def serve_forever(
     *stdout* default to the process streams; tests pass ``io.StringIO``.
     *graph_cache_cap* bounds the spec→graph LRU cache; *max_streams*
     bounds the number of concurrently open dynamic-graph handles.
+
+    With *journal_dir* every stream mutation is write-ahead journaled
+    (fsync before ack) and checkpointed every *checkpoint_every*
+    records; *recover* first rebuilds the stream registry from the
+    directory's checkpoint + journal (see ``docs/serving.md``,
+    "Durability & crash recovery").  When the journal poisons — a
+    failed or injected-faulty write — the daemon stops with exit code
+    :data:`JOURNAL_POISONED_EXIT` rather than acknowledging mutations
+    it can no longer make durable.
     """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
+    # A SIGKILLed predecessor never swept its shared-memory segments;
+    # reclaim any whose creator is gone before spawning our own.
+    from repro.parallel.shm import reclaim_stale_segments
+
+    reclaim_stale_segments()
     cache = GraphCache(graph_cache_cap)
-    streams = _StreamRegistry(max_streams, backend)
+    if recover:
+        if journal_dir is None:
+            raise ServiceError("--recover requires a journal directory")
+        from repro.serve.recovery import recover_registry
+
+        streams, _ = recover_registry(
+            journal_dir,
+            backend=backend,
+            max_streams=max_streams,
+            cache=cache,
+            checkpoint_every=checkpoint_every,
+        )
+    elif journal_dir is not None:
+        from repro.serve.journal import DurableLog
+
+        streams = _StreamRegistry(
+            max_streams,
+            backend,
+            journal=DurableLog(
+                journal_dir, checkpoint_every=checkpoint_every
+            ),
+        )
+    else:
+        streams = _StreamRegistry(max_streams, backend)
 
     def emit(payload: dict[str, Any]) -> None:
         stdout.write(json.dumps(payload) + "\n")
@@ -421,4 +632,11 @@ def serve_forever(
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     break
                 emit(_error_response(request_id, exc))
-    return 0
+            if streams.poisoned:
+                # The in-memory registry is ahead of the durable log;
+                # acknowledging anything further would be a lie.  Die
+                # and let the supervisor restart through recovery.
+                break
+    if streams.journal is not None:
+        streams.journal.close()
+    return JOURNAL_POISONED_EXIT if streams.poisoned else 0

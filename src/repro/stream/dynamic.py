@@ -308,6 +308,82 @@ class DynamicBipartiteGraph:
         self._snapshot_epoch = self._epoch
         return self._snapshot
 
+    # -- durability ----------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Serializable image of the complete mutable state.
+
+        Values are JSON-able scalars or numpy arrays (the checkpoint
+        layer splits them accordingly).  The edit journal rides along so
+        a restored graph answers :meth:`dirty_since` exactly as the
+        original would — consumers left behind by the crash still get a
+        truthful "too far back, go cold" answer.
+        """
+        epochs = np.array([e for e, _, _ in self._journal], dtype=np.int64)
+        rows = [r for _, r, _ in self._journal]
+        cols = [c for _, _, c in self._journal]
+        empty = np.empty(0, dtype=np.int64)
+        row_ptr = np.cumsum([0] + [r.size for r in rows], dtype=np.int64)
+        col_ptr = np.cumsum([0] + [c.size for c in cols], dtype=np.int64)
+        return {
+            "nrows": self._nrows,
+            "ncols": self._ncols,
+            "epoch": self._epoch,
+            "journal_floor": self._journal_floor,
+            "journal_limit": int(self._journal.maxlen or 1),
+            "keys": self._keys.copy(),
+            "journal_epochs": epochs,
+            "journal_rows": np.concatenate(rows) if rows else empty,
+            "journal_row_ptr": row_ptr,
+            "journal_cols": np.concatenate(cols) if cols else empty,
+            "journal_col_ptr": col_ptr,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DynamicBipartiteGraph":
+        """Rebuild a graph from :meth:`export_state` output.
+
+        Raises :class:`~repro.errors.GraphStructureError` when the
+        state image is internally inconsistent (keys out of range or
+        unsorted — the symptom of a corrupted checkpoint).
+        """
+        g = cls(
+            nrows=int(state["nrows"]),
+            ncols=int(state["ncols"]),
+            journal_limit=int(state["journal_limit"]),
+        )
+        keys = np.ascontiguousarray(state["keys"], dtype=np.int64)
+        if keys.size:
+            if np.any(np.diff(keys) <= 0):
+                raise GraphStructureError(
+                    "restored edge keys are not strictly increasing"
+                )
+            if (
+                int(keys[-1] >> 32) >= g._nrows
+                or int((keys & _COL_MASK).max()) >= g._ncols
+            ):
+                raise GraphStructureError(
+                    "restored edge keys reference vertices out of range"
+                )
+        g._keys = keys
+        g._keys_t = cls._transpose_keys(keys)
+        g._epoch = int(state["epoch"])
+        g._journal_floor = int(state["journal_floor"])
+        epochs = np.asarray(state["journal_epochs"], dtype=np.int64)
+        jr = np.asarray(state["journal_rows"], dtype=np.int64)
+        jrp = np.asarray(state["journal_row_ptr"], dtype=np.int64)
+        jc = np.asarray(state["journal_cols"], dtype=np.int64)
+        jcp = np.asarray(state["journal_col_ptr"], dtype=np.int64)
+        for k, ep in enumerate(epochs):
+            g._journal.append(
+                (
+                    int(ep),
+                    jr[jrp[k] : jrp[k + 1]].copy(),
+                    jc[jcp[k] : jcp[k + 1]].copy(),
+                )
+            )
+        return g
+
     def dirty_since(self, epoch: int) -> DirtySet | None:
         """Union of dirty rows/columns over epochs ``(epoch, current]``.
 

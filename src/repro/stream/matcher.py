@@ -53,6 +53,7 @@ from repro.graph.csr import BipartiteGraph
 from repro.matching.matching import NIL, Matching
 from repro.parallel.backends import Backend, get_backend
 from repro.scaling.adaptive import QualityScaling, scale_for_quality
+from repro.scaling.result import ScalingResult
 from repro.stream.dynamic import DynamicBipartiteGraph
 
 __all__ = ["StreamMatcher", "StreamMatchResult"]
@@ -216,6 +217,119 @@ class StreamMatcher:
     @property
     def matching(self) -> Matching | None:
         return self._matching
+
+    def export_state(self) -> dict:
+        """Serializable image of configuration plus all warm state.
+
+        Values are JSON-able scalars or numpy arrays.  Includes the
+        exact generator state, so a restored matcher draws the *same*
+        future random choices as the original would have — replaying a
+        journal against a checkpoint is deterministic.
+        """
+        import json
+
+        state: dict = {
+            "target_quality": self.target_quality,
+            "topup": self.topup,
+            "exact": self.exact,
+            "max_sweeps": self.max_sweeps,
+            "rng_state": json.dumps(self._rng.bit_generator.state),
+        }
+        if self._epoch is not None:
+            state["epoch"] = self._epoch
+        if self._cold_sweeps is not None:
+            state["cold_sweeps"] = self._cold_sweeps
+        if self._prices is not None:
+            state["prices"] = self._prices.copy()
+        if self._quality is not None:
+            qs = self._quality
+            state.update(
+                q_dr=qs.scaling.dr.copy(),
+                q_dc=qs.scaling.dc.copy(),
+                q_error=qs.scaling.error,
+                q_iterations=qs.scaling.iterations,
+                q_converged=qs.scaling.converged,
+                q_history=list(qs.scaling.history),
+                q_rung=qs.scaling.rung,
+                q_warm=qs.scaling.warm_started,
+                q_min_col_sum=qs.min_column_sum,
+                q_certified=qs.certified_quality,
+                q_target_met=qs.target_met,
+            )
+        if self._row_choice is not None:
+            state["row_choice"] = self._row_choice.copy()
+            state["col_choice"] = self._col_choice.copy()
+        if self._matching is not None:
+            state["row_match"] = self._matching.row_match.copy()
+            state["col_match"] = self._matching.col_match.copy()
+        if self._scale_state is not None:
+            state["rowtot"] = self._scale_state[0].copy()
+            state["colsum"] = self._scale_state[1].copy()
+        return state
+
+    @classmethod
+    def from_state(
+        cls,
+        graph: DynamicBipartiteGraph,
+        state: dict,
+        *,
+        backend: Backend | str | None = None,
+    ) -> "StreamMatcher":
+        """Rebuild a matcher over *graph* from :meth:`export_state`."""
+        import json
+
+        m = cls(
+            graph,
+            float(state["target_quality"]),
+            backend=backend,
+            topup=bool(state["topup"]),
+            exact=bool(state["exact"]),
+            max_sweeps=int(state["max_sweeps"]),
+        )
+        m._rng.bit_generator.state = json.loads(str(state["rng_state"]))
+        if "epoch" in state:
+            m._epoch = int(state["epoch"])
+        if "cold_sweeps" in state:
+            m._cold_sweeps = int(state["cold_sweeps"])
+        if "prices" in state:
+            m._prices = np.ascontiguousarray(
+                state["prices"], dtype=np.float64
+            )
+        if "q_dr" in state:
+            scaling = ScalingResult(
+                dr=np.asarray(state["q_dr"], dtype=np.float64),
+                dc=np.asarray(state["q_dc"], dtype=np.float64),
+                error=float(state["q_error"]),
+                iterations=int(state["q_iterations"]),
+                converged=bool(state["q_converged"]),
+                history=tuple(float(h) for h in state["q_history"]),
+                rung=str(state["q_rung"]),
+                warm_started=bool(state["q_warm"]),
+            )
+            m._quality = QualityScaling(
+                scaling=scaling,
+                min_column_sum=float(state["q_min_col_sum"]),
+                certified_quality=float(state["q_certified"]),
+                target_met=bool(state["q_target_met"]),
+            )
+        if "row_choice" in state:
+            m._row_choice = np.ascontiguousarray(
+                state["row_choice"], dtype=np.int64
+            )
+            m._col_choice = np.ascontiguousarray(
+                state["col_choice"], dtype=np.int64
+            )
+        if "row_match" in state:
+            m._matching = Matching(
+                np.asarray(state["row_match"], dtype=np.int64),
+                np.asarray(state["col_match"], dtype=np.int64),
+            )
+        if "rowtot" in state:
+            m._scale_state = (
+                np.ascontiguousarray(state["rowtot"], dtype=np.float64),
+                np.ascontiguousarray(state["colsum"], dtype=np.float64),
+            )
+        return m
 
     def rematch(self, *, cold: bool = False) -> StreamMatchResult:
         """(Re)compute the matching for the graph's current epoch.

@@ -50,6 +50,41 @@ from repro.scaling.result import ScalingResult
 
 __all__ = ["local_rebalance", "measure_state"]
 
+#: Per-round cap on the multiplicative boost of a deficient column.  A
+#: column whose probability sum is many orders of magnitude below α
+#: (near-empty support after churn) would otherwise request an unbounded
+#: factor; repeated rounds then overflow ``dc`` to ``inf``, the affected
+#: row totals follow, and the ``0 · inf`` products poison the certificate
+#: with NaN.  Columns that genuinely cannot reach α under the cap simply
+#: stay deficient and the caller falls back to global sweeps.
+_MAX_BOOST = 1e6
+
+#: Absolute ceiling on a column factor.  Keeps every downstream product
+#: (row totals, probability sums) comfortably inside float64 range even
+#: at the round budget: ``nnz · _DC_CAP`` stays finite.
+_DC_CAP = 1e150
+
+#: Row totals below this are treated as empty (their rows contribute no
+#: probability mass).  Without the floor, a denormal total inverts to
+#: ``inf`` and one ``inf · 0`` product later the certificate is NaN; the
+#: floor also bounds the row factors handed to warm-start consumers at
+#: ``1 / _ROWTOT_TINY``, inside the range Sinkhorn–Knopp sweeps survive.
+_ROWTOT_TINY = 1e-150
+
+#: When the final factors span more than this, renormalise ``dc`` to
+#: ``max(dc) == 1`` before certifying — the row-normalised pick
+#: probabilities are invariant under a global scaling of ``dc``, so the
+#: certificate is unchanged while every downstream consumer (the warm
+#: Sinkhorn–Knopp fallback included) sees bounded numbers.
+_DC_NORM = 1e100
+
+
+def _guarded_inverse(rowtot: FloatArray) -> FloatArray:
+    """``1 / rowtot`` with near-empty totals mapped to zero, never inf."""
+    inv = np.zeros_like(rowtot)
+    np.divide(1.0, rowtot, out=inv, where=rowtot > _ROWTOT_TINY)
+    return inv
+
 
 
 def _column_prob_sums(
@@ -71,9 +106,7 @@ def measure_state(
     probabilities — the two vectors :func:`local_rebalance` maintains.
     """
     rowtot = segment_sums(dc[graph.col_ind], graph.row_ptr)
-    inv_rowtot = np.zeros_like(rowtot)
-    np.divide(1.0, rowtot, out=inv_rowtot, where=rowtot > 0)
-    return rowtot, _column_prob_sums(graph, dc, inv_rowtot)
+    return rowtot, _column_prob_sums(graph, dc, _guarded_inverse(rowtot))
 
 
 def local_rebalance(
@@ -132,8 +165,7 @@ def local_rebalance(
             rowtot[d_rows] = segment_sums(dc[cols_of_rows], sub_ptr)
             col_mask[cols_of_rows] = True
         stale = np.flatnonzero(col_mask)
-    inv_rowtot = np.zeros_like(rowtot)
-    np.divide(1.0, rowtot, out=inv_rowtot, where=rowtot > 0)
+    inv_rowtot = _guarded_inverse(rowtot)
     if state is not None and stale.size:
         rows_st, st_ptr = _gather_segments(
             graph.col_ptr, graph.row_ind, stale
@@ -149,10 +181,14 @@ def local_rebalance(
     while deficient_idx.size and rounds < max_rounds:
         d = deficient_idx
         # Boost the deficient columns to slightly above the bar; their
-        # sums scale linearly in dc[j] at fixed row totals.
-        old_dc = dc[d].copy()
-        dc[d] *= level / np.maximum(colsum[d], 1e-300)
-        colsum[d] = level
+        # sums scale linearly in dc[j] at fixed row totals.  The boost is
+        # clamped (per round and in absolute dc magnitude) so near-empty
+        # columns cannot drive the factors to inf/NaN; a clamped column
+        # lands below `level` and simply stays deficient.
+        old_dc = np.maximum(dc[d], 1e-300)
+        boost = np.minimum(level / np.maximum(colsum[d], 1e-300), _MAX_BOOST)
+        dc[d] = np.minimum(old_dc * boost, _DC_CAP)
+        colsum[d] *= dc[d] / old_dc
         touched_col_mask[d] = True
 
         # Rows whose totals moved: those adjacent to a boosted column.
@@ -171,8 +207,7 @@ def local_rebalance(
         rowtot[touched] += row_delta[touched]
         # NB: fancy indexing in `out=` would write into a temporary copy;
         # scatter the computed values explicitly.
-        new_inv = np.zeros(touched.shape[0])
-        np.divide(1.0, rowtot[touched], out=new_inv, where=rowtot[touched] > 0)
+        new_inv = _guarded_inverse(rowtot[touched])
         inv_rowtot[touched] = new_inv
         touched_row_mask[touched] = True
 
@@ -193,24 +228,41 @@ def local_rebalance(
 
     # Delta tracking drifts by a few ulps per round; the certificate and
     # the carried state must be exact, so re-measure everything the loop
-    # touched from the final factors in one pass.
-    t_rows = np.flatnonzero(touched_row_mask)
-    if t_rows.size:
-        cols_tr, ptr_tr = _gather_segments(graph.row_ptr, graph.col_ind, t_rows)
-        new_tot = segment_sums(dc[cols_tr], ptr_tr)
-        rowtot[t_rows] = new_tot
-        new_inv = np.zeros_like(new_tot)
-        np.divide(1.0, new_tot, out=new_inv, where=new_tot > 0)
-        inv_rowtot[t_rows] = new_inv
-    t_cols = np.flatnonzero(touched_col_mask)
-    if t_cols.size:
-        rows_tc, ptr_tc = _gather_segments(graph.col_ptr, graph.row_ind, t_cols)
-        colsum[t_cols] = dc[t_cols] * segment_sums(
-            inv_rowtot[rows_tc], ptr_tc
-        )
+    # touched from the final factors in one pass.  When the boosts drove
+    # the factors to a pathological spread (near-empty columns under
+    # churn), renormalise ``dc`` to ``max == 1`` first — a global scaling
+    # of ``dc`` leaves the pick probabilities untouched — and re-measure
+    # everything from the bounded factors instead.
+    if dc.size and float(dc.max()) > _DC_NORM:
+        # The floor catches factors that underflow under the
+        # normalisation; they carry no mass but must stay strictly
+        # positive and inside the range warm-start consumers survive.
+        dc = np.maximum(dc / dc.max(), 1e-150)
+        rowtot, colsum = measure_state(graph, dc)
+        inv_rowtot = _guarded_inverse(rowtot)
+    else:
+        t_rows = np.flatnonzero(touched_row_mask)
+        if t_rows.size:
+            cols_tr, ptr_tr = _gather_segments(
+                graph.row_ptr, graph.col_ind, t_rows
+            )
+            new_tot = segment_sums(dc[cols_tr], ptr_tr)
+            rowtot[t_rows] = new_tot
+            inv_rowtot[t_rows] = _guarded_inverse(new_tot)
+        t_cols = np.flatnonzero(touched_col_mask)
+        if t_cols.size:
+            rows_tc, ptr_tc = _gather_segments(
+                graph.col_ptr, graph.row_ind, t_cols
+            )
+            colsum[t_cols] = dc[t_cols] * segment_sums(
+                inv_rowtot[rows_tc], ptr_tc
+            )
     current = float(colsum[nonempty].min()) if nonempty.any() else 0.0
     dr = inv_rowtot.copy()
-    dr[rowtot <= 0] = 1.0
+    # Empty and near-empty rows (floor-guarded to zero above) carry no
+    # probability mass; give them the conventional factor 1 so the pair
+    # stays strictly positive for warm-start consumers.
+    dr[rowtot <= _ROWTOT_TINY] = 1.0
 
     if _tm.enabled():
         _tm.incr("stream.rebalance.runs")

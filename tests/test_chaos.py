@@ -48,6 +48,14 @@ def test_chaos_serial_only_quick():
     assert report.passed, "\n" + report.render()
     rendered = report.render()
     assert "cells honoured the contract" in rendered
+    # The durability row rides every full sweep: one cell per crash
+    # boundary, all on the journal "backend".
+    recovery = [o for o in report.outcomes if o.workload == "recovery"]
+    assert {o.schedule for o in recovery} == {
+        "pre_fsync", "mid_record", "post_ack", "mid_checkpoint",
+        "divergence",
+    }
+    assert all(o.backend == "journal" for o in recovery)
 
 
 def test_chaos_serve_row_runs_and_holds_contract():

@@ -1,0 +1,447 @@
+"""Recovery-marked tests: journal, checkpoint/restore, crash recovery.
+
+Run explicitly with ``pytest -m recovery`` (or ``make recovery-smoke``).
+The durability contract under test: every mutation a client was
+*acknowledged* survives any crash — torn writes, skipped fsyncs, deaths
+mid-checkpoint, SIGKILL of the whole daemon — and anything recovery
+cannot restore *and verify* is a typed
+:class:`~repro.errors.RecoveryError`, never a silently weaker state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import RecoveryError, WorkerCrashError
+from repro.resilience import FaultPlan, FaultSpec, injected_faults
+from repro.resilience.chaos import _recovery_cell, recovery_schedules
+from repro.serve.checkpoint import read_snapshot, write_snapshot
+from repro.serve.daemon import GraphCache, _StreamRegistry
+from repro.serve.journal import (
+    DurableLog,
+    encode_record,
+    latest_generation,
+    scan_journal,
+)
+from repro.serve.recovery import recover_registry, supervise
+
+pytestmark = pytest.mark.recovery
+
+CORPUS = Path(__file__).parent / "data" / "journal_corpus"
+with open(CORPUS / "manifest.json", encoding="utf-8") as _fh:
+    MANIFEST = json.load(_fh)
+
+GRAPH_SPEC = {"kind": "union", "n": 60, "k": 3, "seed": 0}
+
+
+def _churned_registry(journal=None, seed=0):
+    """A registry with one session that opened, rematched, and churned."""
+    registry = _StreamRegistry(8, None, journal=journal)
+    cache = GraphCache(8)
+    registry.open(
+        {"graph": GRAPH_SPEC, "target_quality": 0.55, "seed": seed}, cache
+    )
+    registry.rematch({"handle": "s1"})
+    registry.update(
+        {"handle": "s1", "add": {"rows": [0, 1, 2], "cols": [2, 0, 1]}}
+    )
+    registry.rematch({"handle": "s1"})
+    return registry, cache
+
+
+# -- framing and the committed torn-write corpus -----------------------
+
+
+def test_encode_record_frames_roundtrip(tmp_path):
+    records = [
+        {"op": "open", "handle": "s1", "ack": {"epoch": 0}},
+        {"op": "update", "handle": "s1", "ack": {"epoch": 1, "added": 2}},
+    ]
+    path = tmp_path / "wal-000000.log"
+    with open(path, "wb") as fh:
+        for record in records:
+            fh.write(encode_record(record))
+    scan = scan_journal(path)
+    assert scan.records == records
+    assert not scan.truncated
+    assert scan.valid_bytes == scan.total_bytes == path.stat().st_size
+
+
+@pytest.mark.parametrize("name", sorted(n for n in MANIFEST))
+def test_corpus_longest_prefix_or_typed_offset(name):
+    """Each committed corpus file recovers its longest valid prefix or
+    refuses with a typed ``RecoveryError`` naming the byte offset."""
+    entry = MANIFEST[name]
+    path = CORPUS / name
+    assert path.stat().st_size == entry["total_bytes"]
+    if entry["error_offset"] is not None:
+        with pytest.raises(RecoveryError) as excinfo:
+            scan_journal(path)
+        assert excinfo.value.offset == entry["error_offset"]
+        assert str(entry["error_offset"]) in str(excinfo.value)
+    else:
+        scan = scan_journal(path)
+        assert len(scan.records) == entry["records"]
+        assert scan.valid_bytes == entry["valid_bytes"]
+        assert scan.total_bytes == entry["total_bytes"]
+        assert scan.truncated == (
+            entry["valid_bytes"] < entry["total_bytes"]
+        )
+
+
+def test_recover_refuses_interleaved_corruption_with_offset(tmp_path):
+    """End to end: a journal directory holding an in-place-corrupted log
+    is refused by ``recover_registry`` with the corpus's byte offset."""
+    wal = tmp_path / "wal-000000.log"
+    wal.write_bytes((CORPUS / "interleaved.wal").read_bytes())
+    with pytest.raises(RecoveryError) as excinfo:
+        recover_registry(tmp_path, attach_journal=False)
+    assert excinfo.value.offset == MANIFEST["interleaved.wal"]["error_offset"]
+
+
+# -- DurableLog: appends, rotation, poisoning --------------------------
+
+
+def test_durable_log_rotates_generations(tmp_path):
+    log = DurableLog(tmp_path, checkpoint_every=2)
+    log.append({"op": "a"})
+    log.append({"op": "b"})
+    assert log.should_checkpoint
+    log.rotate(lambda tmp: Path(tmp).write_bytes(b"snapshot"))
+    assert log.generation == 1
+    log.append({"op": "c"})
+    log.close()
+    gen, ckpt, wal = latest_generation(tmp_path)
+    assert gen == 1 and ckpt is not None and wal is not None
+    assert Path(ckpt).read_bytes() == b"snapshot"
+    assert [r["op"] for r in scan_journal(wal).records] == ["c"]
+    # The previous generation was retired only after the new one was
+    # fully durable.
+    assert not (tmp_path / "wal-000000.log").exists()
+
+
+def test_poisoned_log_refuses_further_writes(tmp_path):
+    log = DurableLog(tmp_path, checkpoint_every=100)
+    plan = FaultPlan([FaultSpec("crash", backend="journal", call=0)])
+    with injected_faults(plan):
+        with pytest.raises(WorkerCrashError):
+            log.append({"op": "doomed"})
+    assert log.poisoned is not None
+    with pytest.raises(RecoveryError):
+        log.append({"op": "after"})
+    with pytest.raises(RecoveryError):
+        log.rotate(lambda tmp: None)
+    log.close()
+
+
+def test_torn_append_leaves_recoverable_tail(tmp_path):
+    log = DurableLog(tmp_path, checkpoint_every=100)
+    log.append({"op": "acked"})
+    # Call indices are per installed plan: the clean append above ran
+    # with no plan active, so this is the plan's journal call 0.
+    plan = FaultPlan([FaultSpec("torn", backend="journal", call=0)])
+    with injected_faults(plan):
+        with pytest.raises(WorkerCrashError):
+            log.append({"op": "torn-away"})
+    log.close()
+    scan = scan_journal(log.path)
+    assert [r["op"] for r in scan.records] == ["acked"]
+    assert scan.truncated
+
+
+# -- checkpoint/restore: bitwise state round-trips ---------------------
+
+
+def test_checkpoint_roundtrip_preserves_state_bitwise(tmp_path):
+    registry, _ = _churned_registry()
+    state = registry.export_state()
+    path = tmp_path / "ckpt-000001.npz"
+    write_snapshot(path, state)
+    restored = _StreamRegistry(8, None)
+    restored.restore_state(read_snapshot(path))
+
+    g1, m1 = registry._sessions["s1"]
+    g2, m2 = restored._sessions["s1"]
+    assert g2.epoch == g1.epoch and g2.nnz == g1.nnz
+    s1, s2 = g1.snapshot(), g2.snapshot()
+    assert np.array_equal(s1.row_ptr, s2.row_ptr)
+    assert np.array_equal(s1.col_ind, s2.col_ind)
+    assert m2._epoch == m1._epoch
+    assert restored._last_ack == registry._last_ack
+    # The restored session continues bitwise-identically: same churn,
+    # same rematch acknowledgment (floats and all).
+    for reg in (registry, restored):
+        reg.update(
+            {"handle": "s1", "remove": {"rows": [0], "cols": [2]},
+             "strict": False}
+        )
+    a1 = registry.rematch({"handle": "s1"})
+    a2 = restored.rematch({"handle": "s1"})
+    assert a1 == a2
+
+
+def test_checkpoint_roundtrip_restores_unseeded_rng(tmp_path):
+    """seed=None sessions checkpoint their concrete generator state, so
+    a restored matcher draws the same randomness as the original."""
+    registry = _StreamRegistry(8, None)
+    registry.open(
+        {"graph": GRAPH_SPEC, "target_quality": 0.55, "seed": None},
+        GraphCache(8),
+    )
+    registry.rematch({"handle": "s1"})
+    path = tmp_path / "ckpt-000001.npz"
+    write_snapshot(path, registry.export_state())
+    restored = _StreamRegistry(8, None)
+    restored.restore_state(read_snapshot(path))
+    for reg in (registry, restored):
+        reg.update(
+            {"handle": "s1", "add": {"rows": [3, 4], "cols": [4, 3]}}
+        )
+    assert registry.rematch({"handle": "s1"}) == restored.rematch(
+        {"handle": "s1"}
+    )
+
+
+def test_read_snapshot_refuses_corrupt_checkpoint(tmp_path):
+    registry, _ = _churned_registry()
+    path = tmp_path / "ckpt-000001.npz"
+    write_snapshot(path, registry.export_state())
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(RecoveryError):
+        read_snapshot(path)
+
+
+# -- crash at every record boundary (the chaos ``recovery`` row) -------
+
+
+def test_recovery_row_crash_at_every_boundary():
+    """The chaos matrix's recovery row: each cell crashes a journaled
+    daemon at one record boundary, restarts through recovery, and audits
+    the acknowledged state.  The four crash schedules must recover
+    bitwise; the in-place corruption schedule must refuse typed."""
+    expected = {
+        "pre_fsync": "ok",
+        "mid_record": "ok",
+        "post_ack": "ok",
+        "mid_checkpoint": "ok",
+        "divergence": "degraded:RecoveryError",
+    }
+    for schedule, plan in recovery_schedules(seed=0).items():
+        outcome = _recovery_cell(
+            schedule, plan, n=120, seed=0, budget=120.0
+        )
+        assert outcome.status == expected[schedule], (
+            f"{schedule}: {outcome.status} [{outcome.detail}]"
+        )
+
+
+def test_journaled_registry_recovers_acked_rematch(tmp_path):
+    """Direct API version: journal a churned session, abandon it (as a
+    SIGKILL would), recover, and compare the acknowledgment bitwise."""
+    registry, cache = _churned_registry(
+        journal=DurableLog(tmp_path, checkpoint_every=3)
+    )
+    acked = dict(registry._last_ack["s1"])
+    registry.journal.close()
+
+    recovered, report = recover_registry(
+        tmp_path, cache=cache, attach_journal=False
+    )
+    assert report.sessions == 1
+    assert recovered._last_ack["s1"] == acked
+    graph, matcher = recovered._sessions["s1"]
+    assert graph.epoch == acked["epoch"] == matcher._epoch
+    # A second recovery of the same directory is deterministic.
+    again, _ = recover_registry(
+        tmp_path, cache=cache, attach_journal=False
+    )
+    assert again._last_ack["s1"] == acked
+
+
+# -- the supervisor ----------------------------------------------------
+
+_PROBE = (
+    "import sys; sys.exit(0 if '--recover' in sys.argv else 75)"
+)
+
+
+def test_supervise_respawns_with_recover_flag(tmp_path):
+    code = supervise(
+        [sys.executable, "-c", _PROBE],
+        journal_dir=str(tmp_path),
+        max_restarts=2,
+        backoff=0.01,
+    )
+    assert code == 0
+
+
+def test_supervise_gives_up_after_restart_budget(tmp_path):
+    code = supervise(
+        [sys.executable, "-c", "import sys; sys.exit(75)"],
+        journal_dir=str(tmp_path),
+        max_restarts=2,
+        backoff=0.01,
+    )
+    assert code == 75
+
+
+# -- SIGKILL the real daemon mid-epoch ---------------------------------
+
+
+class _Daemon:
+    """A ``python -m repro serve`` subprocess with line-wise I/O."""
+
+    def __init__(self, *args: str):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", *args],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            bufsize=1,
+            env=env,
+        )
+        self._lines: queue.Queue[str] = queue.Queue()
+        self._reader = threading.Thread(
+            target=self._pump, daemon=True
+        )
+        self._reader.start()
+
+    def _pump(self):
+        for line in self.proc.stdout:
+            self._lines.put(line)
+
+    def ask(self, msg: dict, timeout: float = 60.0) -> dict:
+        self.proc.stdin.write(json.dumps(msg) + "\n")
+        self.proc.stdin.flush()
+        try:
+            return json.loads(self._lines.get(timeout=timeout))
+        except queue.Empty:  # pragma: no cover - hang = test failure
+            self.proc.kill()
+            raise AssertionError(f"daemon gave no response to {msg}")
+
+    def sigkill(self):
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+
+def test_sigkill_mid_epoch_then_recover(tmp_path):
+    """The ``make recovery-smoke`` scenario: open a stream, churn it,
+    SIGKILL the daemon mid-epoch (edits acknowledged but not yet
+    rematched), restart with ``--recover``, and check the recovered
+    session serves the acknowledged epoch with a matching guarantee."""
+    journal = str(tmp_path / "journal")
+    first = _Daemon("--journal", journal, "--checkpoint-every", "3")
+    try:
+        opened = first.ask(
+            {"id": 1, "op": "stream_open", "graph": GRAPH_SPEC,
+             "target_quality": 0.55, "seed": 1}
+        )
+        assert opened["ok"], opened
+        handle = opened["handle"]
+        baseline = first.ask({"id": 2, "op": "rematch", "handle": handle})
+        assert baseline["ok"], baseline
+        churn = first.ask(
+            {"id": 3, "op": "update", "handle": handle,
+             "add": {"rows": [0, 1, 2], "cols": [1, 2, 0]}}
+        )
+        assert churn["ok"], churn
+        rematched = first.ask(
+            {"id": 4, "op": "rematch", "handle": handle}
+        )
+        assert rematched["ok"], rematched
+        # Mid-epoch: this edit is acknowledged (journaled + fsync'd)
+        # but the session dies before the next rematch.
+        mid_epoch = first.ask(
+            {"id": 5, "op": "update", "handle": handle,
+             "remove": {"rows": [0], "cols": [1]}, "strict": False}
+        )
+        assert mid_epoch["ok"], mid_epoch
+    finally:
+        first.sigkill()
+
+    second = _Daemon(
+        "--journal", journal, "--recover", "--checkpoint-every", "3"
+    )
+    try:
+        # The recovered graph must be at the acknowledged epoch —
+        # expect_epoch makes the daemon refuse if anything was lost.
+        after = second.ask(
+            {"id": 6, "op": "rematch", "handle": handle,
+             "expect_epoch": mid_epoch["epoch"]}
+        )
+        assert after["ok"], after
+        assert after["epoch"] == mid_epoch["epoch"]
+        assert 0.0 <= after["guarantee"] <= 1.0
+
+        # An uninterrupted replica of the same request sequence lands on
+        # the same acknowledgment, bitwise — the kill changed nothing.
+        registry = _StreamRegistry(8, None)
+        cache = GraphCache(8)
+        registry.open(
+            {"graph": GRAPH_SPEC, "target_quality": 0.55, "seed": 1},
+            cache,
+        )
+        registry.rematch({"handle": handle})
+        registry.update(
+            {"handle": handle, "add": {"rows": [0, 1, 2], "cols": [1, 2, 0]}}
+        )
+        registry.rematch({"handle": handle})
+        registry.update(
+            {"handle": handle, "remove": {"rows": [0], "cols": [1]},
+             "strict": False}
+        )
+        replica = registry.rematch({"handle": handle})
+        for key in ("epoch", "mode", "cardinality", "guarantee",
+                    "min_column_sum"):
+            assert after[key] == replica[key], (
+                f"{key}: recovered {after[key]!r} != replica"
+                f" {replica[key]!r}"
+            )
+        done = second.ask({"id": 7, "op": "shutdown"})
+        assert done["ok"], done
+        assert second.proc.wait(timeout=30) == 0
+    finally:
+        if second.proc.poll() is None:  # pragma: no cover - cleanup
+            second.sigkill()
+
+
+# -- orphaned shared-memory segments -----------------------------------
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no visible shm directory"
+)
+def test_reclaim_stale_segments_sweeps_dead_owners():
+    from repro.parallel.shm import reclaim_stale_segments
+
+    probe = subprocess.Popen([sys.executable, "-c", "pass"])
+    probe.wait(timeout=30)
+    dead = f"/dev/shm/rpr{probe.pid:08x}x0000"
+    live = f"/dev/shm/rpr{os.getpid():08x}x7fff"
+    with open(dead, "wb") as fh:
+        fh.write(b"\0" * 8)
+    with open(live, "wb") as fh:
+        fh.write(b"\0" * 8)
+    try:
+        assert reclaim_stale_segments() >= 1
+        assert not os.path.exists(dead), "orphan survived the sweep"
+        assert os.path.exists(live), "live segment was reclaimed"
+    finally:
+        for path in (dead, live):
+            if os.path.exists(path):
+                os.unlink(path)

@@ -207,6 +207,34 @@ def test_local_rebalance_state_reuse_stays_exact():
     )
 
 
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_local_rebalance_sprand_churn_stays_finite(seed):
+    # Regression: pure-sprand graphs develop near-empty columns under
+    # churn; the per-round boost used to drive dc factors to inf, the
+    # certificate to NaN, and the rematch into "alpha must be in [0, 1],
+    # got nan".  The clamped boost + bounded-norm renormalisation must
+    # keep every epoch finite with a valid matching.
+    g = sprand(600, 2.0, seed=seed)
+    dyn = DynamicBipartiteGraph(g)
+    matcher = StreamMatcher(dyn, 0.5, seed=seed)
+    results = [matcher.rematch()]
+    rng = np.random.default_rng(1000 + seed)
+    for _ in range(8):
+        dyn.add_edges(
+            rng.integers(0, g.nrows, size=30), rng.integers(0, g.ncols, size=30)
+        )
+        dyn.remove_edges(
+            rng.integers(0, g.nrows, size=10),
+            rng.integers(0, g.ncols, size=10),
+            strict=False,
+        )
+        results.append(matcher.rematch())
+    for res in results:
+        assert np.isfinite(res.guarantee) and 0.0 <= res.guarantee <= 1.0
+    assert results[-1].mode == "incremental"
+    results[-1].matching.validate(dyn.snapshot())
+
+
 # ---------------------------------------------------------------------------
 # StreamMatcher
 # ---------------------------------------------------------------------------
