@@ -226,6 +226,148 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kernel_bench_views(name, graph, rng):
+    """Synthetic full-size views for micro-benching kernel *name*."""
+    import numpy as np
+
+    from repro.matching.matching import NIL
+
+    nrows, ncols = graph.nrows, graph.ncols
+    nnz = int(graph.row_ptr[-1])
+    total = nrows + ncols
+    if name == "sk_sweep":
+        return ncols, {
+            "ptr": graph.col_ptr, "ind": graph.row_ind,
+            "opp": rng.random(nrows) + 0.5,
+            "out": np.zeros(ncols),
+        }, None
+    if name == "sk_sweep_err":
+        return ncols, {
+            "ptr": graph.col_ptr, "ind": graph.row_ind,
+            "opp": rng.random(nrows) + 0.5,
+            "mine": rng.random(ncols) + 0.5,
+            "out": np.zeros(ncols),
+        }, None
+    if name == "choice_scaled":
+        return nrows, {
+            "ptr": graph.row_ptr, "ind": graph.col_ind,
+            "opp": rng.random(ncols) + 0.5,
+            "draws": 1.0 - rng.random(nrows),
+            "out": np.zeros(nrows, dtype=np.int64),
+        }, None
+    if name == "choice_flat":
+        return nrows, {
+            "ptr": graph.row_ptr, "ind": graph.col_ind,
+            "weights": rng.random(nnz) + 0.5,
+            "draws": 1.0 - rng.random(nrows),
+            "out": np.zeros(nrows, dtype=np.int64),
+        }, None
+    if name == "ks_phase1_scan":
+        return nrows, {
+            "alive": np.ones(nrows, dtype=bool),
+            "in_count": np.zeros(nrows, dtype=np.int64),
+            "match": np.full(total, NIL, dtype=np.int64),
+            "choice": rng.integers(-1, total, size=total, dtype=np.int64),
+            "cand": np.zeros(nrows, dtype=bool),
+        }, None
+    if name == "ks_phase2_scan":
+        return ncols, {
+            "match": np.full(total, NIL, dtype=np.int64),
+            "choice": rng.integers(-1, total, size=total, dtype=np.int64),
+            "ok": np.zeros(ncols, dtype=bool),
+        }, {"nrows": nrows}
+    if name == "auction_bid":
+        return nrows, {
+            "ptr": graph.row_ptr, "ind": graph.col_ind,
+            "prices": rng.random(ncols),
+            "bid_col": np.zeros(nrows, dtype=np.int64),
+            "bid_val": np.zeros(nrows, dtype=np.float64),
+        }, {"eps": 0.125, "dead": 1e12}
+    raise SystemExit(f"no bench harness for kernel {name!r}")
+
+
+def cmd_kernels(args: argparse.Namespace) -> int:
+    """Report per-kernel implementation status, plus a micro-benchmark."""
+    import time
+
+    import numpy as np
+
+    from repro.graph.generators import sprand
+    from repro.parallel import (
+        kernel_impl,
+        kernel_impls,
+        native_available,
+        native_cache_dir,
+        run_kernel,
+        warm_compile,
+    )
+    from repro.parallel import native as native_mod
+
+    have = native_available()
+    warm_compile()  # resolves every kernel's status (compiles if it can)
+    rows = kernel_impls()
+    mode = rows[0]["mode"] if rows else "auto"
+    resolved = "native" if any(r["impl"] == "native" for r in rows) else "numpy"
+    print("kernel implementation tier")
+    print("--------------------------")
+    detail = "" if have else "  (numba not installed)"
+    print(f"selected mode : {mode}  -> resolves to {resolved}{detail}")
+    version = native_mod._NUMBA_VERSION if have else None
+    print(f"numba         : {version or ('available' if have else 'absent')}")
+    print(f"cache dir     : {native_cache_dir()}")
+    print()
+
+    timings: dict[str, tuple[float, float | None]] = {}
+    if not args.no_bench:
+        graph = sprand(args.n, 4.0, seed=0)
+        for row in rows:
+            name = row["kernel"]
+            rng = np.random.default_rng(1)
+            n, arrays, scalars = _kernel_bench_views(name, graph, rng)
+
+            def best_of(impl: str) -> float:
+                with kernel_impl(impl):
+                    run_kernel(name, n, arrays, scalars=scalars)  # warm
+                    best = float("inf")
+                    for _ in range(args.repeats):
+                        t0 = time.perf_counter()
+                        run_kernel(name, n, arrays, scalars=scalars)
+                        best = min(best, time.perf_counter() - t0)
+                return best
+
+            numpy_s = best_of("numpy")
+            native_s = best_of("native") if row["status"] == "ready" else None
+            timings[name] = (numpy_s, native_s)
+
+    header = (
+        f"{'kernel':<16} {'impl':<7} {'status':<9} {'compile_s':>9} "
+        f"{'numpy_ms':>9} {'native_ms':>10} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        name = row["kernel"]
+        comp = row["compile_seconds"]
+        comp_s = f"{comp:9.3f}" if comp is not None else f"{'-':>9}"
+        numpy_s, native_s = timings.get(name, (None, None))
+        np_ms = f"{numpy_s * 1e3:9.3f}" if numpy_s is not None else f"{'-':>9}"
+        if native_s is not None and numpy_s is not None:
+            nat_ms = f"{native_s * 1e3:10.3f}"
+            speed = f"{numpy_s / native_s:7.2f}x"
+        else:
+            nat_ms, speed = f"{'-':>10}", f"{'-':>8}"
+        print(
+            f"{name:<16} {row['impl']:<7} {row['status']:<9} {comp_s} "
+            f"{np_ms} {nat_ms} {speed}"
+        )
+    fallbacks = [r for r in rows if r["status"] == "fallback"]
+    if fallbacks:
+        print()
+        for row in fallbacks:
+            print(f"note: {row['kernel']} fell back — {row['detail']}")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run the chaos matrix and print the cell table (exit 1 on failure)."""
     from repro.resilience import run_chaos
@@ -493,6 +635,24 @@ def main(argv: list[str] | None = None) -> int:
         help="also append the event trace to this JSON-lines file",
     )
     p_tel.set_defaults(fn=cmd_telemetry)
+
+    p_kern = sub.add_parser(
+        "kernels",
+        help="per-kernel implementation report (native/numpy) + micro-bench",
+    )
+    p_kern.add_argument(
+        "--n", type=int, default=20_000,
+        help="graph size for the micro-benchmark (default 20000)",
+    )
+    p_kern.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of repeats per cell (default 3)",
+    )
+    p_kern.add_argument(
+        "--no-bench", action="store_true",
+        help="report implementation status only, skip timings",
+    )
+    p_kern.set_defaults(fn=cmd_kernels)
 
     p_chaos = sub.add_parser(
         "chaos",

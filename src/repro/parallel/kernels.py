@@ -45,9 +45,11 @@ from typing import Any, Callable, Iterator, Mapping
 
 import numpy as np
 
+from repro import telemetry as _tm
 from repro._typing import FloatArray
 from repro.errors import BackendError
 from repro.matching.matching import NIL
+from repro.parallel import native as _native
 from repro.parallel.backends import Backend, get_backend
 from repro.parallel.partition import chunk_ranges
 from repro.parallel.reduction import segment_sums
@@ -134,19 +136,37 @@ def kernel_chunk_override(chunk: int) -> Iterator[None]:
         _CHUNK_OVERRIDE = previous
 
 
+#: Memoized chunk layouts keyed by ``(n, chunk)`` — the grid is pure in
+#: those two numbers, and hot callers (SK iterations, KS rounds, auction
+#: sweeps, serve/stream epochs) rebuild the same layout thousands of
+#: times.  Bounded: the working set is a handful of (size, granularity)
+#: pairs per process.
+_GRID_CACHE: dict[tuple[int, int], tuple[tuple[int, int], ...]] = {}
+_GRID_CACHE_CAP = 256
+
+
 def kernel_grid(n: int, kern: Kernel) -> list[tuple[int, int]]:
     """The fixed chunk decomposition for a size-*n* run of *kern*.
 
     Depends only on ``(n, kernel)`` — never on the backend or worker
     count — which is what makes chunk-local floating-point arithmetic
-    backend-invariant.
+    backend-invariant.  Layouts are memoized per ``(n, chunk)``; the
+    ``parallel.grid.cache_hits`` counter tracks reuse.
     """
     if n <= 0:
         return []
     chunk = _CHUNK_OVERRIDE
     if chunk is None:
         chunk = max(kern.min_chunk, -(-n // kern.target_chunks))
-    return chunk_ranges(n, chunk)
+    cached = _GRID_CACHE.get((n, chunk))
+    if cached is None:
+        if len(_GRID_CACHE) >= _GRID_CACHE_CAP:
+            _GRID_CACHE.clear()
+        cached = tuple(chunk_ranges(n, chunk))
+        _GRID_CACHE[(n, chunk)] = cached
+    elif _tm.enabled():
+        _tm.incr("parallel.grid.cache_hits")
+    return list(cached)
 
 
 def run_kernel(
@@ -176,6 +196,13 @@ def run_kernel(
     kern = KERNELS.get(name)
     if kern is None:
         raise BackendError(f"no kernel registered under {name!r}")
+    missing = [nm for nm in kern.outputs if nm not in arrays]
+    if missing:
+        raise BackendError(
+            f"kernel {name!r} declares output(s) {missing} but no such "
+            f"array binding was provided; bound arrays: "
+            f"{sorted(arrays)}"
+        )
     be = get_backend(backend)
     parts = kernel_grid(n, kern)
     if not parts:
@@ -183,16 +210,17 @@ def run_kernel(
     if be.supports_kernels:
         return be.run_kernel(kern, parts, arrays, dict(scalars or {}))
 
+    fn = _native.active_fn(kern)
     views: dict[str, Any] = dict(arrays)
     if scalars:
         views.update(scalars)
     if be.shares_memory:
-        return be.map_chunks(lambda lo, hi: kern.fn(lo, hi, views), parts)
+        return be.map_chunks(lambda lo, hi: fn(lo, hi, views), parts)
 
     # Process-isolated workers mutate copy-on-write pages the parent never
     # sees, so have each chunk return its output slices for reassembly.
     def isolated(lo: int, hi: int) -> tuple[Any, dict[str, np.ndarray]]:
-        ret = kern.fn(lo, hi, views)
+        ret = fn(lo, hi, views)
         return ret, {nm: views[nm][lo:hi] for nm in kern.outputs}
 
     rets: list[Any] = []
@@ -234,6 +262,11 @@ def _segment_pick(
     result depends on the chunk grid — which :func:`kernel_grid` fixes
     per ``(n, kernel)``, keeping picks backend-invariant.
     """
+    if ind_slice.shape[0] == 0:
+        # A chunk of nothing but empty segments: the clip below would
+        # index ind_slice[-1], which does not exist.  Every pick is NIL.
+        out[lo:hi] = NIL
+        return
     starts = ptr[lo:hi] - base_offset
     ends = ptr[lo + 1 : hi + 1] - base_offset
     cum = np.cumsum(weights)
@@ -363,6 +396,15 @@ def _ks_phase1_scan(lo: int, hi: int, v: Mapping[str, Any]) -> None:
 #: Sentinel bid target meaning "this row certifies it cannot be matched":
 #: every neighbour's price is at or above the round's dead level.
 AUCTION_DROP: int = -2
+
+# The native loops bake the sentinels in as compile-time constants; a
+# drift between the two definitions would corrupt silently, so refuse to
+# import instead.
+if _native.AUCTION_DROP != AUCTION_DROP or _native.NIL != NIL:
+    raise BackendError(
+        "repro.parallel.native sentinel constants diverge from the "
+        "canonical NIL/AUCTION_DROP definitions"
+    )
 
 
 def _segment_min2(

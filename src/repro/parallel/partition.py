@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry as _tm
 from repro.errors import ScheduleError
 
 __all__ = ["chunk_ranges", "static_partition", "guided_chunks"]
@@ -22,17 +23,34 @@ def chunk_ranges(n: int, chunk: int) -> list[tuple[int, int]]:
     return [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
 
 
+#: Memoized static layouts keyed by ``(n, parts)`` — ``map_ranges``
+#: re-derives the same split on every call of a hot loop (SK sweeps,
+#: segment reductions), and the result is pure in the key.  Bounded:
+#: a process works with a handful of (size, worker-count) pairs.
+_PARTITION_CACHE: dict[tuple[int, int], tuple[tuple[int, int], ...]] = {}
+_PARTITION_CACHE_CAP = 256
+
+
 def static_partition(n: int, parts: int) -> list[tuple[int, int]]:
     """Split ``range(n)`` into *parts* near-equal consecutive ranges —
-    OpenMP ``static`` schedule."""
+    OpenMP ``static`` schedule.  Layouts are memoized per ``(n, parts)``;
+    reuse shows up on the ``parallel.grid.cache_hits`` counter."""
     if parts <= 0:
         raise ScheduleError(f"parts must be positive, got {parts}")
-    bounds = np.linspace(0, n, parts + 1).astype(np.int64)
-    return [
-        (int(bounds[p]), int(bounds[p + 1]))
-        for p in range(parts)
-        if bounds[p + 1] > bounds[p]
-    ]
+    cached = _PARTITION_CACHE.get((n, parts))
+    if cached is None:
+        bounds = np.linspace(0, n, parts + 1).astype(np.int64)
+        cached = tuple(
+            (int(bounds[p]), int(bounds[p + 1]))
+            for p in range(parts)
+            if bounds[p + 1] > bounds[p]
+        )
+        if len(_PARTITION_CACHE) >= _PARTITION_CACHE_CAP:
+            _PARTITION_CACHE.clear()
+        _PARTITION_CACHE[(n, parts)] = cached
+    elif _tm.enabled():
+        _tm.incr("parallel.grid.cache_hits")
+    return list(cached)
 
 
 def guided_chunks(n: int, workers: int, min_chunk: int = 1) -> list[tuple[int, int]]:

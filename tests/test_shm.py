@@ -9,7 +9,13 @@ Covers the three contracts the zero-copy path makes:
   the pool: no array ever crosses the process boundary by pickling;
 * **crash semantics** — a dead worker surfaces as a typed
   ``WorkerCrashError`` and the pool self-heals on the next call.
+* **impl invariance** — the native (JIT) kernel tier is bitwise
+  identical to numpy on every backend; without numba the exact loop
+  bodies run as pure Python through the same dispatch
+  (``force_native_impls``), so the matrix holds on every host.
 """
+
+import contextlib
 
 import numpy as np
 import pytest
@@ -23,8 +29,11 @@ from repro.parallel import (
     SharedMemoryBackend,
     ThreadBackend,
     default_worker_count,
+    force_native_impls,
     get_backend,
     kernel_chunk_override,
+    kernel_impl,
+    native_available,
     run_kernel,
 )
 from repro.parallel.kernels import KERNELS, kernel_grid
@@ -38,6 +47,24 @@ BACKEND_SPECS = [
     "shm:2",
     "resilient:shm",
 ]
+
+IMPLS = ["numpy", "native"]
+
+
+@contextlib.contextmanager
+def impl_context(impl):
+    """Select a kernel implementation tier for the block, on any host.
+
+    ``native`` without numba runs the exact loop bodies numba would
+    compile, in pure Python, through the full dispatch stack — slow but
+    test-sized, and it keeps the impl×backend matrix meaningful here.
+    """
+    if impl == "native" and not native_available():
+        with force_native_impls():
+            yield
+    else:
+        with kernel_impl(impl):
+            yield
 
 
 @pytest.fixture
@@ -169,6 +196,120 @@ class TestBackendEquivalence:
             graph, scaling.dr, scaling.dc, np.random.default_rng(1)
         )
         assert np.array_equal(got, want)
+
+
+@pytest.mark.native
+class TestImplBackendMatrix:
+    """numpy-vs-native bitwise identity over the full impl×backend grid.
+
+    Reuses the backend-equivalence machinery above: the same engines, on
+    multi-chunk grids, with the *implementation* tier as an extra axis.
+    The reference is always the numpy serial run.
+    """
+
+    @pytest.fixture(scope="class")
+    def matrix_graphs(self):
+        return [
+            sprand(500, 3.0, seed=5),
+            sprand(600, 1.5, seed=6),  # has empty rows/cols
+        ]
+
+    @pytest.fixture(scope="class")
+    def matrix_references(self, matrix_graphs):
+        with kernel_chunk_override(97):
+            return [scale_sinkhorn_knopp(g, 3) for g in matrix_graphs]
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    @pytest.mark.parametrize("spec", BACKEND_SPECS)
+    def test_scaling_bitwise_identical(
+        self, spec, impl, matrix_graphs, matrix_references
+    ):
+        with impl_context(impl):
+            backend = get_backend(spec)
+            try:
+                with kernel_chunk_override(97):
+                    for graph, ref in zip(matrix_graphs, matrix_references):
+                        result = scale_sinkhorn_knopp(
+                            graph, 3, backend=backend
+                        )
+                        assert np.array_equal(result.dr, ref.dr)
+                        assert np.array_equal(result.dc, ref.dc)
+                        assert result.error == ref.error
+            finally:
+                backend.close()
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    @pytest.mark.parametrize("spec", BACKEND_SPECS)
+    def test_choices_bitwise_identical(
+        self, spec, impl, matrix_graphs, matrix_references
+    ):
+        with kernel_chunk_override(64):
+            wants = [
+                scaled_row_choices(
+                    graph, ref.dr, ref.dc, np.random.default_rng(3)
+                )
+                for graph, ref in zip(matrix_graphs, matrix_references)
+            ]
+        with impl_context(impl):
+            backend = get_backend(spec)
+            try:
+                with kernel_chunk_override(64):
+                    for graph, ref, want in zip(
+                        matrix_graphs, matrix_references, wants
+                    ):
+                        got = scaled_row_choices(
+                            graph, ref.dr, ref.dc,
+                            np.random.default_rng(3), backend=backend,
+                        )
+                        assert np.array_equal(got, want)
+            finally:
+                backend.close()
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    @pytest.mark.parametrize("spec", ["serial", "threads:2", "shm:2"])
+    def test_parallel_engine_bitwise_identical(self, spec, impl):
+        graph = union_of_permutations(600, 4, seed=2)
+        with kernel_chunk_override(64):
+            want = two_sided_match(
+                graph, 3, seed=13, engine="parallel"
+            )
+        with impl_context(impl):
+            backend = get_backend(spec)
+            try:
+                with kernel_chunk_override(64):
+                    got = two_sided_match(
+                        graph, 3, seed=13, backend=backend,
+                        engine="parallel",
+                    )
+            finally:
+                backend.close()
+        got.matching.validate(graph)
+        assert np.array_equal(
+            got.matching.row_match, want.matching.row_match
+        )
+        assert np.array_equal(
+            got.matching.col_match, want.matching.col_match
+        )
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    @pytest.mark.parametrize("spec", ["serial", "shm:2"])
+    def test_auction_bitwise_identical(self, spec, impl):
+        from repro.matching.exact.auction import auction_match
+
+        graph = union_of_permutations(400, 3, seed=7)
+        with kernel_chunk_override(97):
+            want = auction_match(graph, seed=0)
+        with impl_context(impl):
+            backend = get_backend(spec)
+            try:
+                with kernel_chunk_override(97):
+                    got = auction_match(graph, seed=0, backend=backend)
+            finally:
+                backend.close()
+        assert np.array_equal(
+            got.matching.row_match, want.matching.row_match
+        )
+        assert np.array_equal(got.prices, want.prices)
 
 
 class TestShmPool:
