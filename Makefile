@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-regress bench-regress-smoke chaos chaos-smoke serve serve-soak serve-smoke stream stream-smoke exact-smoke recovery-smoke native-smoke experiments verify examples clean
+.PHONY: install test bench bench-regress bench-regress-smoke chaos chaos-smoke serve serve-soak serve-smoke stream stream-smoke exact-smoke recovery-smoke native-smoke net-smoke experiments verify examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -57,6 +57,13 @@ recovery-smoke:
 native-smoke:
 	timeout 480 $(PYTHON) -m pytest -m native -q
 	timeout 300 $(PYTHON) -m repro kernels --n 20000
+
+# Network front: framing/client/quota/failover tests plus a live
+# 3-daemon router soak that SIGKILLs the session-owning daemon midway
+# and exits nonzero if a single acked request is lost.
+net-smoke:
+	timeout 480 $(PYTHON) -m pytest -m net -q
+	timeout 300 $(PYTHON) -m repro route --daemons 3 --requests 30 --kill-one --n 120
 
 experiments:
 	$(PYTHON) -m repro.experiments all --out results.json

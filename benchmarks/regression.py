@@ -109,6 +109,11 @@ SIZES = {
     "native_sk": (120_000, 8_000),
     "native_ks": (120_000, 8_000),
     "native_auction_cold": (120_000, 8_000),
+    # Network front: request count for the framed unix-socket roundtrip
+    # loop through SocketServer + ResilientClient.  Informational (no
+    # "seconds" key): the cell exists to keep per-request wire overhead
+    # visible, while the CPU-bound cells above pin the regression surface.
+    "net_roundtrip": (200, 50),
 }
 
 
@@ -428,6 +433,44 @@ def run_workloads(smoke: bool, backend_spec: str = "serial") -> dict[str, dict]:
         )
     finally:
         shutil.rmtree(journal_dir, ignore_errors=True)
+
+    # Network front: framed health roundtrips through a live unix-socket
+    # SocketServer and the retrying client.  Informational (no "seconds"
+    # key) — it reports per-request wire overhead (framing + CRC + a
+    # fresh connection per request) without gating on socket latency,
+    # which is far noisier on CI boxes than the CPU-bound cells.
+    from repro.serve.daemon import Dispatcher
+    from repro.serve.net import ResilientClient, SocketServer
+    from repro.serve.server import MatchingServer
+
+    requests = SIZES["net_roundtrip"][idx]
+    net_dir = tempfile.mkdtemp(prefix="repro-bench-net-")
+    try:
+        with MatchingServer("serial") as net_server:
+            dispatcher = Dispatcher(
+                net_server, GraphCache(4), _StreamRegistry(2, "serial")
+            )
+            with SocketServer(
+                dispatcher, f"unix:{net_dir}/bench.sock", deadline=30.0
+            ) as front:
+                client = ResilientClient(front.address, retries=2)
+                t0 = time.perf_counter()
+                for _ in range(requests):
+                    client.request({"op": "health"})
+                net_seconds = time.perf_counter() - t0
+        results["net_roundtrip"] = {
+            "n": requests,
+            "roundtrip_seconds": net_seconds,
+            "per_request_ms": net_seconds / requests * 1e3,
+        }
+        print(
+            f"  {'net_roundtrip':<22} n={requests:<7} "
+            f"{net_seconds * 1e3:9.2f} ms "
+            f"({net_seconds / requests * 1e6:.0f} us/request, "
+            f"informational)"
+        )
+    finally:
+        shutil.rmtree(net_dir, ignore_errors=True)
 
     # Exact tier: auction cold vs warm on the same instance.  Both runs
     # must land on the identical (maximum) cardinality — asserted, not

@@ -13,7 +13,8 @@ Subcommands::
     python -m repro chaos    [--n 600] [--deadline 0.3] [--smoke]
     python -m repro serve    [--backend shm:4] [--soak 200] [--overload 2]
                              [--chaos] [--graph-cache-cap 32]
-                             [--max-streams 8]
+                             [--max-streams 8] [--listen unix:/tmp/d.sock]
+    python -m repro route    [--daemons 3] [--requests 60] [--kill-one]
     python -m repro stream   [--n 10000] [--churn 0.01] [--batches 3]
                              [--target 0.6] [--smoke]
 
@@ -407,6 +408,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if backend is None:
         backend = os.environ.get("REPRO_BACKEND") or None
     if args.soak is None:
+        if args.listen:
+            import json as _json
+
+            from repro.serve.net import serve_listen
+
+            def _ready(address: str) -> None:
+                print(_json.dumps({"event": "serve.listening",
+                                   "address": address}), flush=True)
+
+            return serve_listen(
+                args.listen,
+                backend,
+                graph_cache_cap=args.graph_cache_cap,
+                max_streams=args.max_streams,
+                journal_dir=args.journal,
+                recover=args.recover,
+                checkpoint_every=args.checkpoint_every,
+                ready=_ready,
+            )
         if args.supervise and args.journal:
             import sys as _sys
 
@@ -457,6 +477,68 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     print(report.render())
     return 0 if report.passed else 1
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    """Run the multi-daemon router demo soak.
+
+    Starts ``--daemons`` socket daemons behind consistent-hash routing,
+    routes ``--requests`` mixed match/stream requests through them
+    (``--kill-one`` SIGKILLs a daemon mid-soak to demonstrate
+    journal-recovery failover), audits that every request was answered,
+    and prints the router health summary.  Exits 1 if any request was
+    lost or a stream session diverged.
+    """
+    import json
+    import tempfile
+
+    from repro.serve.quota import TenantQuotas
+    from repro.serve.router import Router
+
+    base = args.dir or tempfile.mkdtemp(prefix="repro-route-")
+    graph = {"kind": "sprand", "n": args.n, "degree": 4.0, "seed": args.seed}
+    failures = 0
+    with Router(
+        args.daemons,
+        base,
+        backend=args.backend,
+        quotas=TenantQuotas(limit=args.quota),
+    ) as router:
+        opened = router.request({"op": "stream_open", "graph": graph})
+        handle = opened["handle"]
+        kill_at = args.requests // 2 if args.kill_one else -1
+        for i in range(args.requests):
+            if i == kill_at:
+                victim = router._node_by_name(handle.split(":", 1)[0])
+                if victim.alive():
+                    victim.proc.kill()
+                    print(f"killed {victim.name} (pid {victim.pid})")
+            if i % 3 == 0:
+                response = router.request(
+                    {"op": "update", "handle": handle,
+                     "add": {"rows": [i % args.n],
+                             "cols": [(i * 7) % args.n]}}
+                )
+            elif i % 3 == 1:
+                response = router.request({"op": "rematch", "handle": handle})
+            else:
+                response = router.request(
+                    {"op": "match", "graph": graph, "iterations": 2,
+                     "seed": args.seed + i}
+                )
+            if not response.get("ok", False):
+                failures += 1
+        router.request({"op": "stream_close", "handle": handle})
+        health = router.health()
+    print(json.dumps(health, indent=2))
+    print(
+        f"routed {args.requests} requests, {failures} lost;"
+        f" restarts: "
+        + ", ".join(
+            f"{n['name']}={n['restarts']}" for n in health["nodes"]
+        )
+    )
+    return 0 if failures == 0 else 1
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
@@ -724,7 +806,50 @@ def main(argv: list[str] | None = None) -> int:
         help="watchdog mode: respawn a crashed daemon up to N times, "
              "recovering from --journal DIR each time",
     )
+    p_serve.add_argument(
+        "--listen", default=None, metavar="ADDR",
+        help="serve the daemon protocol over a socket instead of stdio: "
+             "'unix:/path.sock' or 'tcp:host:port' (tcp port 0 picks an "
+             "ephemeral port; the bound address is printed as a JSON "
+             "'serve.listening' line)",
+    )
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_route = sub.add_parser(
+        "route",
+        help="multi-daemon router: N supervised socket daemons behind "
+             "consistent-hash routing with journal-recovery failover",
+    )
+    p_route.add_argument(
+        "--daemons", type=int, default=3,
+        help="number of daemon processes to supervise",
+    )
+    p_route.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="base directory for sockets, journals, and daemon logs "
+             "(default: a fresh temp directory)",
+    )
+    p_route.add_argument(
+        "--backend", default=None,
+        help="backend spec forwarded to each daemon (e.g. shm:2)",
+    )
+    p_route.add_argument(
+        "--requests", type=int, default=60, metavar="N",
+        help="demo soak: route N mixed match/stream requests, then "
+             "print router health and exit",
+    )
+    p_route.add_argument(
+        "--kill-one", action="store_true", dest="kill_one",
+        help="SIGKILL one daemon mid-soak to demonstrate failover",
+    )
+    p_route.add_argument("--n", type=int, default=200,
+                         help="graph size for the demo requests")
+    p_route.add_argument("--seed", type=int, default=0)
+    p_route.add_argument(
+        "--quota", type=int, default=8,
+        help="per-tenant in-flight request quota",
+    )
+    p_route.set_defaults(fn=cmd_route)
 
     p_stream = sub.add_parser(
         "stream",

@@ -26,6 +26,9 @@ __all__ = [
     "OverloadedError",
     "CircuitOpenError",
     "ServerClosedError",
+    "TransportError",
+    "PartitionedError",
+    "QuotaExceededError",
     "ExperimentError",
     "TelemetryError",
 ]
@@ -179,6 +182,38 @@ class CircuitOpenError(ServiceError):
 
 class ServerClosedError(ServiceError):
     """The server is draining or stopped and accepts no new requests."""
+
+
+class TransportError(ServiceError):
+    """A network request could not be completed over the socket transport.
+
+    Raised by :class:`~repro.serve.net.ResilientClient` after its retry
+    budget is spent on transport-level failures — dropped connections,
+    truncated or checksum-failed frames, response deadlines.  The final
+    underlying failure is chained as ``__cause__``.  A request that
+    might have been applied server-side is safe to retry verbatim: the
+    client's idempotent request ids make re-application a no-op.
+    """
+
+
+class PartitionedError(TransportError):
+    """The service is unreachable — every (re)connection attempt failed.
+
+    The network-partition flavour of :class:`TransportError`: nothing
+    was ever accepted by the far end, so no request state is ambiguous;
+    the caller should back off and try again later (or try another
+    replica).
+    """
+
+
+class QuotaExceededError(ServiceError):
+    """The request was shed because its tenant's admission quota is full.
+
+    Per-tenant quotas are enforced *before* routing (see
+    :mod:`repro.serve.quota`): one tenant flooding the front cannot
+    starve another tenant's admission.  Clients should back off; the
+    quota frees as the tenant's in-flight requests complete.
+    """
 
 
 class ExperimentError(ReproError):

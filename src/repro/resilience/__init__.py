@@ -45,12 +45,15 @@ __all__ = [
     "execute_with_fault",
     "CORRUPTED",
     "is_corrupted",
+    "BackoffPolicy",
+    "BackoffSchedule",
     "Deadline",
     "request_deadline",
     "current_deadline",
     "ResilientBackend",
     "ChaosOutcome",
     "ChaosReport",
+    "net_schedules",
     "recovery_schedules",
     "run_chaos",
     "standard_schedules",
@@ -65,12 +68,15 @@ _EXPORTS = {
     "execute_with_fault": "repro.resilience.faults",
     "CORRUPTED": "repro.resilience.faults",
     "is_corrupted": "repro.resilience.faults",
+    "BackoffPolicy": "repro.resilience.backoff",
+    "BackoffSchedule": "repro.resilience.backoff",
     "Deadline": "repro.resilience.deadline",
     "request_deadline": "repro.resilience.deadline",
     "current_deadline": "repro.resilience.deadline",
     "ResilientBackend": "repro.resilience.resilient",
     "ChaosOutcome": "repro.resilience.chaos",
     "ChaosReport": "repro.resilience.chaos",
+    "net_schedules": "repro.resilience.chaos",
     "recovery_schedules": "repro.resilience.chaos",
     "run_chaos": "repro.resilience.chaos",
     "standard_schedules": "repro.resilience.chaos",

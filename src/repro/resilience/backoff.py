@@ -1,0 +1,128 @@
+"""Seeded exponential backoff with deterministic jitter.
+
+One retry-delay policy shared by every retrying component —
+:class:`~repro.resilience.ResilientBackend` (chunk re-execution) and
+:class:`~repro.serve.net.ResilientClient` (network request retries) —
+so "how long do we wait before trying again" has exactly one
+implementation and one test surface.
+
+The policy is the classic capped exponential: delay ``d_k`` before
+retry ``k`` starts at *initial*, multiplies by *factor* after every
+retry, and is capped at *maximum*.  Jitter randomises a *fraction* of
+each sleep away — ``jitter=0.5`` sleeps uniformly in ``[0.5 d, d]`` —
+which de-synchronises retrying clients without ever sleeping longer
+than the deterministic envelope.  The random draws come from a
+generator seeded at :meth:`BackoffPolicy.schedule` time, so a given
+``(policy, seed)`` pair produces the identical delay sequence on every
+run, platform, and thread interleaving.
+
+Invariants (property-tested in ``tests/test_backoff.py``):
+
+* every delay is in ``[(1 - jitter) * envelope_k, envelope_k]`` where
+  ``envelope_k = min(initial * factor**k, maximum)``;
+* the undithered envelope is monotone non-decreasing and capped;
+* two schedules with the same seed are equal element-wise; different
+  seeds may differ but share the envelope.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from repro.errors import BackendError
+
+__all__ = ["BackoffPolicy", "BackoffSchedule"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff parameters (validated, immutable).
+
+    Parameters
+    ----------
+    initial:
+        Envelope of the sleep before the first retry, in seconds.
+    factor:
+        Multiplier applied to the envelope after every retry.
+    maximum:
+        Upper bound on a single sleep envelope.
+    jitter:
+        Fraction of each sleep randomised away (``0`` = deterministic,
+        ``0.5`` → sleep uniformly in ``[0.5 d, d]``).
+    """
+
+    initial: float = 0.05
+    factor: float = 2.0
+    maximum: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.initial < 0:
+            raise BackendError(
+                f"backoff initial must be >= 0, got {self.initial}"
+            )
+        if self.factor < 1.0:
+            raise BackendError(
+                f"backoff factor must be >= 1, got {self.factor}"
+            )
+        if self.maximum < self.initial:
+            raise BackendError(
+                f"backoff maximum ({self.maximum}) must be >= initial "
+                f"({self.initial})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise BackendError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def envelope(self, retry: int) -> float:
+        """Undithered delay bound before 0-based retry *retry*."""
+        if retry < 0:
+            raise BackendError(f"retry index must be >= 0, got {retry}")
+        return min(self.initial * self.factor**retry, self.maximum)
+
+    def schedule(self, seed: int = 0) -> "BackoffSchedule":
+        """A fresh, independently-seeded delay sequence."""
+        return BackoffSchedule(self, seed)
+
+
+class BackoffSchedule:
+    """Stateful delay sequence drawn from a :class:`BackoffPolicy`.
+
+    :meth:`next` returns the delay to sleep before the next retry and
+    advances the envelope.  Thread-safe: concurrent chunk supervisors
+    may share one schedule (the *sequence* of draws is then determined
+    by arrival order, but every draw stays inside its envelope).
+    """
+
+    def __init__(self, policy: BackoffPolicy, seed: int = 0) -> None:
+        self.policy = policy
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._delay = policy.initial
+
+    def next(self) -> float:
+        """The jittered delay for the next retry (advances the envelope)."""
+        with self._lock:
+            envelope = self._delay
+            self._delay = min(
+                self._delay * self.policy.factor, self.policy.maximum
+            )
+            frac = self._rng.random() if self.policy.jitter else 0.0
+        return envelope * (1.0 - self.policy.jitter * frac)
+
+    def peek_envelope(self) -> float:
+        """The undithered bound the next :meth:`next` call honours."""
+        with self._lock:
+            return self._delay
+
+    def reset(self) -> None:
+        """Restart the envelope (a fresh request on the same schedule)."""
+        with self._lock:
+            self._delay = self.policy.initial
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BackoffSchedule({self.policy!r}, seed={self.seed})"

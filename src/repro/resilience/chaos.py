@@ -25,6 +25,28 @@ checkpoint rotation — then restarted through
 state is bitwise-equal to everything the client was acknowledged, or the
 restart refuses with a typed :class:`~repro.errors.RecoveryError`; a
 lost acknowledged epoch fails the matrix.
+
+Two network rows ride full sweeps as well:
+
+* ``net`` (backend ``socket``): a stream session driven through a real
+  :class:`~repro.serve.net.SocketServer` +
+  :class:`~repro.serve.net.ResilientClient` pair while
+  :func:`net_schedules` breaks the wire at the framing layer — drops,
+  delays, partitions, truncated frames, garbled payloads.  Every
+  request must end in a retry-success or a typed
+  :class:`~repro.errors.TransportError` /
+  :class:`~repro.errors.PartitionedError`, the acked epoch sequence
+  must prove no mutation was ever applied twice (a retried request id
+  is answered from the ack cache, not re-executed), and no silent
+  corruption may pass the frame checksums.
+* ``failover`` (backend ``router``): a 3-daemon
+  :class:`~repro.serve.router.Router` soak whose session-owning daemon
+  is SIGKILLed mid-sequence.  This row's contract is *stronger* than
+  the usual "correct or typed": the router must revive the daemon
+  through journal recovery (bitwise recertification included) and
+  every scripted request must succeed, with the full acked transcript
+  bitwise-equal to an uninterrupted in-process replica — a lost acked
+  request or diverging acknowledgment fails the matrix.
 """
 
 from __future__ import annotations
@@ -45,6 +67,7 @@ from repro.resilience.resilient import ResilientBackend
 __all__ = [
     "ChaosOutcome",
     "ChaosReport",
+    "net_schedules",
     "recovery_schedules",
     "run_chaos",
     "standard_schedules",
@@ -193,6 +216,282 @@ def recovery_schedules(*, seed: int = 0) -> dict[str, FaultPlan]:
         ),
         "divergence": FaultPlan([], seed=seed),
     }
+
+
+def net_schedules(*, seed: int = 0) -> dict[str, FaultPlan]:
+    """Fault schedules of the ``net`` row, one wire-failure mode each.
+
+    All rules address the ``"net"`` backend label — the socket server
+    consults the plan once per response it is about to send
+    (:mod:`repro.serve.net`), so these break the wire at exact request
+    boundaries.  Hit budgets and probabilities are chosen so a client
+    with a normal retry budget eventually gets through: the row's
+    contract is retry-success *or* typed error, and both outcomes must
+    actually occur across the schedule set.
+    """
+    return {
+        "none": FaultPlan([], seed=seed),
+        "drop": FaultPlan(
+            [FaultSpec("drop", backend="net", probability=0.4)], seed=seed
+        ),
+        "delay": FaultPlan(
+            [
+                FaultSpec(
+                    "delay", backend="net", seconds=0.05, probability=0.6
+                )
+            ],
+            seed=seed,
+        ),
+        "partition": FaultPlan(
+            [
+                FaultSpec(
+                    "partition", backend="net", seconds=0.4, max_hits=1
+                )
+            ],
+            seed=seed,
+        ),
+        "truncate": FaultPlan(
+            [FaultSpec("truncate", backend="net", probability=0.4)],
+            seed=seed,
+        ),
+        "garbage": FaultPlan(
+            [FaultSpec("garbage", backend="net", probability=0.4)],
+            seed=seed,
+        ),
+    }
+
+
+def _net_cell(
+    schedule: str,
+    plan: FaultPlan,
+    *,
+    n: int,
+    seed: int,
+    budget: float,
+) -> ChaosOutcome:
+    """Run one ``net`` cell: a socket round-trip soak under wire faults.
+
+    The duplicate-mutation audit rides the epoch sequence: every acked
+    ``update`` must advance the epoch by exactly one step beyond the
+    last ack (plus one per *ambiguous* failure in between — a request
+    that exhausted retries may or may not have been applied).  A step
+    larger than that window means a retry re-applied a mutation the
+    server had already acked — the bug idempotent request ids exist to
+    prevent.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.errors import PartitionedError, ReproError, TransportError
+    from repro.resilience.backoff import BackoffPolicy
+    from repro.serve.daemon import Dispatcher, GraphCache, _StreamRegistry
+    from repro.serve.net import ResilientClient, SocketServer
+    from repro.serve.server import MatchingServer
+
+    graph_spec = {"kind": "union", "n": n, "k": 3, "seed": seed}
+    tmpdir = tempfile.mkdtemp(prefix="repro-chaos-net-")
+    t0 = time.perf_counter()
+    detail = ""
+    try:
+        with MatchingServer("serial") as server:
+            streams = _StreamRegistry(4, "serial")
+            dispatcher = Dispatcher(server, GraphCache(8), streams)
+            address = f"unix:{os.path.join(tmpdir, 'net.sock')}"
+            with injected_faults(plan.reset()):
+                with SocketServer(
+                    dispatcher, address, deadline=10.0
+                ) as front:
+                    client = ResilientClient(
+                        front.address,
+                        retries=8,
+                        seed=seed,
+                        backoff=BackoffPolicy(
+                            initial=0.02, maximum=0.3, jitter=0.5
+                        ),
+                        connect_timeout=0.5,
+                        deadline=10.0,
+                    )
+                    opened = client.request(
+                        {"op": "stream_open", "graph": graph_spec,
+                         "seed": seed}
+                    )
+                    handle = opened["handle"]
+                    acked = typed = ambiguous = 0
+                    last_epoch = opened["epoch"]
+                    for k in range(10):
+                        try:
+                            response = client.request(
+                                {"op": "update", "handle": handle,
+                                 "add": {"rows": [k % n],
+                                         "cols": [(3 * k + 1) % n]}}
+                            )
+                        except (TransportError, PartitionedError):
+                            typed += 1
+                            ambiguous += 1
+                            continue
+                        step = response["epoch"] - last_epoch
+                        if not 1 <= step <= 1 + ambiguous:
+                            raise AssertionError(
+                                f"epoch stepped {last_epoch} →"
+                                f" {response['epoch']} with {ambiguous}"
+                                f" ambiguous failures pending — a retry"
+                                f" double-applied or an ack was lost"
+                            )
+                        last_epoch = response["epoch"]
+                        ambiguous = 0
+                        acked += 1
+                    try:
+                        rem = client.request(
+                            {"op": "rematch", "handle": handle}
+                        )
+                        if not (
+                            last_epoch
+                            <= rem["epoch"]
+                            <= last_epoch + ambiguous
+                        ):
+                            raise AssertionError(
+                                f"rematch epoch {rem['epoch']} outside"
+                                f" acked window [{last_epoch},"
+                                f" {last_epoch + ambiguous}]"
+                            )
+                    except (TransportError, PartitionedError):
+                        typed += 1
+        status = "ok"
+        detail = f"acked={acked} typed={typed}"
+    except ReproError as exc:
+        status = f"degraded:{type(exc).__name__}"
+        detail = str(exc)[:60]
+    except Exception as exc:  # noqa: BLE001 - untyped = contract violation
+        status = f"FAILED:untyped:{type(exc).__name__}"
+        detail = str(exc)[:60]
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    elapsed = time.perf_counter() - t0
+    if elapsed > budget and not status.startswith("FAILED"):
+        status = "FAILED:budget"
+    return ChaosOutcome(
+        workload="net",
+        backend="socket",
+        schedule=schedule,
+        status=status,
+        elapsed=elapsed,
+        budget=budget,
+        detail=detail,
+    )
+
+
+def _failover_cell(
+    schedule: str,
+    *,
+    n: int,
+    seed: int,
+    budget: float,
+) -> ChaosOutcome:
+    """Run one ``failover`` cell: router soak vs an uninterrupted replica.
+
+    A scripted update/rematch sequence runs through a 3-daemon
+    :class:`~repro.serve.router.Router`; the ``sigkill`` schedule kills
+    the session-owning daemon halfway.  Unlike the other rows, a typed
+    error here is a *failure*: the zero-acked-loss contract says the
+    router must carry every request through revival.  The transcript of
+    acked payloads must be bitwise-equal to the same sequence applied
+    to an in-process registry that never failed.
+    """
+    import shutil
+    import tempfile
+
+    from repro.errors import ReproError
+    from repro.serve.daemon import GraphCache, _StreamRegistry
+    from repro.serve.router import Router
+
+    graph_spec = {"kind": "union", "n": n, "k": 3, "seed": seed}
+    script: list[dict] = []
+    for k in range(6):
+        script.append(
+            {"op": "update",
+             "add": {"rows": [k % n, (k + 1) % n],
+                     "cols": [(3 * k + 1) % n, (5 * k + 2) % n]}}
+        )
+        script.append({"op": "rematch"})
+    strip = ("id", "rid", "ok", "handle")
+    tmpdir = tempfile.mkdtemp(prefix="repro-chaos-failover-")
+    t0 = time.perf_counter()
+    detail = ""
+    try:
+        acked: list[dict] = []
+        with Router(
+            3, tmpdir, backend="serial", health_interval=0.0
+        ) as router:
+            opened = router.request(
+                {"op": "stream_open", "graph": graph_spec,
+                 "target_quality": 0.55, "seed": seed}
+            )
+            handle = opened["handle"]
+            kill_at = len(script) // 2 if schedule == "sigkill" else -1
+            for i, op in enumerate(script):
+                if i == kill_at:
+                    victim = router._node_by_name(handle.split(":", 1)[0])
+                    victim.proc.kill()
+                response = router.request({**op, "handle": handle})
+                acked.append(
+                    {k: v for k, v in response.items() if k not in strip}
+                )
+            restarts = sum(node.restarts for node in router.nodes)
+        # The uninterrupted replica: same sequence, no network, no
+        # failure.  Bitwise equality of the two transcripts is the
+        # zero-acked-loss proof.
+        registry = _StreamRegistry(4, "serial")
+        cache = GraphCache(4)
+        replica_open = registry.open(
+            {"graph": graph_spec, "target_quality": 0.55, "seed": seed},
+            cache,
+        )
+        replica: list[dict] = []
+        for op in script:
+            msg = {**op, "handle": replica_open["handle"]}
+            if op["op"] == "update":
+                replica.append(dict(registry.update(msg)))
+            else:
+                replica.append(dict(registry.rematch(msg)))
+        if len(acked) != len(replica):
+            raise AssertionError(
+                f"router acked {len(acked)} of {len(replica)} requests"
+            )
+        for i, (got, want) in enumerate(zip(acked, replica)):
+            if got != want:
+                raise AssertionError(
+                    f"acked transcript diverges from uninterrupted"
+                    f" replica at step {i}: {got} != {want}"
+                )
+        if schedule == "sigkill" and restarts < 1:
+            raise AssertionError(
+                "SIGKILL did not trigger a journal-recovery revival"
+            )
+        status = "ok"
+        detail = f"acks={len(acked)} restarts={restarts}"
+    except ReproError as exc:
+        # Zero-acked-loss is this row's contract: typed shedding is NOT
+        # a legal outcome here.
+        status = f"FAILED:lost:{type(exc).__name__}"
+        detail = str(exc)[:60]
+    except Exception as exc:  # noqa: BLE001 - untyped = contract violation
+        status = f"FAILED:untyped:{type(exc).__name__}"
+        detail = str(exc)[:60]
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    elapsed = time.perf_counter() - t0
+    if elapsed > budget and not status.startswith("FAILED"):
+        status = "FAILED:budget"
+    return ChaosOutcome(
+        workload="failover",
+        backend="router",
+        schedule=schedule,
+        status=status,
+        elapsed=elapsed,
+        budget=budget,
+        detail=detail,
+    )
 
 
 def _recovery_cell(
@@ -435,7 +734,8 @@ def run_chaos(
     bitwise identical by contract, so the cell's assertions are the
     same).
 
-    And once per sweep (not per backend) the durability row runs:
+    And once per sweep (not per backend) the durability and network
+    rows run:
 
     * ``recovery`` (backend ``journal``): a journaled stream daemon is
       crashed at each :func:`recovery_schedules` record boundary and
@@ -444,6 +744,15 @@ def run_chaos(
       or recovery must refuse with a typed
       :class:`~repro.errors.RecoveryError` — never a lost acknowledged
       epoch.
+    * ``net`` (backend ``socket``): a socket round-trip soak under each
+      :func:`net_schedules` wire fault; every request ends in
+      retry-success or a typed transport error, and the acked epoch
+      sequence proves no mutation was applied twice.
+    * ``failover`` (backend ``router``): a 3-daemon router soak with a
+      mid-sequence SIGKILL; every request must succeed across the
+      journal-recovery revival and the acked transcript must be
+      bitwise-equal to an uninterrupted replica — typed shedding is a
+      *failure* for this row.
     """
     from repro.core.onesided import one_sided_match
     from repro.graph.generators import sprand, union_of_permutations
@@ -658,6 +967,25 @@ def run_chaos(
                 _recovery_cell(
                     schedule, plan,
                     n=recovery_n, seed=seed, budget=budget * 2,
+                )
+            )
+        # Network rows: socket transport under wire faults, and the
+        # multi-daemon failover soak (subprocess daemons — budgeted
+        # generously; the cell's own assertions are wall-clock-free).
+        net_n = min(n, 150)
+        for schedule, plan in net_schedules(seed=seed).items():
+            outcomes.append(
+                _net_cell(
+                    schedule, plan, n=net_n, seed=seed, budget=budget * 2
+                )
+            )
+        for schedule in ("none", "sigkill"):
+            outcomes.append(
+                _failover_cell(
+                    schedule,
+                    n=min(n, 120),
+                    seed=seed,
+                    budget=max(budget * 2, 120.0),
                 )
             )
     report = ChaosReport(outcomes=tuple(outcomes))

@@ -32,6 +32,39 @@ Fault kinds
     channel.  :class:`~repro.resilience.ResilientBackend` detects the
     marker and treats the chunk as failed; a plain backend would hand the
     bad payload to the caller.
+
+Network fault kinds
+-------------------
+
+The socket transport (:mod:`repro.serve.net`) consults the plan under
+the backend label ``"net"`` once per response it is about to send, so a
+schedule can break the wire at exact request boundaries:
+
+``drop``
+    The connection is closed without a response — the client sees EOF
+    mid-request and must retry (its idempotent request id makes the
+    retry safe).
+``delay``
+    The response is sent ``seconds`` late — a slow network, not a
+    failure; the client's response deadline decides whether it counts.
+``partition``
+    The connection drops *and* the listener refuses every new
+    connection for ``seconds`` — the client's reconnects all fail and
+    its retry budget ends in a typed
+    :class:`~repro.errors.PartitionedError` (or the partition heals
+    first and a retry succeeds).
+``truncate``
+    The response frame is cut partway through and the connection
+    closed — the torn-write of the wire; the framing layer detects the
+    short frame.
+``garbage``
+    A byte inside the response payload is flipped — caught by the frame
+    checksum; the client discards the frame and retries.
+
+When a compute backend encounters one of these kinds (a plan addressed
+at every label), they degrade to their nearest process-level analogue:
+``drop``/``truncate``/``garbage`` behave like ``crash``, ``delay`` like
+``slow``, ``partition`` like ``hang``.
 """
 
 from __future__ import annotations
@@ -76,6 +109,14 @@ class FaultKind(str, Enum):
     #: that write framed records — the journal writer truncates the
     #: frame and then dies; compute backends treat it like ``crash``.
     TORN = "torn"
+    #: Network faults, injected at the socket framing layer under the
+    #: backend label ``"net"`` (see module docstring).  Compute backends
+    #: degrade them to crash/slow/hang analogues.
+    DROP = "drop"
+    DELAY = "delay"
+    PARTITION = "partition"
+    TRUNCATE = "truncate"
+    GARBAGE = "garbage"
 
 
 #: Default stall durations per kind (seconds).
@@ -85,6 +126,21 @@ _DEFAULT_SECONDS = {
     FaultKind.CRASH: 0.0,
     FaultKind.CORRUPT: 0.0,
     FaultKind.TORN: 0.0,
+    FaultKind.DROP: 0.0,
+    FaultKind.DELAY: 0.05,
+    FaultKind.PARTITION: 0.5,
+    FaultKind.TRUNCATE: 0.0,
+    FaultKind.GARBAGE: 0.0,
+}
+
+#: Network kinds mapped to their process-level analogue, used when a
+#: broadly-addressed plan reaches a compute backend's ``map_ranges``.
+_NET_ANALOGUE = {
+    FaultKind.DROP: FaultKind.CRASH,
+    FaultKind.TRUNCATE: FaultKind.CRASH,
+    FaultKind.GARBAGE: FaultKind.CRASH,
+    FaultKind.DELAY: FaultKind.SLOW,
+    FaultKind.PARTITION: FaultKind.HANG,
 }
 
 
@@ -289,7 +345,7 @@ def execute_with_fault(
     """
     if spec is None:
         return fn(lo, hi)
-    kind = spec.kind
+    kind = _NET_ANALOGUE.get(spec.kind, spec.kind)
     if kind is FaultKind.CRASH or kind is FaultKind.TORN:
         if in_child:
             os._exit(CRASH_EXIT_CODE)

@@ -21,7 +21,9 @@ Failure handling:
   :class:`~repro.errors.ResultCorruptionError`.
 
 Each of these is retried up to ``max_retries`` times with exponential
-backoff and deterministic seeded jitter; exhaustion raises
+backoff and deterministic seeded jitter (the shared
+:class:`~repro.resilience.BackoffPolicy` — one implementation serves
+this wrapper and the network client alike); exhaustion raises
 :class:`~repro.errors.RetryExhaustedError` with the final failure
 chained.  Any other exception is a kernel error and propagates
 immediately — retrying a deterministic bug only hides it.
@@ -48,7 +50,6 @@ their slices into the caller's arrays in place.
 
 from __future__ import annotations
 
-import random
 import threading
 import time
 from typing import Any
@@ -68,6 +69,7 @@ from repro.parallel.backends import (
     get_backend,
 )
 from repro.resilience import faults as _faults
+from repro.resilience.backoff import BackoffPolicy
 from repro.resilience.deadline import Deadline, current_deadline
 
 __all__ = ["ResilientBackend"]
@@ -141,8 +143,12 @@ class ResilientBackend(Backend):
             raise BackendError(
                 f"max_retries must be >= 0, got {max_retries}"
             )
-        if not 0.0 <= jitter <= 1.0:
-            raise BackendError(f"jitter must be in [0, 1], got {jitter}")
+        self.backoff_policy = BackoffPolicy(
+            initial=backoff,
+            factor=backoff_factor,
+            maximum=max_backoff,
+            jitter=jitter,
+        )
         self.inner = get_backend(inner)
         if isinstance(self.inner, ResilientBackend):
             raise BackendError("refusing to nest ResilientBackend wrappers")
@@ -154,6 +160,7 @@ class ResilientBackend(Backend):
         self.backoff_factor = backoff_factor
         self.max_backoff = max_backoff
         self.jitter = jitter
+        self.seed = seed
         self._fork = isinstance(self.inner, ProcessBackend)
         self._ctx = self.inner._ctx if self._fork else None
         # Thread attempts run the kernel closure in this process, so
@@ -161,8 +168,6 @@ class ResilientBackend(Backend):
         # keep side effects in the child.  The kernel dispatcher
         # (:func:`repro.parallel.kernels.run_kernel`) keys off this.
         self.shares_memory = not self._fork
-        self._rng = random.Random(seed)
-        self._rng_lock = threading.Lock()
 
     # -- public surface ------------------------------------------------
 
@@ -273,7 +278,11 @@ class ResilientBackend(Backend):
     ) -> None:
         lo, hi = part
         plan = _faults.active_plan()
-        delay = self.backoff
+        # Per-chunk schedule: the delay sequence for (seed, chunk) is
+        # identical on every run, independent of supervisor interleaving.
+        # Built lazily — seeding the jitter RNG costs more than the whole
+        # happy path of a small chunk, and most chunks never retry.
+        schedule = None
         last: BaseException | None = None
         for attempt in range(self.max_retries + 1):
             # The request budget bounds the *sum* of attempts: a chunk
@@ -318,7 +327,11 @@ class ResilientBackend(Backend):
                         error=type(exc).__name__,
                     )
                 if attempt < self.max_retries:
-                    sleep = self._next_backoff(delay)
+                    if schedule is None:
+                        schedule = self.backoff_policy.schedule(
+                            f"{self.seed}:{idx}"
+                        )
+                    sleep = schedule.next()
                     if budget is not None and budget.remaining() <= sleep:
                         # No room left for the backoff, let alone another
                         # attempt — fail typed now rather than oversleep.
@@ -328,9 +341,6 @@ class ResilientBackend(Backend):
                         return
                     _tm.incr("resilience.retries")
                     time.sleep(sleep)
-                    delay = min(
-                        delay * self.backoff_factor, self.max_backoff
-                    )
             except BaseException as exc:  # kernel bug: do not retry
                 errors[idx] = exc
                 return
@@ -341,14 +351,6 @@ class ResilientBackend(Backend):
         exhausted.__cause__ = last
         _tm.incr("resilience.exhausted_chunks")
         errors[idx] = exhausted
-
-    def _next_backoff(self, delay: float) -> float:
-        """Jittered sleep in ``[(1 - jitter) * delay, delay]``."""
-        if self.jitter == 0.0:
-            return delay
-        with self._rng_lock:
-            frac = self._rng.random()
-        return delay * (1.0 - self.jitter * frac)
 
     def _attempt(
         self, fn: RangeFn, lo: int, hi: int, spec, deadline: float | None = None

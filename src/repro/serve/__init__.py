@@ -16,14 +16,29 @@ Entry points:
 * :class:`DurableLog` / :func:`recover_registry` / :func:`supervise` —
   write-ahead journal, checkpoint/restore and the crash-recovery path
   (``python -m repro serve --journal DIR`` / ``--recover``).
+* :class:`SocketServer` / :class:`ResilientClient` /
+  :func:`serve_listen` — the network front: framed unix/TCP transport
+  with a retrying, idempotent client
+  (``python -m repro serve --listen unix:/tmp/d.sock``).
+* :class:`Router` / :class:`TenantQuotas` — N supervised daemons behind
+  consistent-hash routing, per-tenant admission quotas, and
+  journal-recovery failover (``python -m repro route --daemons 3``).
 
 See ``docs/serving.md`` for the architecture.
 """
 
 from repro.serve.admission import AdmissionQueue
 from repro.serve.breaker import BreakerState, CircuitBreaker
-from repro.serve.daemon import JOURNAL_POISONED_EXIT, serve_forever
+from repro.serve.daemon import (
+    BROKEN_PIPE_EXIT,
+    JOURNAL_POISONED_EXIT,
+    Dispatcher,
+    serve_forever,
+)
 from repro.serve.journal import DurableLog, JournalScan, scan_journal
+from repro.serve.net import ResilientClient, SocketServer, serve_listen
+from repro.serve.quota import TenantQuotas
+from repro.serve.router import Router, RouterNode
 from repro.serve.recovery import (
     RecoveryReport,
     recover_registry,
@@ -43,13 +58,21 @@ from repro.serve.soak import SoakReport, run_soak
 __all__ = [
     "AdmissionQueue",
     "BreakerState",
+    "BROKEN_PIPE_EXIT",
     "CircuitBreaker",
+    "Dispatcher",
     "DurableLog",
     "JOURNAL_POISONED_EXIT",
     "JournalScan",
     "RecoveryReport",
+    "ResilientClient",
+    "Router",
+    "RouterNode",
+    "SocketServer",
+    "TenantQuotas",
     "recover_registry",
     "scan_journal",
+    "serve_listen",
     "supervise",
     "MatchRequest",
     "MatchResponse",

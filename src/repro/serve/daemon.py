@@ -47,8 +47,10 @@ rung / guarantee / degradation provenance.  EOF on stdin (or a
 
 from __future__ import annotations
 
+import contextlib
 import json
 import sys
+import threading
 from collections import OrderedDict
 from typing import Any, IO
 
@@ -63,7 +65,9 @@ from repro.serve.server import MatchingServer, MatchRequest, ServerConfig
 __all__ = [
     "serve_forever",
     "build_graph",
+    "Dispatcher",
     "GraphCache",
+    "BROKEN_PIPE_EXIT",
     "JOURNAL_POISONED_EXIT",
 ]
 
@@ -209,32 +213,14 @@ def _error_response(request_id: Any, exc: BaseException) -> dict[str, Any]:
     }
 
 
-def _handle_match(
-    server: MatchingServer,
-    msg: dict[str, Any],
-    cache: dict[str, BipartiteGraph],
-) -> dict[str, Any]:
-    graph = build_graph(msg.get("graph"), cache)
-    request = MatchRequest(
-        graph,
-        iterations=int(msg.get("iterations", 5)),
-        seed=msg.get("seed"),
-        method=str(msg.get("method", "auto")),
-        deadline=msg.get("deadline"),
-    )
-    response = server.submit(request)
-    return {
-        "id": msg.get("id"),
-        "ok": True,
-        "cardinality": response.cardinality,
-        "rung": response.rung,
-        "guarantee": response.guarantee,
-        "scaling_rung": response.scaling_rung,
-        "degraded": response.degraded,
-        "elapsed": response.elapsed,
-        "queue_wait": response.queue_wait,
-        "row_match": response.matching.row_match.tolist(),
-    }
+def _rid_field(msg: dict[str, Any]) -> dict[str, Any]:
+    """The journal-record fragment carrying a request's idempotency id.
+
+    Present only when the client sent one, so journals written by
+    rid-less clients are byte-identical to earlier releases.
+    """
+    rid = msg.get("rid")
+    return {} if rid is None else {"rid": str(rid)}
 
 
 class _StreamRegistry:
@@ -261,6 +247,10 @@ class _StreamRegistry:
         self._sessions: dict[str, tuple[Any, Any]] = {}
         self._last_ack: dict[str, dict[str, Any]] = {}
         self._next = 0
+        #: rid → acknowledged payload, rebuilt by :meth:`apply_record`
+        #: during recovery so a client retry of an already-acked mutation
+        #: is answered from the replayed ack instead of re-applied.
+        self.replayed_acks: dict[str, dict[str, Any]] = {}
 
     # -- durability ----------------------------------------------------
 
@@ -322,6 +312,7 @@ class _StreamRegistry:
 
         op = record.get("op")
         handle = record.get("handle")
+        rid = record.get("rid")
         if op == "open":
             response = self.open(
                 {
@@ -347,7 +338,9 @@ class _StreamRegistry:
                 {"handle": handle, "cold": record.get("cold", False)}
             )
         elif op == "close":
-            self.close({"handle": handle})
+            response = self.close({"handle": handle})
+            if rid is not None:
+                self.replayed_acks[str(rid)] = dict(response)
             return
         else:
             raise RecoveryError(f"journal record has unknown op {op!r}")
@@ -362,6 +355,8 @@ class _StreamRegistry:
                 f"replay of {op!r} on {handle!r} diverged from the"
                 f" acknowledged response: {diverged}"
             )
+        if rid is not None:
+            self.replayed_acks[str(rid)] = dict(response)
 
     # -- ops -----------------------------------------------------------
 
@@ -401,6 +396,7 @@ class _StreamRegistry:
             {
                 "op": "open",
                 "handle": handle,
+                **_rid_field(msg),
                 "graph": msg.get("graph"),
                 "target_quality": float(msg.get("target_quality", 0.55)),
                 "seed": msg.get("seed"),
@@ -455,6 +451,7 @@ class _StreamRegistry:
             {
                 "op": "update",
                 "handle": msg.get("handle"),
+                **_rid_field(msg),
                 "msg": {
                     key: msg[key]
                     for key in ("add", "remove", "grow", "strict")
@@ -496,6 +493,7 @@ class _StreamRegistry:
             {
                 "op": "rematch",
                 "handle": handle,
+                **_rid_field(msg),
                 "cold": bool(msg.get("cold", False)),
                 "ack": dict(payload),
             }
@@ -513,13 +511,207 @@ class _StreamRegistry:
         if _tm.enabled():
             _tm.incr("serve.stream.closes")
             _tm.set_gauge("serve.stream.open_handles", len(self._sessions))
-        self._journal_append({"op": "close", "handle": handle})
+        self._journal_append(
+            {"op": "close", "handle": handle, **_rid_field(msg)}
+        )
         return {"handle": handle, "closed": True}
 
 
 #: Exit code of a daemon that stopped because its journal poisoned —
 #: nonzero so a supervisor restarts it through recovery.
 JOURNAL_POISONED_EXIT = 75
+
+#: Exit code of a daemon whose output pipe closed mid-response (EX_IOERR):
+#: the reader is gone, so further acks would be lies; die loudly instead
+#: of hanging or dying with an unhandled ``BrokenPipeError`` traceback.
+BROKEN_PIPE_EXIT = 74
+
+
+class Dispatcher:
+    """Transport-independent request dispatcher for the daemon protocol.
+
+    One instance serves both fronts — the stdio loop in
+    :func:`serve_forever` and socket connections in
+    :class:`~repro.serve.net.SocketServer` — so the two transports
+    cannot drift in semantics.  :meth:`handle` maps one request object
+    to ``(response, stop)``; :meth:`handle_line` adds JSON-line
+    parsing.  Neither ever raises for a bad request: failures come back
+    as typed ``{"ok": false, "error": ...}`` responses
+    (``KeyboardInterrupt`` / ``SystemExit`` excepted).
+
+    Idempotency: a request carrying a ``rid`` (client-unique request
+    id) has its successful response remembered in an LRU of *acked_cap*
+    entries; a retry with the same ``rid`` — e.g. after the network
+    dropped the first ack — is answered from that cache without
+    re-applying the mutation.  The cache is seeded from the journal on
+    recovery (see :meth:`_StreamRegistry.apply_record`), so the
+    guarantee holds across daemon failover, not just within one
+    process.  Stream ops serialise on an internal lock; ``match``
+    submissions run outside it so slow matches do not block health
+    probes or other connections.
+    """
+
+    def __init__(
+        self,
+        server: MatchingServer,
+        cache: "GraphCache | dict[str, BipartiteGraph]",
+        streams: _StreamRegistry,
+        *,
+        acked_cap: int = 1024,
+    ) -> None:
+        if acked_cap < 1:
+            raise ServiceError(
+                f"acked cache cap must be >= 1, got {acked_cap}"
+            )
+        self.server = server
+        self.cache = cache
+        self.streams = streams
+        self.acked_cap = int(acked_cap)
+        self._lock = threading.RLock()
+        self._acked: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        for rid, payload in streams.replayed_acks.items():
+            self._remember(rid, {"ok": True, **payload})
+
+    @property
+    def poisoned(self) -> bool:
+        """True once the journal refused a write (stop serving)."""
+        return self.streams.poisoned
+
+    def _remember(self, rid: str, response: dict[str, Any]) -> None:
+        with self._lock:
+            self._acked[rid] = response
+            self._acked.move_to_end(rid)
+            while len(self._acked) > self.acked_cap:
+                self._acked.popitem(last=False)
+
+    def _replay(self, rid: str) -> dict[str, Any] | None:
+        with self._lock:
+            cached = self._acked.get(rid)
+            if cached is not None:
+                self._acked.move_to_end(rid)
+                return dict(cached)
+        return None
+
+    def health(self) -> dict[str, Any]:
+        """The server's health merged with daemon-level state.
+
+        Adds open/maximum stream sessions, graph-cache occupancy, and —
+        when a journal is attached — its generation, records since the
+        last checkpoint, and poisoned state.
+        """
+        payload = self.server.health()
+        journal = self.streams.journal
+        with self._lock:
+            payload["sessions"] = len(self.streams._sessions)
+        payload["max_streams"] = self.streams.max_streams
+        payload["journal"] = (
+            None
+            if journal is None
+            else {
+                "generation": journal.generation,
+                "records_since_checkpoint": journal.records_since_checkpoint,
+                "poisoned": journal.poisoned,
+            }
+        )
+        payload["graph_cache"] = {
+            "size": len(self.cache),
+            "cap": getattr(self.cache, "cap", None),
+        }
+        return payload
+
+    def _match(self, msg: dict[str, Any]) -> dict[str, Any]:
+        with self._lock:
+            graph = build_graph(msg.get("graph"), self.cache)
+        request = MatchRequest(
+            graph,
+            iterations=int(msg.get("iterations", 5)),
+            seed=msg.get("seed"),
+            method=str(msg.get("method", "auto")),
+            deadline=msg.get("deadline"),
+        )
+        response = self.server.submit(request)
+        return {
+            "ok": True,
+            "cardinality": response.cardinality,
+            "rung": response.rung,
+            "guarantee": response.guarantee,
+            "scaling_rung": response.scaling_rung,
+            "degraded": response.degraded,
+            "elapsed": response.elapsed,
+            "queue_wait": response.queue_wait,
+            "row_match": response.matching.row_match.tolist(),
+        }
+
+    def handle(self, msg: Any) -> tuple[dict[str, Any], bool]:
+        """Dispatch one request object → ``(response, stop)``."""
+        request_id: Any = None
+        try:
+            if not isinstance(msg, dict):
+                raise ServiceError("request must be a JSON object")
+            request_id = msg.get("id")
+            rid = msg.get("rid")
+            if rid is not None:
+                replay = self._replay(str(rid))
+                if replay is not None:
+                    replay["id"] = request_id
+                    if _tm.enabled():
+                        _tm.incr("serve.rid_replays")
+                    return replay, False
+            op = msg.get("op", "match")
+            if op == "match":
+                response = self._match(msg)
+            elif op == "stream_open":
+                with self._lock:
+                    response = {
+                        "ok": True,
+                        **self.streams.open(msg, self.cache),
+                    }
+            elif op in ("update", "stream_update"):
+                with self._lock:
+                    response = {"ok": True, **self.streams.update(msg)}
+            elif op in ("rematch", "stream_rematch"):
+                with self._lock:
+                    response = {"ok": True, **self.streams.rematch(msg)}
+            elif op == "stream_close":
+                with self._lock:
+                    response = {"ok": True, **self.streams.close(msg)}
+            elif op == "health":
+                response = {"ok": True, **self.health()}
+            elif op == "shutdown":
+                return (
+                    {"id": request_id, "ok": True, "status": "draining"},
+                    True,
+                )
+            else:
+                raise ServiceError(
+                    f"unknown op {op!r}; expected 'match', 'stream_open',"
+                    f" 'update', 'rematch', 'stream_close', 'health', or"
+                    f" 'shutdown'"
+                )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:  # noqa: BLE001 - typed in response
+            return _error_response(request_id, exc), False
+        response["id"] = request_id
+        if rid is not None and response.get("ok"):
+            self._remember(str(rid), dict(response))
+        return response, False
+
+    def handle_line(self, line: str) -> tuple[dict[str, Any], bool] | None:
+        """Dispatch one JSON line; ``None`` for blank lines."""
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            msg = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return (
+                _error_response(
+                    None, ServiceError(f"request is not valid JSON: {exc}")
+                ),
+                False,
+            )
+        return self.handle(msg)
 
 
 def serve_forever(
@@ -583,60 +775,50 @@ def serve_forever(
     else:
         streams = _StreamRegistry(max_streams, backend)
 
-    def emit(payload: dict[str, Any]) -> None:
-        stdout.write(json.dumps(payload) + "\n")
-        stdout.flush()
-
+    broken_pipe = False
     with MatchingServer(backend, config=config) as server:
+        dispatcher = Dispatcher(server, cache, streams)
         for line in stdin:
-            line = line.strip()
-            if not line:
-                continue
-            request_id: Any = None
             try:
-                msg = json.loads(line)
-                if not isinstance(msg, dict):
-                    raise ServiceError("request must be a JSON object")
-                request_id = msg.get("id")
-                op = msg.get("op", "match")
-                if op == "match":
-                    emit(_handle_match(server, msg, cache))
-                elif op == "stream_open":
-                    emit({"id": request_id, "ok": True,
-                          **streams.open(msg, cache)})
-                elif op in ("update", "stream_update"):
-                    emit({"id": request_id, "ok": True,
-                          **streams.update(msg)})
-                elif op in ("rematch", "stream_rematch"):
-                    emit({"id": request_id, "ok": True,
-                          **streams.rematch(msg)})
-                elif op == "stream_close":
-                    emit({"id": request_id, "ok": True,
-                          **streams.close(msg)})
-                elif op == "health":
-                    emit({"id": request_id, "ok": True, **server.health()})
-                elif op == "shutdown":
-                    emit({"id": request_id, "ok": True, "status": "draining"})
-                    break
-                else:
-                    raise ServiceError(
-                        f"unknown op {op!r}; expected 'match', 'stream_open',"
-                        f" 'update', 'rematch', 'stream_close', 'health', or"
-                        f" 'shutdown'"
+                handled = dispatcher.handle_line(line)
+            except (KeyboardInterrupt, SystemExit):
+                break
+            if handled is None:
+                continue
+            response, stop = handled
+            try:
+                stdout.write(json.dumps(response) + "\n")
+                stdout.flush()
+            except (BrokenPipeError, OSError) as exc:
+                # The reader hung up mid-response.  The old behaviour —
+                # an unhandled traceback, or a hang retrying the write —
+                # left supervisors guessing; instead log one typed line
+                # and exit nonzero so they restart us.
+                broken_pipe = True
+                with contextlib.suppress(Exception):
+                    sys.stderr.write(
+                        json.dumps(
+                            {
+                                "event": "serve.output_pipe_closed",
+                                "error": type(exc).__name__,
+                                "message": str(exc),
+                            }
+                        )
+                        + "\n"
                     )
-            except json.JSONDecodeError as exc:
-                emit(_error_response(request_id, ServiceError(
-                    f"request is not valid JSON: {exc}"
-                )))
-            except BaseException as exc:  # noqa: BLE001 - typed in response
-                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
-                    break
-                emit(_error_response(request_id, exc))
-            if streams.poisoned:
+                    sys.stderr.flush()
+                if _tm.enabled():
+                    _tm.incr("serve.output_pipe_closed")
+                break
+            if stop:
+                break
+            if dispatcher.poisoned:
                 # The in-memory registry is ahead of the durable log;
                 # acknowledging anything further would be a lie.  Die
                 # and let the supervisor restart through recovery.
                 break
     if streams.journal is not None:
         streams.journal.close()
-    return JOURNAL_POISONED_EXIT if streams.poisoned else 0
+    if streams.poisoned:
+        return JOURNAL_POISONED_EXIT
+    return BROKEN_PIPE_EXIT if broken_pipe else 0

@@ -1,0 +1,130 @@
+"""Per-tenant admission quotas for the multi-daemon router.
+
+The router (:mod:`repro.serve.router`) fronts a *shared* pool of
+daemons; one tenant flooding it with requests must not starve the
+others.  :class:`TenantQuotas` bounds each tenant's **in-flight**
+requests — admission is checked *before* the consistent-hash ring even
+picks a daemon, so a shed request costs one dict lookup, not a network
+round-trip.  Over-quota submissions fail fast with a typed
+:class:`~repro.errors.QuotaExceededError` (the client decides whether
+to back off and retry); they are never silently queued.
+
+Fairness is structural: every tenant gets an independent counter, so a
+flooding tenant exhausts only its *own* slots.  There is no global
+limit here — the per-daemon admission queue
+(:class:`~repro.serve.server.MatchingServer`) already bounds total
+load; this layer only divides the right to reach it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Iterator
+
+from repro import telemetry as _tm
+from repro.errors import QuotaExceededError, ServiceError
+
+__all__ = ["TenantQuotas"]
+
+
+class TenantQuotas:
+    """Thread-safe per-tenant in-flight request accounting.
+
+    Parameters
+    ----------
+    limit:
+        Default maximum in-flight requests per tenant.
+    overrides:
+        Per-tenant limits overriding the default (e.g. a batch tenant
+        allowed deeper pipelines).
+
+    Usage::
+
+        quotas = TenantQuotas(limit=8)
+        with quotas.admitted("alice"):      # raises QuotaExceededError
+            response = node.request(msg)    # when alice is at her cap
+    """
+
+    def __init__(
+        self, limit: int = 8, *, overrides: dict[str, int] | None = None
+    ) -> None:
+        if limit < 1:
+            raise ServiceError(
+                f"tenant quota limit must be >= 1, got {limit}"
+            )
+        for tenant, cap in (overrides or {}).items():
+            if cap < 1:
+                raise ServiceError(
+                    f"tenant {tenant!r} quota must be >= 1, got {cap}"
+                )
+        self.limit = int(limit)
+        self.overrides = dict(overrides or {})
+        self._lock = threading.Lock()
+        self._inflight: dict[str, int] = {}
+        self._shed: dict[str, int] = {}
+
+    def limit_for(self, tenant: str) -> int:
+        """The in-flight cap applying to *tenant*."""
+        return self.overrides.get(tenant, self.limit)
+
+    def inflight(self, tenant: str) -> int:
+        """Currently admitted (un-released) requests for *tenant*."""
+        with self._lock:
+            return self._inflight.get(tenant, 0)
+
+    def acquire(self, tenant: str) -> None:
+        """Admit one request for *tenant* or shed it with a typed error."""
+        tenant = str(tenant)
+        cap = self.limit_for(tenant)
+        with self._lock:
+            held = self._inflight.get(tenant, 0)
+            if held >= cap:
+                self._shed[tenant] = self._shed.get(tenant, 0) + 1
+                if _tm.enabled():
+                    _tm.incr("serve.quota.shed")
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} is at its quota of {cap}"
+                    f" in-flight requests"
+                )
+            self._inflight[tenant] = held + 1
+        if _tm.enabled():
+            _tm.incr("serve.quota.admitted")
+
+    def release(self, tenant: str) -> None:
+        """Return one slot; over-release is a caller bug, not a no-op."""
+        tenant = str(tenant)
+        with self._lock:
+            held = self._inflight.get(tenant, 0)
+            if held < 1:
+                raise ServiceError(
+                    f"release without acquire for tenant {tenant!r}"
+                )
+            if held == 1:
+                del self._inflight[tenant]
+            else:
+                self._inflight[tenant] = held - 1
+
+    @contextlib.contextmanager
+    def admitted(self, tenant: str) -> Iterator[None]:
+        """``with``-scoped acquire/release pair."""
+        self.acquire(tenant)
+        try:
+            yield
+        finally:
+            self.release(tenant)
+
+    def snapshot(self) -> dict[str, Any]:
+        """In-flight and shed counts per tenant (for ``router_health``)."""
+        with self._lock:
+            return {
+                "limit": self.limit,
+                "overrides": dict(self.overrides),
+                "inflight": dict(self._inflight),
+                "shed": dict(self._shed),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            busy = sum(self._inflight.values())
+        return f"TenantQuotas(limit={self.limit}, inflight={busy})"

@@ -167,10 +167,17 @@ def local_rebalance(
         stale = np.flatnonzero(col_mask)
     inv_rowtot = _guarded_inverse(rowtot)
     if state is not None and stale.size:
+        # NB: multiply per edge BEFORE summing — the same operation order
+        # as `_column_prob_sums` — so the refreshed entries are bitwise
+        # identical to a from-scratch `measure_state` (recovery
+        # recertification compares exactly, not approximately).
         rows_st, st_ptr = _gather_segments(
             graph.col_ptr, graph.row_ind, stale
         )
-        colsum[stale] = dc[stale] * segment_sums(inv_rowtot[rows_st], st_ptr)
+        colsum[stale] = segment_sums(
+            np.repeat(dc[stale], np.diff(st_ptr)) * inv_rowtot[rows_st],
+            st_ptr,
+        )
     nonempty = np.diff(graph.col_ptr) > 0
     deficient = nonempty & (colsum < alpha)
 
@@ -251,11 +258,15 @@ def local_rebalance(
             inv_rowtot[t_rows] = _guarded_inverse(new_tot)
         t_cols = np.flatnonzero(touched_col_mask)
         if t_cols.size:
+            # Same per-edge multiplication order as `_column_prob_sums`;
+            # see the stale refresh above.
             rows_tc, ptr_tc = _gather_segments(
                 graph.col_ptr, graph.row_ind, t_cols
             )
-            colsum[t_cols] = dc[t_cols] * segment_sums(
-                inv_rowtot[rows_tc], ptr_tc
+            colsum[t_cols] = segment_sums(
+                np.repeat(dc[t_cols], np.diff(ptr_tc))
+                * inv_rowtot[rows_tc],
+                ptr_tc,
             )
     current = float(colsum[nonempty].min()) if nonempty.any() else 0.0
     dr = inv_rowtot.copy()

@@ -1,0 +1,126 @@
+"""Property tests for the shared backoff policy (`repro.resilience.backoff`).
+
+The policy is the one retry-delay implementation for both
+``ResilientBackend`` chunk retries and the network client, so its
+invariants are pinned here once:
+
+* every jittered delay lies in ``[(1 - jitter) * envelope, envelope]``;
+* the undithered envelope is monotone non-decreasing and capped;
+* equal seeds give bitwise-equal delay sequences; the envelope is
+  seed-independent;
+* invalid parameters fail typed at construction.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import BackendError
+from repro.resilience.backoff import BackoffPolicy, BackoffSchedule
+
+policies = st.builds(
+    BackoffPolicy,
+    initial=st.floats(0.0, 5.0, allow_nan=False),
+    factor=st.floats(1.0, 4.0, allow_nan=False),
+    maximum=st.floats(5.0, 50.0, allow_nan=False),
+    jitter=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+@given(policy=policies, seed=st.integers(0, 2**32), k=st.integers(1, 40))
+def test_delays_stay_inside_the_jitter_envelope(policy, seed, k):
+    schedule = policy.schedule(seed)
+    for retry in range(k):
+        envelope = policy.envelope(retry)
+        assert schedule.peek_envelope() == pytest.approx(envelope)
+        delay = schedule.next()
+        assert delay <= envelope + 1e-12
+        assert delay >= (1.0 - policy.jitter) * envelope - 1e-12
+
+
+@given(policy=policies, k=st.integers(1, 60))
+def test_envelope_is_monotone_and_capped(policy, k):
+    envelopes = [policy.envelope(retry) for retry in range(k)]
+    assert all(b >= a for a, b in zip(envelopes, envelopes[1:]))
+    assert all(e <= policy.maximum for e in envelopes)
+    assert envelopes[0] == min(policy.initial, policy.maximum)
+
+
+@given(policy=policies, seed=st.integers(0, 2**32), k=st.integers(1, 30))
+def test_same_seed_same_sequence(policy, seed, k):
+    first = policy.schedule(seed)
+    second = policy.schedule(seed)
+    assert [first.next() for _ in range(k)] == [
+        second.next() for _ in range(k)
+    ]
+
+
+@given(policy=policies, seed=st.integers(0, 2**32), k=st.integers(1, 20))
+def test_reset_restarts_the_envelope(policy, seed, k):
+    schedule = policy.schedule(seed)
+    for _ in range(k):
+        schedule.next()
+    schedule.reset()
+    assert schedule.peek_envelope() == pytest.approx(
+        min(policy.initial, policy.maximum)
+    )
+
+
+def test_string_seeds_are_deterministic():
+    # ResilientBackend seeds per-chunk schedules with "seed:chunk"
+    # strings; random.Random hashes str seeds stably across runs.
+    policy = BackoffPolicy()
+    a = [policy.schedule("7:3").next() for _ in range(5)]
+    b = [policy.schedule("7:3").next() for _ in range(5)]
+    assert a == b
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"initial": -0.1},
+        {"factor": 0.5},
+        {"initial": 3.0, "maximum": 1.0},
+        {"jitter": -0.01},
+        {"jitter": 1.5},
+    ],
+)
+def test_invalid_parameters_fail_typed(kwargs):
+    with pytest.raises(BackendError):
+        BackoffPolicy(**kwargs)
+
+
+def test_negative_retry_index_fails_typed():
+    with pytest.raises(BackendError):
+        BackoffPolicy().envelope(-1)
+
+
+def test_zero_jitter_is_exactly_the_envelope():
+    policy = BackoffPolicy(initial=0.1, factor=2.0, maximum=0.5, jitter=0.0)
+    schedule = policy.schedule(0)
+    assert [schedule.next() for _ in range(4)] == [0.1, 0.2, 0.4, 0.5]
+
+
+def test_concurrent_draws_each_stay_inside_some_envelope():
+    # Chunk supervisors may share one schedule; under interleaving every
+    # draw must still fall inside the envelope active when it was taken.
+    policy = BackoffPolicy(initial=0.01, factor=2.0, maximum=1.0, jitter=0.5)
+    schedule = BackoffSchedule(policy, seed=3)
+    delays: list[float] = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        for _ in range(50):
+            d = schedule.next()
+            with lock:
+                delays.append(d)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(delays) == 200
+    assert all(0.0 < d <= policy.maximum for d in delays)

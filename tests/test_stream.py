@@ -199,12 +199,41 @@ def test_local_rebalance_state_reuse_stays_exact():
         g1, qs0.scaling.dc, 0.55,
         state=state, dirty_rows=dirty.rows, dirty_cols=dirty.cols,
     )
+    # Bitwise, not approximate: recovery recertification compares the
+    # carried state against a fresh measurement with array_equal, so the
+    # local refreshes must replay measure_state's exact operation order
+    # (multiply dc per edge BEFORE summing, not factor it out).
     fresh_rowtot, fresh_colsum = measure_state(g1, qs1.scaling.dc)
-    np.testing.assert_allclose(state1[0], fresh_rowtot, rtol=1e-12)
-    np.testing.assert_allclose(state1[1], fresh_colsum, rtol=1e-12)
+    assert np.array_equal(state1[0], fresh_rowtot)
+    assert np.array_equal(state1[1], fresh_colsum)
     assert qs1.min_column_sum == pytest.approx(
         _exact_min_col_prob_sum(g1, qs1.scaling.dc), rel=1e-12
     )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_carried_state_stays_bitwise_over_update_rematch_epochs(seed):
+    # Regression: with (n=120, seed=1) the factored-out dc
+    # multiplication in the stale-column refresh drifted colsum by one
+    # ulp from measure_state, which a later crash recovery rejected as
+    # "recovered warm scale state does not match a fresh measurement".
+    from repro.stream.rescale import measure_state
+
+    n = 120
+    matcher = StreamMatcher(
+        DynamicBipartiteGraph(union_of_permutations(n, 3, seed=seed)),
+        0.55,
+        seed=seed,
+    )
+    for k in range(6):
+        matcher.graph.add_edges(
+            [k % n, (k + 1) % n], [(3 * k + 1) % n, (5 * k + 2) % n]
+        )
+        matcher.rematch()
+        snap = matcher.graph.snapshot()
+        fresh = measure_state(snap, matcher._quality.scaling.dc)
+        assert np.array_equal(matcher._scale_state[0], fresh[0])
+        assert np.array_equal(matcher._scale_state[1], fresh[1])
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2])
