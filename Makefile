@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-regress bench-regress-smoke chaos chaos-smoke serve serve-soak serve-smoke stream stream-smoke exact-smoke recovery-smoke native-smoke net-smoke experiments verify examples clean
+.PHONY: install test bench bench-regress bench-regress-smoke chaos chaos-smoke serve serve-soak serve-smoke stream stream-smoke exact-smoke recovery-smoke native-smoke net-smoke shard-smoke experiments verify examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -64,6 +64,14 @@ native-smoke:
 net-smoke:
 	timeout 480 $(PYTHON) -m pytest -m net -q
 	timeout 300 $(PYTHON) -m repro route --daemons 3 --requests 30 --kill-one --n 120
+
+# Sharded matching: the differential matrix (sharded == serial bitwise
+# for every generator family and shard count) plus a live CLI check on
+# the default chunk grid.  Hard timeouts because the reconcile rounds
+# are bounded by construction — a hang is itself a bug.
+shard-smoke:
+	timeout 480 $(PYTHON) -m pytest -m shard -q
+	timeout 300 $(PYTHON) -m repro shard --check
 
 experiments:
 	$(PYTHON) -m repro.experiments all --out results.json

@@ -114,6 +114,13 @@ SIZES = {
     # "seconds" key): the cell exists to keep per-request wire overhead
     # visible, while the CPU-bound cells above pin the regression surface.
     "net_roundtrip": (200, 50),
+    # Sharded matching: wall time and quality at K in {1, 2, 4} shards on
+    # the in-process tier.  Informational (no "seconds" key) — the
+    # subsystem's contract makes all K bitwise identical (asserted, not
+    # reported), so the cell's job is to keep the coordination overhead
+    # of higher shard counts visible, not to gate on it.  The smoke size
+    # stays above the chunk grid (8192) so K=2 is a real split.
+    "shard_scaling": (120_000, 20_000),
 }
 
 
@@ -471,6 +478,52 @@ def run_workloads(smoke: bool, backend_spec: str = "serial") -> dict[str, dict]:
         )
     finally:
         shutil.rmtree(net_dir, ignore_errors=True)
+
+    # Sharded matching: the in-process tier at K in {1, 2, 4}.  Every K
+    # must produce the identical matching (the shard-count-invariance
+    # contract — asserted, not reported); the recorded numbers are the
+    # per-K wall times and the K>1 overhead ratios over K=1.
+    from repro.shard import plan_shards, shard_match
+
+    n = SIZES["shard_scaling"][idx]
+    g = sprand(n, 4.0, seed=0)
+    shard_rows = {}
+    base_match = None
+    for k in (1, 2, 4):
+        plan = plan_shards(g, k)
+        t0 = time.perf_counter()
+        res = shard_match(g, k, 5, seed=1, plan=plan)
+        seconds = time.perf_counter() - t0
+        if base_match is None:
+            base_match = res.matching.row_match
+        elif not np.array_equal(res.matching.row_match, base_match):
+            raise AssertionError(
+                f"shard_scaling: K={k} matching diverged from K=1 — the"
+                f" shard-count-invariance contract is broken"
+            )
+        shard_rows[str(k)] = {
+            "seconds": seconds,
+            "boundary_edges": plan.boundary_edges,
+            "max_held_nnz": plan.max_held_nnz,
+        }
+    results["shard_scaling"] = {
+        "n": n,
+        "shards": shard_rows,
+        "cardinality": int(np.sum(base_match >= 0)),
+        "overhead_k4": (
+            shard_rows["4"]["seconds"] / shard_rows["1"]["seconds"]
+            if shard_rows["1"]["seconds"]
+            else 1.0
+        ),
+    }
+    print(
+        f"  {'shard_scaling':<22} n={n:<7} "
+        + " ".join(
+            f"K={k}:{shard_rows[k]['seconds'] * 1e3:.2f}ms"
+            for k in ("1", "2", "4")
+        )
+        + " (bitwise-equal, informational)"
+    )
 
     # Exact tier: auction cold vs warm on the same instance.  Both runs
     # must land on the identical (maximum) cardinality — asserted, not

@@ -17,6 +17,7 @@ Subcommands::
     python -m repro route    [--daemons 3] [--requests 60] [--kill-one]
     python -m repro stream   [--n 10000] [--churn 0.01] [--batches 3]
                              [--target 0.6] [--smoke]
+    python -m repro shard    [--n 20000] [--shards 3] [--check]
 
 Matrices are MatrixMarket coordinate files (``.mtx``) or the library's
 ``.npz`` cache format (auto-detected by extension).
@@ -425,6 +426,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 journal_dir=args.journal,
                 recover=args.recover,
                 checkpoint_every=args.checkpoint_every,
+                acked_cap=args.acked_cap,
                 ready=_ready,
             )
         if args.supervise and args.journal:
@@ -454,6 +456,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             journal_dir=args.journal,
             recover=args.recover,
             checkpoint_every=args.checkpoint_every,
+            acked_cap=args.acked_cap,
         )
     config = ServerConfig(
         default_deadline=args.deadline,
@@ -577,6 +580,50 @@ def cmd_stream(args: argparse.Namespace) -> int:
     print(f"guarantee       : {report.guarantee:.4f}")
     print(f"cardinality     : {report.cardinality}")
     return 0 if (args.no_cold or report.guarantees_match) else 1
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    """Run the sharded matching pipeline and report partition/merge stats.
+
+    Generates a random graph, partitions it into ``--shards`` chunk-aligned
+    shards, and runs the full sharded pipeline (2-D Sinkhorn–Knopp, local
+    choices, BSP Karp–Sipser reconciliation) on the in-process tier.  With
+    ``--check`` it also runs the unsharded serial pipeline and exits 1
+    unless the sharded matching, scaling vectors, and §3.3 guarantee are
+    bitwise identical — the subsystem's core contract.
+    """
+    from repro.core import two_sided_match
+    from repro.graph.generators import sprand
+    from repro.shard import plan_shards, shard_match
+
+    g = sprand(args.n, args.degree, seed=args.seed)
+    plan = plan_shards(g, args.shards)
+    t0 = time.perf_counter()
+    res = shard_match(
+        g, args.shards, args.iterations, seed=args.seed, plan=plan
+    )
+    dt = time.perf_counter() - t0
+    print(f"graph        : {g.nrows} x {g.ncols}, {g.nnz} edges")
+    print(f"shards       : {plan.n_shards} "
+          f"(max held nnz {plan.max_held_nnz}, "
+          f"boundary edges {plan.boundary_edges})")
+    print(f"cardinality  : {res.cardinality}")
+    print(f"guarantee    : {res.guarantee:.4f}")
+    print(f"ks rounds    : {res.rounds}")
+    print(f"time         : {dt:.3f}s")
+    if not args.check:
+        return 0
+    ref = two_sided_match(
+        g, args.iterations, seed=args.seed, engine="vectorized"
+    )
+    same = (
+        np.array_equal(res.matching.row_match, ref.matching.row_match)
+        and np.array_equal(res.scaling.dr, ref.scaling.dr)
+        and np.array_equal(res.scaling.dc, ref.scaling.dc)
+        and res.guarantee == ref.guarantee
+    )
+    print(f"serial check : {'bitwise-identical' if same else 'MISMATCH'}")
+    return 0 if same else 1
 
 
 def cmd_dm(args: argparse.Namespace) -> int:
@@ -807,6 +854,11 @@ def main(argv: list[str] | None = None) -> int:
              "recovering from --journal DIR each time",
     )
     p_serve.add_argument(
+        "--acked-cap", type=int, default=1024, dest="acked_cap",
+        help="LRU cap on the acknowledged-request replay cache "
+             "(idempotent retries of evicted ids re-execute)",
+    )
+    p_serve.add_argument(
         "--listen", default=None, metavar="ADDR",
         help="serve the daemon protocol over a socket instead of stdio: "
              "'unix:/path.sock' or 'tcp:host:port' (tcp port 0 picks an "
@@ -875,6 +927,27 @@ def main(argv: list[str] | None = None) -> int:
         help="cap n at 4000 (the CI smoke configuration)",
     )
     p_stream.set_defaults(fn=cmd_stream)
+
+    p_shard = sub.add_parser(
+        "shard",
+        help="sharded matching demo: partitioned scale→choice→KS with "
+             "boundary reconciliation",
+    )
+    p_shard.add_argument(
+        "--n", type=int, default=20_000,
+        help="graph size; bounds snap to the choice kernel's chunk grid, "
+             "so small graphs may collapse into fewer effective shards",
+    )
+    p_shard.add_argument("--degree", type=float, default=4.0)
+    p_shard.add_argument("--shards", type=int, default=3)
+    p_shard.add_argument("--iterations", type=int, default=5)
+    p_shard.add_argument("--seed", type=int, default=0)
+    p_shard.add_argument(
+        "--check", action="store_true",
+        help="also run the unsharded serial pipeline and exit 1 unless "
+             "the sharded result is bitwise identical",
+    )
+    p_shard.set_defaults(fn=cmd_shard)
 
     p_gen = sub.add_parser("generate", help="generate a test matrix")
     p_gen.add_argument("kind")

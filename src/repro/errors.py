@@ -29,6 +29,7 @@ __all__ = [
     "TransportError",
     "PartitionedError",
     "QuotaExceededError",
+    "ShardError",
     "ExperimentError",
     "TelemetryError",
 ]
@@ -214,6 +215,11 @@ class QuotaExceededError(ServiceError):
     starve another tenant's admission.  Clients should back off; the
     quota frees as the tenant's in-flight requests complete.
     """
+
+
+class ShardError(ReproError):
+    """A shard plan cannot be built or executed as requested (bad shard
+    count, per-shard memory budget unsatisfiable, tier mismatch, ...)."""
 
 
 class ExperimentError(ReproError):

@@ -61,6 +61,7 @@ __all__ = [
     "register_kernel",
     "kernel_grid",
     "kernel_chunk_override",
+    "effective_chunk",
     "run_kernel",
     "AUCTION_DROP",
 ]
@@ -143,6 +144,21 @@ def kernel_chunk_override(chunk: int) -> Iterator[None]:
 #: pairs per process.
 _GRID_CACHE: dict[tuple[int, int], tuple[tuple[int, int], ...]] = {}
 _GRID_CACHE_CAP = 256
+
+
+def effective_chunk(n: int, name: str) -> int:
+    """The chunk size :func:`kernel_grid` would use for a size-*n* run.
+
+    Shard planning aligns partition bounds to this value so a kernel run
+    on a rebased slice sees the same chunk decomposition (shifted by the
+    slice start) as the serial run on the whole axis — the property that
+    makes chunk-local arithmetic (the choice kernel's segment cumsum)
+    bitwise identical between sharded and unsharded execution.
+    """
+    kern = KERNELS[name]
+    if _CHUNK_OVERRIDE is not None:
+        return _CHUNK_OVERRIDE
+    return max(kern.min_chunk, -(-n // kern.target_chunks))
 
 
 def kernel_grid(n: int, kern: Kernel) -> list[tuple[int, int]]:

@@ -47,6 +47,11 @@ Two network rows ride full sweeps as well:
   every scripted request must succeed, with the full acked transcript
   bitwise-equal to an uninterrupted in-process replica — a lost acked
   request or diverging acknowledgment fails the matrix.
+* ``shard`` (backend ``router``): a daemon-tier sharded matching
+  (:mod:`repro.shard.daemon_tier`) with one shard daemon SIGKILLed in
+  the middle of the reconcile rounds.  The merged matching must be
+  bitwise-equal to the uninterrupted sim-tier run, or the failure must
+  be a typed error — never a silently sub-quality matching.
 """
 
 from __future__ import annotations
@@ -485,6 +490,109 @@ def _failover_cell(
         status = "FAILED:budget"
     return ChaosOutcome(
         workload="failover",
+        backend="router",
+        schedule=schedule,
+        status=status,
+        elapsed=elapsed,
+        budget=budget,
+        detail=detail,
+    )
+
+
+def _shard_cell(
+    schedule: str,
+    *,
+    n: int,
+    seed: int,
+    budget: float,
+) -> ChaosOutcome:
+    """Run one ``shard`` cell: daemon-tier sharded matching under SIGKILL.
+
+    A 3-shard matching runs over a 2-daemon router; the ``sigkill``
+    schedule SIGKILLs the daemon owning a shard handle in the middle of
+    the reconcile rounds.  The contract: the merged matching must be
+    **bitwise-equal** to the uninterrupted in-process (sim-tier) run —
+    the revived daemon replays its write-ahead journal back to the exact
+    replicated state — or the failure must surface as a typed
+    :class:`~repro.errors.ReproError`.  A silently different (and
+    therefore possibly sub-quality) matching fails the matrix.
+    """
+    import shutil
+    import tempfile
+
+    from repro.errors import ReproError
+    from repro.serve.daemon import build_graph
+    from repro.serve.router import Router
+    from repro.shard import shard_match
+    from repro.shard.daemon_tier import shard_match_daemons
+
+    graph_spec = {"kind": "sprand", "n": n, "degree": 4.0, "seed": seed}
+    graph = build_graph(graph_spec, None)
+    reference = shard_match(graph, 3, iterations=3, seed=seed)
+    tmpdir = tempfile.mkdtemp(prefix="repro-chaos-shard-")
+    t0 = time.perf_counter()
+    detail = ""
+    try:
+        with Router(
+            2, tmpdir, backend="serial", health_interval=0.0
+        ) as router:
+            if schedule == "sigkill":
+                original = router.request
+                state = {"commits": 0, "killed": False}
+
+                def chaotic(msg: Mapping, **kw) -> dict:
+                    if msg.get("op") == "shard_commit":
+                        state["commits"] += 1
+                        if state["commits"] == 2 and not state["killed"]:
+                            name = str(msg.get("handle", "")).partition(
+                                ":"
+                            )[0]
+                            victim = router._node_by_name(name)
+                            victim.proc.kill()
+                            victim.proc.wait()
+                            state["killed"] = True
+                    return original(msg, **kw)
+
+                router.request = chaotic
+            result = shard_match_daemons(
+                graph_spec, 3, iterations=3,
+                router=router, seed=seed, graph=graph,
+            )
+            restarts = sum(node.restarts for node in router.nodes)
+        if not np.array_equal(
+            result.matching.row_match, reference.matching.row_match
+        ):
+            raise AssertionError(
+                "recovered merged matching diverges bitwise from the"
+                " uninterrupted sim-tier run"
+            )
+        if result.guarantee != reference.guarantee:
+            raise AssertionError(
+                f"guarantee drifted across recovery:"
+                f" {result.guarantee} != {reference.guarantee}"
+            )
+        if schedule == "sigkill" and restarts < 1:
+            raise AssertionError(
+                "SIGKILL did not trigger a journal-recovery revival"
+            )
+        status = "ok"
+        detail = (
+            f"cardinality={result.cardinality} restarts={restarts}"
+        )
+    except ReproError as exc:
+        # Typed surfacing is legal; a silent wrong matching is not.
+        status = f"degraded:{type(exc).__name__}"
+        detail = str(exc)[:60]
+    except Exception as exc:  # noqa: BLE001 - untyped = contract violation
+        status = f"FAILED:untyped:{type(exc).__name__}"
+        detail = str(exc)[:60]
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    elapsed = time.perf_counter() - t0
+    if elapsed > budget and not status.startswith("FAILED"):
+        status = "FAILED:budget"
+    return ChaosOutcome(
+        workload="shard",
         backend="router",
         schedule=schedule,
         status=status,
@@ -982,6 +1090,19 @@ def run_chaos(
         for schedule in ("none", "sigkill"):
             outcomes.append(
                 _failover_cell(
+                    schedule,
+                    n=min(n, 120),
+                    seed=seed,
+                    budget=max(budget * 2, 120.0),
+                )
+            )
+        # Shard row: the daemon-tier sharded matching, uninterrupted and
+        # with a shard daemon SIGKILLed mid-reconcile; the recovered
+        # merged matching must be bitwise the sim-tier result or fail
+        # typed — never silently sub-quality.
+        for schedule in ("none", "sigkill"):
+            outcomes.append(
+                _shard_cell(
                     schedule,
                     n=min(n, 120),
                     seed=seed,

@@ -56,6 +56,9 @@ def write_snapshot(path: str | os.PathLike[str], registry: dict[str, Any]) -> No
         "handles": sorted(registry["sessions"]),
         "scalars": {},
         "last_ack": registry.get("last_ack", {}),
+        # Shard sessions are fully JSON-able (spec + reconcile vectors as
+        # lists) — they ride the metadata entry untouched.
+        "shards": registry.get("shards", {}),
     }
     arrays: dict[str, np.ndarray] = {}
     for handle, parts in registry["sessions"].items():
@@ -107,6 +110,7 @@ def read_snapshot(path: str | os.PathLike[str]) -> dict[str, Any]:
                 "next": int(meta["next"]),
                 "sessions": sessions,
                 "last_ack": meta.get("last_ack", {}),
+                "shards": meta.get("shards", {}),
             }
     except RecoveryError:
         raise

@@ -57,7 +57,7 @@ from typing import Any, IO
 import numpy as np
 
 from repro import telemetry as _tm
-from repro.errors import ReproError, ServiceError, StreamError
+from repro.errors import ReproError, ServiceError, ShardError, StreamError
 from repro.graph.csr import BipartiteGraph
 from repro.parallel.backends import Backend
 from repro.serve.server import MatchingServer, MatchRequest, ServerConfig
@@ -245,6 +245,9 @@ class _StreamRegistry:
         self.backend = backend
         self.journal = journal
         self._sessions: dict[str, tuple[Any, Any]] = {}
+        #: handle → ShardSession; shares the ``s<n>`` handle namespace and
+        #: the *max_streams* budget with dynamic-graph sessions.
+        self._shards: dict[str, Any] = {}
         self._last_ack: dict[str, dict[str, Any]] = {}
         self._next = 0
         #: rid → acknowledged payload, rebuilt by :meth:`apply_record`
@@ -280,6 +283,10 @@ class _StreamRegistry:
                 }
                 for handle, (graph, matcher) in self._sessions.items()
             },
+            "shards": {
+                handle: session.export_state()
+                for handle, session in self._shards.items()
+            },
             "last_ack": dict(self._last_ack),
         }
 
@@ -296,6 +303,12 @@ class _StreamRegistry:
                 graph, parts["matcher"], backend=self.backend
             )
             self._sessions[handle] = (graph, matcher)
+        self._shards = {}
+        if state.get("shards"):
+            from repro.shard.session import ShardSession
+
+            for handle, sess in state["shards"].items():
+                self._shards[handle] = ShardSession.import_state(sess, None)
         self._last_ack = {
             h: dict(a) for h, a in state.get("last_ack", {}).items()
         }
@@ -339,6 +352,41 @@ class _StreamRegistry:
             )
         elif op == "close":
             response = self.close({"handle": handle})
+            if rid is not None:
+                self.replayed_acks[str(rid)] = dict(response)
+            return
+        elif op == "shard_open":
+            response = self.shard_open(
+                {
+                    "graph": record.get("graph"),
+                    "n_shards": record.get("n_shards"),
+                    "index": record.get("index"),
+                    "chunk_rows": record.get("chunk_rows"),
+                    "chunk_cols": record.get("chunk_cols"),
+                },
+                cache,
+            )
+            if response["handle"] != handle:
+                raise RecoveryError(
+                    f"replayed shard_open produced handle"
+                    f" {response['handle']!r}, journal says {handle!r}"
+                )
+        elif op == "shard_arm":
+            response = self.shard_arm(
+                {
+                    "handle": handle,
+                    "row_choice": record["row_choice"],
+                    "col_choice": record["col_choice"],
+                }
+            )
+        elif op == "shard_commit":
+            response = self.shard_commit(
+                {"handle": handle, "candidates": record.get("candidates", ())}
+            )
+        elif op == "shard_finish":
+            response = self.shard_finish({"handle": handle})
+        elif op == "shard_close":
+            response = self.shard_close({"handle": handle})
             if rid is not None:
                 self.replayed_acks[str(rid)] = dict(response)
             return
@@ -516,6 +564,124 @@ class _StreamRegistry:
         )
         return {"handle": handle, "closed": True}
 
+    # -- shard ops (see docs/sharding.md, "Daemon tier") ----------------
+
+    def get_shard(self, msg: dict[str, Any]) -> Any:
+        handle = msg.get("handle")
+        if handle not in self._shards:
+            raise ShardError(f"unknown shard handle {handle!r}")
+        return self._shards[handle]
+
+    def shard_open(self, msg: dict[str, Any], cache: Any) -> dict[str, Any]:
+        from repro.shard.session import ShardSession
+
+        if len(self._sessions) + len(self._shards) >= self.max_streams:
+            raise StreamError(
+                f"stream limit reached ({self.max_streams} open);"
+                f" close a handle first"
+            )
+        base = build_graph(msg.get("graph"), cache)
+        session = ShardSession.build(
+            base,
+            msg.get("graph"),
+            int(msg.get("n_shards", 1)),
+            int(msg.get("index", 0)),
+            chunk_rows=msg.get("chunk_rows"),
+            chunk_cols=msg.get("chunk_cols"),
+        )
+        self._next += 1
+        handle = f"s{self._next}"
+        self._shards[handle] = session
+        if _tm.enabled():
+            _tm.incr("serve.shard.opens")
+            _tm.set_gauge("serve.shard.open_handles", len(self._shards))
+        response = {"handle": handle, **session.info()}
+        self._journal_append(
+            {
+                "op": "shard_open",
+                "handle": handle,
+                **_rid_field(msg),
+                "graph": msg.get("graph"),
+                "n_shards": int(msg.get("n_shards", 1)),
+                "index": int(msg.get("index", 0)),
+                "chunk_rows": session.shard.chunk_rows,
+                "chunk_cols": session.shard.chunk_cols,
+                "ack": response,
+            }
+        )
+        return response
+
+    def shard_sweep(self, msg: dict[str, Any]) -> dict[str, Any]:
+        # Pure: a deterministic function of the request vectors and the
+        # (immutable) slice — never journaled, safe to re-run on retry.
+        return self.get_shard(msg).sweep(msg)
+
+    def shard_choices(self, msg: dict[str, Any]) -> dict[str, Any]:
+        return self.get_shard(msg).choices(msg)
+
+    def shard_scan(self, msg: dict[str, Any]) -> dict[str, Any]:
+        return self.get_shard(msg).scan()
+
+    def shard_arm(self, msg: dict[str, Any]) -> dict[str, Any]:
+        session = self.get_shard(msg)
+        response = session.arm(msg)
+        self._journal_append(
+            {
+                "op": "shard_arm",
+                "handle": msg.get("handle"),
+                **_rid_field(msg),
+                "row_choice": [int(v) for v in msg.get("row_choice", ())],
+                "col_choice": [int(v) for v in msg.get("col_choice", ())],
+                "ack": dict(response),
+            }
+        )
+        return response
+
+    def shard_commit(self, msg: dict[str, Any]) -> dict[str, Any]:
+        session = self.get_shard(msg)
+        response = session.commit(msg)
+        self._journal_append(
+            {
+                "op": "shard_commit",
+                "handle": msg.get("handle"),
+                **_rid_field(msg),
+                "candidates": [int(v) for v in msg.get("candidates", ())],
+                "ack": dict(response),
+            }
+        )
+        return response
+
+    def shard_finish(self, msg: dict[str, Any]) -> dict[str, Any]:
+        session = self.get_shard(msg)
+        response = session.finish()
+        self._journal_append(
+            {
+                "op": "shard_finish",
+                "handle": msg.get("handle"),
+                **_rid_field(msg),
+                "ack": dict(response),
+            }
+        )
+        # The full match array rides the response but stays out of the
+        # journal ack: the checksum already pins it bit for bit.
+        return {
+            **response,
+            "match": session.require_state().match.tolist(),
+        }
+
+    def shard_close(self, msg: dict[str, Any]) -> dict[str, Any]:
+        handle = msg.get("handle")
+        if handle not in self._shards:
+            raise ShardError(f"unknown shard handle {handle!r}")
+        del self._shards[handle]
+        if _tm.enabled():
+            _tm.incr("serve.shard.closes")
+            _tm.set_gauge("serve.shard.open_handles", len(self._shards))
+        self._journal_append(
+            {"op": "shard_close", "handle": handle, **_rid_field(msg)}
+        )
+        return {"handle": handle, "closed": True}
+
 
 #: Exit code of a daemon that stopped because its journal poisoned —
 #: nonzero so a supervisor restarts it through recovery.
@@ -567,6 +733,7 @@ class Dispatcher:
         self.cache = cache
         self.streams = streams
         self.acked_cap = int(acked_cap)
+        self.rid_evictions = 0
         self._lock = threading.RLock()
         self._acked: OrderedDict[str, dict[str, Any]] = OrderedDict()
         for rid, payload in streams.replayed_acks.items():
@@ -583,6 +750,9 @@ class Dispatcher:
             self._acked.move_to_end(rid)
             while len(self._acked) > self.acked_cap:
                 self._acked.popitem(last=False)
+                self.rid_evictions += 1
+                if _tm.enabled():
+                    _tm.incr("serve.rid_evictions")
 
     def _replay(self, rid: str) -> dict[str, Any] | None:
         with self._lock:
@@ -603,6 +773,8 @@ class Dispatcher:
         journal = self.streams.journal
         with self._lock:
             payload["sessions"] = len(self.streams._sessions)
+            payload["shards"] = len(self.streams._shards)
+            payload["rid_evictions"] = self.rid_evictions
         payload["max_streams"] = self.streams.max_streams
         payload["journal"] = (
             None
@@ -675,6 +847,33 @@ class Dispatcher:
             elif op == "stream_close":
                 with self._lock:
                     response = {"ok": True, **self.streams.close(msg)}
+            elif op == "shard_open":
+                with self._lock:
+                    response = {
+                        "ok": True,
+                        **self.streams.shard_open(msg, self.cache),
+                    }
+            elif op == "shard_sweep":
+                with self._lock:
+                    response = {"ok": True, **self.streams.shard_sweep(msg)}
+            elif op == "shard_choices":
+                with self._lock:
+                    response = {"ok": True, **self.streams.shard_choices(msg)}
+            elif op == "shard_scan":
+                with self._lock:
+                    response = {"ok": True, **self.streams.shard_scan(msg)}
+            elif op == "shard_arm":
+                with self._lock:
+                    response = {"ok": True, **self.streams.shard_arm(msg)}
+            elif op == "shard_commit":
+                with self._lock:
+                    response = {"ok": True, **self.streams.shard_commit(msg)}
+            elif op == "shard_finish":
+                with self._lock:
+                    response = {"ok": True, **self.streams.shard_finish(msg)}
+            elif op == "shard_close":
+                with self._lock:
+                    response = {"ok": True, **self.streams.shard_close(msg)}
             elif op == "health":
                 response = {"ok": True, **self.health()}
             elif op == "shutdown":
@@ -685,8 +884,8 @@ class Dispatcher:
             else:
                 raise ServiceError(
                     f"unknown op {op!r}; expected 'match', 'stream_open',"
-                    f" 'update', 'rematch', 'stream_close', 'health', or"
-                    f" 'shutdown'"
+                    f" 'update', 'rematch', 'stream_close', a 'shard_*'"
+                    f" verb, 'health', or 'shutdown'"
                 )
         except (KeyboardInterrupt, SystemExit):
             raise
@@ -725,13 +924,16 @@ def serve_forever(
     journal_dir: str | None = None,
     recover: bool = False,
     checkpoint_every: int = 64,
+    acked_cap: int = 1024,
 ) -> int:
     """Run the JSON-lines daemon until EOF or a ``shutdown`` op.
 
     Returns a process exit code (0 on clean shutdown).  *stdin* /
     *stdout* default to the process streams; tests pass ``io.StringIO``.
     *graph_cache_cap* bounds the spec→graph LRU cache; *max_streams*
-    bounds the number of concurrently open dynamic-graph handles.
+    bounds the number of concurrently open dynamic-graph handles;
+    *acked_cap* bounds the idempotency replay cache (evictions count on
+    the ``serve.rid_evictions`` telemetry counter).
 
     With *journal_dir* every stream mutation is write-ahead journaled
     (fsync before ack) and checkpointed every *checkpoint_every*
@@ -777,7 +979,7 @@ def serve_forever(
 
     broken_pipe = False
     with MatchingServer(backend, config=config) as server:
-        dispatcher = Dispatcher(server, cache, streams)
+        dispatcher = Dispatcher(server, cache, streams, acked_cap=acked_cap)
         for line in stdin:
             try:
                 handled = dispatcher.handle_line(line)

@@ -474,6 +474,16 @@ class ResilientClient:
     ack was lost — the ambiguous-drop case that makes naive retries
     double-apply mutations.
 
+    With ``keepalive=True`` the client holds one persistent connection
+    and reuses it across requests (the server side already serves many
+    frames per connection), paying the dial cost once instead of per
+    request — the difference matters for chatty protocols like the
+    shard verbs, where one matching is hundreds of small round-trips.
+    Any failure on the kept connection drops it; the *next* attempt
+    redials, so the retry/idempotency semantics — and the
+    ``PartitionedError`` vs ``TransportError`` typing on exhaustion —
+    are unchanged.  Hedged probes always use fresh connections.
+
     A response with ``"ok": false`` raises the typed
     :mod:`repro.errors` class named in its ``error`` field (in-band
     failures are *not* retried — the daemon already gave a definitive
@@ -492,6 +502,7 @@ class ResilientClient:
         connect_timeout: float = 2.0,
         deadline: float = 30.0,
         client_id: str | None = None,
+        keepalive: bool = False,
     ) -> None:
         if retries < 0:
             raise ServiceError(f"retries must be >= 0, got {retries}")
@@ -513,52 +524,112 @@ class ResilientClient:
         )
         self._seq = 0
         self._seq_lock = threading.Lock()
+        self.keepalive = bool(keepalive)
+        self._conn: socket.socket | None = None
+        self._conn_reader: Any = None
+        self._conn_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Drop the kept connection (no-op without one)."""
+        with self._conn_lock:
+            self._drop_conn()
+
+    def _drop_conn(self) -> None:
+        """Close the persistent connection (``_conn_lock`` held)."""
+        reader, self._conn_reader = self._conn_reader, None
+        conn, self._conn = self._conn, None
+        if reader is not None:
+            with contextlib.suppress(OSError):
+                reader.close()
+        if conn is not None:
+            with contextlib.suppress(OSError):
+                conn.close()
 
     def _next_rid(self) -> str:
         with self._seq_lock:
             self._seq += 1
             return f"{self.client_id}:{self._seq}"
 
-    def _roundtrip_once(
-        self, msg: dict[str, Any], deadline: float
-    ) -> dict[str, Any]:
-        """One connect → send → receive attempt (raises on any failure)."""
+    def _dial(self, deadline: float) -> socket.socket:
+        """Open one connection (connect failures get the typed tag)."""
         conn = socket.socket(self._family, socket.SOCK_STREAM)
         conn.settimeout(self.connect_timeout)
         try:
-            try:
-                conn.connect(self._sockaddr)
-            except OSError as exc:
-                raise _ConnectError(
-                    f"connect to {self.address} failed: {exc}"
-                ) from exc
-            conn.settimeout(deadline)
-            conn.sendall(encode_frame(json.dumps(msg).encode("utf-8")))
+            conn.connect(self._sockaddr)
+        except OSError as exc:
+            with contextlib.suppress(OSError):
+                conn.close()
+            raise _ConnectError(
+                f"connect to {self.address} failed: {exc}"
+            ) from exc
+        conn.settimeout(deadline)
+        return conn
+
+    @staticmethod
+    def _exchange(
+        conn: socket.socket, reader: Any, msg: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Send one frame and read one response on an open connection."""
+        conn.sendall(encode_frame(json.dumps(msg).encode("utf-8")))
+        payload = read_frame(reader)
+        if payload is None:
+            raise TransportError(
+                "server closed the connection without a response"
+            )
+        try:
+            response = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TransportError(
+                f"response payload is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(response, dict):
+            raise TransportError(
+                f"response must be a JSON object, got"
+                f" {type(response).__name__}"
+            )
+        return response
+
+    def _roundtrip_fresh(
+        self, msg: dict[str, Any], deadline: float
+    ) -> dict[str, Any]:
+        """One connect → send → receive attempt over a throwaway
+        connection (raises on any failure)."""
+        conn = self._dial(deadline)
+        try:
             reader = conn.makefile("rb")
             try:
-                payload = read_frame(reader)
+                return self._exchange(conn, reader, msg)
             finally:
                 with contextlib.suppress(OSError):
                     reader.close()
-            if payload is None:
-                raise TransportError(
-                    "server closed the connection without a response"
-                )
-            try:
-                response = json.loads(payload.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise TransportError(
-                    f"response payload is not valid JSON: {exc}"
-                ) from None
-            if not isinstance(response, dict):
-                raise TransportError(
-                    f"response must be a JSON object, got"
-                    f" {type(response).__name__}"
-                )
-            return response
         finally:
             with contextlib.suppress(OSError):
                 conn.close()
+
+    def _roundtrip_once(
+        self, msg: dict[str, Any], deadline: float
+    ) -> dict[str, Any]:
+        """One attempt; with keepalive, over the kept connection."""
+        if not self.keepalive:
+            return self._roundtrip_fresh(msg, deadline)
+        with self._conn_lock:
+            if self._conn is None:
+                self._conn = self._dial(deadline)
+                self._conn_reader = self._conn.makefile("rb")
+                if _tm.enabled():
+                    _tm.incr("serve.net.client_connects")
+            else:
+                self._conn.settimeout(deadline)
+                if _tm.enabled():
+                    _tm.incr("serve.net.client_conn_reuses")
+            try:
+                return self._exchange(self._conn, self._conn_reader, msg)
+            except BaseException:
+                # Whatever went wrong, the stream position is now
+                # unknowable — drop the connection so the next attempt
+                # starts from a clean dial.
+                self._drop_conn()
+                raise
 
     def request(
         self,
@@ -618,7 +689,7 @@ class ResilientClient:
         def attempt() -> None:
             try:
                 results.put(
-                    ("ok", self._roundtrip_once({"op": "health"}, deadline))
+                    ("ok", self._roundtrip_fresh({"op": "health"}, deadline))
                 )
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 results.put(("err", exc))
@@ -698,6 +769,7 @@ def serve_listen(
     journal_dir: str | None = None,
     recover: bool = False,
     checkpoint_every: int = 64,
+    acked_cap: int = 1024,
     deadline: float | None = 30.0,
     ready: Callable[[str], None] | None = None,
 ) -> int:
@@ -745,7 +817,7 @@ def serve_listen(
         streams = _StreamRegistry(max_streams, backend)
 
     with MatchingServer(backend, config=config) as server:
-        dispatcher = Dispatcher(server, cache, streams)
+        dispatcher = Dispatcher(server, cache, streams, acked_cap=acked_cap)
         with SocketServer(
             dispatcher, address, deadline=deadline
         ) as front:

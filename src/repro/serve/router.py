@@ -60,7 +60,20 @@ __all__ = ["Router", "RouterNode"]
 #: Ops whose ``handle`` field pins them to the daemon that owns the
 #: session (vs. ops routed by graph key or sent anywhere healthy).
 _HANDLE_OPS = frozenset(
-    {"update", "stream_update", "rematch", "stream_rematch", "stream_close"}
+    {
+        "update",
+        "stream_update",
+        "rematch",
+        "stream_rematch",
+        "stream_close",
+        "shard_sweep",
+        "shard_choices",
+        "shard_arm",
+        "shard_scan",
+        "shard_commit",
+        "shard_finish",
+        "shard_close",
+    }
 )
 
 
@@ -160,6 +173,10 @@ class Router:
                 retries=request_retries,
                 seed=seed + i,
                 client_id=f"rt{os.getpid()}-n{i}",
+                # The router is exactly the chatty caller keep-alive is
+                # for: shard rounds are hundreds of tiny requests per
+                # node (probes still hedge over fresh dials).
+                keepalive=True,
             )
             self.nodes.append(RouterNode(i, address, journal_dir, client))
         # The ring is fixed at construction: ejection is handled by
@@ -279,6 +296,7 @@ class Router:
                         node.proc.kill()
                         node.proc.wait(timeout=5.0)
                 node.healthy = False
+                node.client.close()
 
     def __enter__(self) -> "Router":
         return self.start()
@@ -328,6 +346,8 @@ class Router:
                 with contextlib.suppress(subprocess.TimeoutExpired):
                     node.proc.wait(timeout=10.0)
             node.healthy = False
+            # The kept connection (if any) points at the dead process.
+            node.client.close()
             self._spawn(node, recover=True)
             self._await_healthy(node, self.spawn_timeout)
             node.healthy = True
@@ -418,6 +438,16 @@ class Router:
             elif op in ("match", "stream_open"):
                 key = json.dumps(
                     msg.get("graph"), sort_keys=True, default=str
+                )
+                node = self._route(key)
+            elif op == "shard_open":
+                # Same graph, different shard index → different ring key,
+                # so a K-shard plan spreads across daemons instead of
+                # stacking K sessions on the spec's cache-affinity node.
+                key = json.dumps(
+                    {"graph": msg.get("graph"), "shard": msg.get("index")},
+                    sort_keys=True,
+                    default=str,
                 )
                 node = self._route(key)
             else:

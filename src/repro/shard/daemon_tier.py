@@ -1,0 +1,302 @@
+"""Daemon execution tier: one journaled socket daemon per shard.
+
+The coordinator mirrors the in-process tier's program step for step —
+the same :mod:`repro.shard.scale` budget, the same sweep/choice/commit
+order, the same rank-ordered concatenations — but each shard's kernel
+steps run inside a serving daemon behind the
+:class:`~repro.serve.router.Router`, reached through ``shard_*`` verbs.
+
+Why the result is still bitwise equal to the sim tier (and therefore to
+the serial pipeline):
+
+* the daemons run the *same* :class:`~repro.shard.scale.ShardScaleLocal`
+  and :class:`~repro.shard.reconcile.ReconcileState` code the coroutine
+  ranks run — the tiers differ only in transport;
+* JSON float round-trips are exact (shortest-repr), so vectors shipped
+  over the wire come back bit for bit;
+* the coordinator concatenates per-shard blocks in shard order, which is
+  the same merge the ``allgather`` pattern performs.
+
+Crash safety: ``shard_open`` / ``shard_arm`` / ``shard_commit`` /
+``shard_finish`` are write-ahead journaled; ``shard_sweep`` /
+``shard_choices`` / ``shard_scan`` are pure.  A shard daemon SIGKILLed
+mid-round is revived by the router through ``--recover`` (journal replay
+rebuilds the armed state and every committed round), and the in-flight
+request retries under its original idempotency id — so the merged
+matching equals the uninterrupted run's, or the failure surfaces as a
+typed error.  Never a silently sub-quality matching.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro import telemetry as _tm
+from .._typing import SeedLike
+from ..errors import MatchingError, ShardError
+from ..graph.csr import BipartiteGraph
+from ..core.karp_sipser_mt import matching_from_unified
+from ..scaling.result import ScalingResult
+from ..scaling.sinkhorn_knopp import initial_factors
+from .partition import ShardPlan, plan_shards
+from .pipeline import ShardMatchResult, generate_draws, shard_validate_rows
+from .scale import maybe_warn_capped, resolve_budget
+
+__all__ = ["shard_match_daemons"]
+
+
+class _ShardHandles:
+    """K namespaced shard handles plus typed request plumbing."""
+
+    def __init__(self, router: Any, plan: ShardPlan, spec: Any) -> None:
+        self.router = router
+        self.plan = plan
+        self.handles: list[str] = []
+        for k in range(plan.n_shards):
+            response = router.request(
+                {
+                    "op": "shard_open",
+                    "graph": spec,
+                    "n_shards": plan.n_shards,
+                    "index": k,
+                    "chunk_rows": plan.chunk_rows,
+                    "chunk_cols": plan.chunk_cols,
+                }
+            )
+            s = plan.shards[k]
+            if (
+                response["frontier"] != s.frontier_size
+                or response["csr_nnz"] != s.csr_nnz
+            ):
+                raise ShardError(
+                    f"shard {k} daemon built a different slice than the"
+                    f" coordinator's plan: {response}"
+                )
+            self.handles.append(response["handle"])
+
+    def call(self, k: int, op: str, **fields: Any) -> dict[str, Any]:
+        return self.router.request(
+            {"op": op, "handle": self.handles[k], **fields}
+        )
+
+    def close(self) -> None:
+        for handle in self.handles:
+            self.router.request({"op": "shard_close", "handle": handle})
+
+
+def shard_match_daemons(
+    spec: Any,
+    n_shards: int = 2,
+    iterations: int | None = 5,
+    *,
+    router: Any,
+    seed: SeedLike = None,
+    tolerance: float | None = None,
+    validate: bool = True,
+    graph: BipartiteGraph | None = None,
+) -> ShardMatchResult:
+    """Sharded TwoSidedMatch over *router*'s daemon fleet.
+
+    *spec* is a daemon graph spec (see :func:`repro.serve.daemon.build_graph`)
+    so every shard daemon can materialize the same graph independently;
+    the coordinator builds it too (pass *graph* to reuse an existing
+    build) for the plan, the draws, and the final global certificate.
+    """
+    from ..serve.daemon import build_graph
+
+    if graph is None:
+        graph = build_graph(spec, None)
+    plan = plan_shards(graph, n_shards)
+    limit, requested_limit, rung = resolve_budget(graph, iterations, tolerance)
+    dr, dc, warm = initial_factors(graph, None)
+    draws_rows, draws_cols = generate_draws(graph, seed)
+    with _tm.span(
+        "shard.match_daemons",
+        n_shards=plan.n_shards, nrows=graph.nrows, ncols=graph.ncols,
+        nnz=graph.nnz, boundary=plan.boundary_edges,
+    ) as sp:
+        shards = _ShardHandles(router, plan, spec)
+        try:
+            result = _drive(
+                shards, plan, graph, dr, dc, limit, requested_limit, rung,
+                tolerance, warm, draws_rows, draws_cols, validate,
+            )
+        finally:
+            shards.close()
+        sp.set(
+            cardinality=result.matching.cardinality,
+            rounds=result.rounds,
+            error=result.scaling.error,
+            rung=result.scaling.rung,
+        )
+    return result
+
+
+def _drive(
+    shards: _ShardHandles,
+    plan: ShardPlan,
+    graph: BipartiteGraph,
+    dr: np.ndarray,
+    dc: np.ndarray,
+    limit: int,
+    requested_limit: int,
+    rung: str,
+    tolerance: float | None,
+    warm: bool,
+    draws_rows: np.ndarray | None,
+    draws_cols: np.ndarray | None,
+    validate: bool,
+) -> ShardMatchResult:
+    K = plan.n_shards
+
+    # -- Sinkhorn–Knopp, mirroring scale.sk_rounds ----------------------
+    def col_sweep_with_error() -> tuple[float, np.ndarray]:
+        errs = np.empty(K, dtype=np.float64)
+        blocks = []
+        for k in range(K):
+            s = plan.shards[k]
+            r = shards.call(
+                k, "shard_sweep", which="col",
+                dr=dr.tolist(), dc=dc[s.col_lo : s.col_hi].tolist(),
+            )
+            errs[k] = r["err"]
+            blocks.append(np.asarray(r["dc_next"], dtype=np.float64))
+        # np.max over the per-shard maxima propagates NaN, like the
+        # sim tier's allreduce(max) fold.
+        return (float(np.max(errs)) if K else 0.0), np.concatenate(blocks)
+
+    error, dc_next = col_sweep_with_error()
+    done = 0
+    converged = False
+    for _ in range(limit):
+        if tolerance is not None and error <= tolerance:
+            converged = True
+            break
+        dc, dc_next = dc_next, dc
+        dr = np.concatenate(
+            [
+                np.asarray(
+                    shards.call(k, "shard_sweep", which="row", dc=dc.tolist())[
+                        "dr"
+                    ],
+                    dtype=np.float64,
+                )
+                for k in range(K)
+            ]
+        )
+        done += 1
+        error, dc_next = col_sweep_with_error()
+    if tolerance is not None and error <= tolerance:
+        converged = True
+    fell_back = False
+    if not (
+        np.isfinite(error) and np.isfinite(dr).all() and np.isfinite(dc).all()
+    ):
+        fell_back = True
+        dr = np.ones(graph.nrows, dtype=np.float64)
+        dc = np.ones(graph.ncols, dtype=np.float64)
+        converged = False
+        error = float(
+            np.max(
+                [
+                    shards.call(k, "shard_sweep", which="uniform")["err"]
+                    for k in range(K)
+                ]
+            )
+        )
+    if fell_back:
+        rung = "uniform"
+    maybe_warn_capped(
+        rung, converged, done, error, limit, requested_limit, tolerance
+    )
+
+    # -- choices --------------------------------------------------------
+    def gather_choices(which: str, opp: np.ndarray, draws) -> np.ndarray:
+        blocks = []
+        for k in range(K):
+            s = plan.shards[k]
+            lo, hi = (
+                (s.row_lo, s.row_hi) if which == "row" else (s.col_lo, s.col_hi)
+            )
+            r = shards.call(
+                k, "shard_choices", which=which, opp=opp.tolist(),
+                draws=None if draws is None else draws[lo:hi].tolist(),
+            )
+            blocks.append(np.asarray(r["choice"], dtype=np.int64))
+        return np.concatenate(blocks)
+
+    row_choice = gather_choices("row", dc, draws_rows)
+    col_choice = gather_choices("col", dr, draws_cols)
+
+    # -- reconcile rounds ----------------------------------------------
+    for k in range(K):
+        shards.call(
+            k, "shard_arm",
+            row_choice=row_choice.tolist(), col_choice=col_choice.tolist(),
+        )
+    rounds = 0
+    while True:
+        scans = [shards.call(k, "shard_scan") for k in range(K)]
+        # Rows of every shard in shard order, then columns — the same
+        # axis-major merge the sim tier's allgather concatenation does,
+        # which is the serial ascending scan order.
+        merged = [v for r in scans for v in r["rows"]] + [
+            v for r in scans for v in r["cols"]
+        ]
+        committed = None
+        for k in range(K):
+            r = shards.call(k, "shard_commit", candidates=merged)
+            if committed is None:
+                committed = r["committed"]
+                rounds = r["rounds"]
+            elif r["committed"] != committed:
+                raise ShardError(
+                    f"shard {k} diverged from shard 0 on commit round"
+                    f" {rounds}: replicated state is no longer replicated"
+                )
+        if not committed:
+            break
+
+    # -- finish + global certificate ------------------------------------
+    finishes = [shards.call(k, "shard_finish") for k in range(K)]
+    checksums = {f["checksum"] for f in finishes}
+    if len(checksums) != 1:
+        raise ShardError(
+            f"shard daemons finished with diverging match checksums:"
+            f" {sorted(checksums)}"
+        )
+    match = np.asarray(finishes[0]["match"], dtype=np.int64)
+    rounds = int(finishes[0]["rounds"])
+    bad = sum(
+        shard_validate_rows(plan.shards[k], match) for k in range(K)
+    )
+    if bad:
+        raise MatchingError(
+            f"sharded reconcile produced {bad} matched edge(s) absent"
+            f" from their owning shard's CSR slice"
+        )
+    matching = matching_from_unified(match, graph.nrows, graph.ncols)
+    if validate:
+        matching.validate(graph)
+    scaling = ScalingResult(
+        dr=dr,
+        dc=dc,
+        error=error,
+        iterations=done,
+        converged=converged,
+        history=(),
+        rung=rung,
+        warm_started=warm,
+    )
+    return ShardMatchResult(
+        matching=matching,
+        scaling=scaling,
+        row_choice=row_choice,
+        col_choice=col_choice,
+        n_shards=K,
+        rounds=rounds,
+        tier="daemon",
+        plan=plan,
+    )

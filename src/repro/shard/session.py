@@ -1,0 +1,216 @@
+"""Server-side state of one shard daemon: the daemon tier's half-step.
+
+A :class:`ShardSession` is what a ``shard_open`` verb materializes inside
+a serving daemon: one :class:`~repro.shard.partition.ShardSlice` (built
+with the *coordinator's* pinned chunk sizes, so ownership bounds agree
+across processes), the shard-local kernel steps
+(:class:`~repro.shard.scale.ShardScaleLocal`), and — once armed — a
+replicated :class:`~repro.shard.reconcile.ReconcileState`.
+
+Every method here is one daemon verb's body.  The split between *pure*
+verbs (``sweep``, ``choices``, ``scan`` — deterministic functions of the
+request payload and armed state, safe to re-run) and *mutating* verbs
+(``arm``, ``commit``, ``finish`` — journaled write-ahead by the registry)
+is what lets a SIGKILLed shard daemon recover to the exact replicated
+state its peers hold: replaying the journal re-runs ``arm`` and the
+committed rounds, and ``finish`` (phase 2) is idempotent by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from .._typing import NIL
+from ..errors import ShardError
+from .partition import ShardSlice, shard_slice
+from .pipeline import _slice_choices
+from .reconcile import ReconcileState
+from .scale import ShardScaleLocal
+
+__all__ = ["ShardSession"]
+
+
+def _floats(value: Any, field: str) -> np.ndarray:
+    if value is None:
+        raise ShardError(f"shard verb is missing the {field!r} vector")
+    return np.asarray(value, dtype=np.float64)
+
+
+class ShardSession:
+    """One daemon-resident shard: slice + kernels + reconcile state."""
+
+    def __init__(
+        self,
+        spec: Any,
+        shard: ShardSlice,
+    ) -> None:
+        self.spec = spec
+        self.shard = shard
+        self.local = ShardScaleLocal(shard)
+        self.state: ReconcileState | None = None
+
+    @classmethod
+    def build(
+        cls,
+        graph: Any,
+        spec: Any,
+        n_shards: int,
+        index: int,
+        *,
+        chunk_rows: int | None = None,
+        chunk_cols: int | None = None,
+    ) -> "ShardSession":
+        shard = shard_slice(
+            graph,
+            int(n_shards),
+            int(index),
+            chunk_rows=None if chunk_rows is None else int(chunk_rows),
+            chunk_cols=None if chunk_cols is None else int(chunk_cols),
+        )
+        return cls(spec, shard)
+
+    def info(self) -> dict[str, Any]:
+        s = self.shard
+        return {
+            "index": s.index,
+            "n_shards": s.n_shards,
+            "nrows": s.nrows,
+            "ncols": s.ncols,
+            "row_lo": s.row_lo,
+            "row_hi": s.row_hi,
+            "col_lo": s.col_lo,
+            "col_hi": s.col_hi,
+            "csr_nnz": s.csr_nnz,
+            "csc_nnz": s.csc_nnz,
+            "frontier": s.frontier_size,
+        }
+
+    # -- pure verbs (never journaled; deterministic in their inputs) -----
+
+    def sweep(self, msg: dict[str, Any]) -> dict[str, Any]:
+        which = str(msg.get("which", "col"))
+        if which == "col":
+            dc_next, err = self.local.col_sweep(
+                _floats(msg.get("dr"), "dr"), _floats(msg.get("dc"), "dc")
+            )
+            return {"dc_next": dc_next.tolist(), "err": err}
+        if which == "row":
+            dr_own = self.local.row_sweep(_floats(msg.get("dc"), "dc"))
+            return {"dr": dr_own.tolist()}
+        if which == "uniform":
+            return {"err": self.local.uniform_col_error()}
+        raise ShardError(
+            f"unknown sweep kind {which!r}; expected 'col', 'row', or"
+            f" 'uniform'"
+        )
+
+    def choices(self, msg: dict[str, Any]) -> dict[str, Any]:
+        s = self.shard
+        which = str(msg.get("which", "row"))
+        opp = _floats(msg.get("opp"), "opp")
+        draws = msg.get("draws")
+        block = None if draws is None else np.asarray(draws, dtype=np.float64)
+        if which == "row":
+            # The draws block is this shard's owned slice, so lo=0 against
+            # the block equals the global [row_lo, row_hi) slice.
+            out = _slice_choices(
+                s.n_local_rows, 0, s.n_local_rows,
+                s.row_ptr, s.col_ind, opp, block, s.chunk_rows,
+            )
+        elif which == "col":
+            out = _slice_choices(
+                s.n_local_cols, 0, s.n_local_cols,
+                s.col_ptr, s.row_ind, opp, block, s.chunk_cols,
+            )
+        else:
+            raise ShardError(
+                f"unknown choices kind {which!r}; expected 'row' or 'col'"
+            )
+        return {"choice": out.tolist()}
+
+    def scan(self) -> dict[str, Any]:
+        state = self.require_state()
+        s = self.shard
+        return {
+            "rows": state.scan_range(s.row_lo, s.row_hi).tolist(),
+            "cols": state.scan_range(
+                s.nrows + s.col_lo, s.nrows + s.col_hi
+            ).tolist(),
+        }
+
+    # -- mutating verbs (journaled write-ahead by the registry) ----------
+
+    def arm(self, msg: dict[str, Any]) -> dict[str, Any]:
+        row_choice = np.asarray(msg.get("row_choice"), dtype=np.int64)
+        col_choice = np.asarray(msg.get("col_choice"), dtype=np.int64)
+        s = self.shard
+        if row_choice.shape[0] != s.nrows or col_choice.shape[0] != s.ncols:
+            raise ShardError(
+                f"arm expects full global choice vectors ({s.nrows} rows,"
+                f" {s.ncols} cols); got {row_choice.shape[0]} and"
+                f" {col_choice.shape[0]}"
+            )
+        self.state = ReconcileState.from_choices(row_choice, col_choice)
+        return {"armed": True, "rounds": 0}
+
+    def commit(self, msg: dict[str, Any]) -> dict[str, Any]:
+        state = self.require_state()
+        candidates = np.asarray(
+            msg.get("candidates", ()), dtype=np.int64
+        )
+        committed = state.commit(candidates)
+        return {"committed": committed, "rounds": state.rounds}
+
+    def finish(self) -> dict[str, Any]:
+        """Phase 2 + digest.  Idempotent: phase 2 re-run on its own output
+        matches nothing new, so a journal replay that repeats ``finish``
+        converges to the same match array and checksum."""
+        state = self.require_state()
+        state.phase2()
+        return {
+            "checksum": hashlib.sha256(state.match.tobytes()).hexdigest(),
+            "matched": int(
+                np.count_nonzero(state.match[: state.nrows] != NIL)
+            ),
+            "rounds": state.rounds,
+        }
+
+    def require_state(self) -> ReconcileState:
+        if self.state is None:
+            raise ShardError(
+                "shard session is not armed; send 'shard_arm' with the"
+                " global choice vectors first"
+            )
+        return self.state
+
+    # -- checkpoint plumbing ---------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        s = self.shard
+        return {
+            "graph": self.spec,
+            "n_shards": s.n_shards,
+            "index": s.index,
+            "chunk_rows": s.chunk_rows,
+            "chunk_cols": s.chunk_cols,
+            "state": None if self.state is None else self.state.export_state(),
+        }
+
+    @classmethod
+    def import_state(cls, state: dict[str, Any], cache: Any) -> "ShardSession":
+        from ..serve.daemon import build_graph
+
+        session = cls.build(
+            build_graph(state["graph"], cache),
+            state["graph"],
+            int(state["n_shards"]),
+            int(state["index"]),
+            chunk_rows=int(state["chunk_rows"]),
+            chunk_cols=int(state["chunk_cols"]),
+        )
+        if state.get("state") is not None:
+            session.state = ReconcileState.import_state(state["state"])
+        return session
